@@ -1,0 +1,312 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md §6 for the experiment index), plus the ablations of
+// DESIGN.md §8. Each benchmark reports its headline quantities via
+// b.ReportMetric, so `go test -bench=. -benchmem` doubles as a compact
+// reproduction of the paper's results:
+//
+//	go test -bench=Figure -benchtime=1x
+//
+// Budgets are scaled down (the synthetic workloads are stationary, so the
+// figures' shapes stabilize quickly); raise benchBase or run cmd/avfreport
+// for publication-scale numbers.
+package smtavf_test
+
+import (
+	"testing"
+
+	"smtavf"
+	"smtavf/internal/core"
+	"smtavf/internal/experiments"
+	"smtavf/internal/fetch"
+)
+
+// dgPolicy builds a DG fetch policy with an explicit gating threshold.
+func dgPolicy(threshold int) smtavf.Policy { return fetch.DG{Threshold: threshold} }
+
+// benchBase is the 2-context instruction budget used by the figure
+// benchmarks (4- and 8-context runs use 2× and 4×).
+const benchBase = 4_000
+
+func newRunner() *experiments.Runner {
+	return experiments.NewRunner(experiments.Options{Base: benchBase, Seed: 1})
+}
+
+// BenchmarkTable2 exercises building every Table 2 workload mix.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range smtavf.Mixes() {
+			sim, err := smtavf.NewSimulator(smtavf.DefaultConfig(m.Contexts), m.Benchmarks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.Run(500); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the 4-context AVF profile and reports the
+// IQ AVF of the CPU- and memory-bound columns.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		t, err := r.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*t.Get(t.Row("IQ"), t.Col("CPU")), "IQ-AVF-CPU-%")
+		b.ReportMetric(100*t.Get(t.Row("IQ"), t.Col("MEM")), "IQ-AVF-MEM-%")
+	}
+}
+
+// BenchmarkFigure2 regenerates the reliability-efficiency profile.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		t, err := r.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Get(t.Row("IQ"), t.Col("CPU")), "IQ-IPC/AVF-CPU")
+	}
+}
+
+// BenchmarkFigure3 regenerates the SMT-vs-single-thread per-thread AVF
+// comparison and reports the mean per-thread IQ AVF reduction under SMT.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		t, err := r.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, smt := t.Col("IQ_ST"), t.Col("IQ_SMT")
+		var ratio float64
+		n := 0
+		for row := range t.Rows {
+			if v := t.Get(row, st); v > 0 {
+				ratio += t.Get(row, smt) / v
+				n++
+			}
+		}
+		b.ReportMetric(ratio/float64(n), "IQ-SMT/ST-ratio")
+	}
+}
+
+// BenchmarkFigure4 regenerates the SMT-vs-single-thread efficiency
+// comparison.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		if _, err := r.Figure4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the context-count sweep and reports the IQ
+// AVF growth from 2 to 8 contexts on memory-bound workloads.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		panels, err := r.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := panels[0]
+		iq := p.Row("IQ")
+		b.ReportMetric(100*p.Get(iq, p.Col("MEM/2")), "IQ-AVF-MEM2-%")
+		b.ReportMetric(100*p.Get(iq, p.Col("MEM/8")), "IQ-AVF-MEM8-%")
+	}
+}
+
+// BenchmarkFigure6 regenerates the fetch-policy AVF panels and reports the
+// FLUSH-vs-ICOUNT IQ AVF ratio on the 4-context MEM workload.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		tables, err := r.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range tables {
+			if t.Title == "Figure 6: AVF under fetch policies (4 contexts, MEM)" {
+				iq := t.Row("IQ")
+				base := t.Get(iq, t.Col("ICOUNT"))
+				if base > 0 {
+					b.ReportMetric(t.Get(iq, t.Col("FLUSH"))/base, "FLUSH/ICOUNT-IQ-AVF")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates the normalized IPC/AVF comparison and
+// reports FLUSH's and STALL's IQ advantage over ICOUNT.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		t, err := r.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		iq := t.Row("IQ")
+		b.ReportMetric(t.Get(iq, t.Col("FLUSH")), "FLUSH-IQ-eff-x")
+		b.ReportMetric(t.Get(iq, t.Col("STALL")), "STALL-IQ-eff-x")
+	}
+}
+
+// BenchmarkFigure8 regenerates the fairness-aware efficiency comparison
+// and reports how FLUSH's advantage shrinks under harmonic IPC.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		tables, err := r.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ws, harm := tables[0], tables[1]
+		iq := ws.Row("IQ")
+		b.ReportMetric(ws.Get(iq, ws.Col("FLUSH")), "FLUSH-IQ-wspeedup-x")
+		b.ReportMetric(harm.Get(iq, harm.Col("FLUSH")), "FLUSH-IQ-harmonic-x")
+	}
+}
+
+// --- Ablations (DESIGN.md §8) ---
+
+func runAblation(b *testing.B, threads int, benches []string, mutate func(*core.Config)) *smtavf.Results {
+	b.Helper()
+	cfg := smtavf.DefaultConfig(threads)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sim, err := smtavf.NewSimulator(cfg, benches)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sim.Run(uint64(benchBase) * uint64(threads) / 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+var ablationMix = []string{"gcc", "mcf", "vpr", "perlbmk"}
+
+// BenchmarkAblationRegPool sweeps the shared register-pool size: a smaller
+// pool throttles per-thread ROB utilization (the paper's §4.1 ROB effect).
+func BenchmarkAblationRegPool(b *testing.B) {
+	for _, pool := range []int{288, 448, 640} {
+		pool := pool
+		b.Run(string(rune('0'+pool/100))+"xx", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runAblation(b, 4, ablationMix, func(c *core.Config) {
+					c.IntPhysRegs, c.FPPhysRegs = pool, pool
+				})
+				b.ReportMetric(res.IPC(), "IPC")
+				b.ReportMetric(100*res.StructAVF(smtavf.ROB), "ROB-AVF-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIQPartition compares the fully shared IQ against static
+// per-thread partitions (the paper's §5 reliability-aware resource
+// allocation proposal).
+func BenchmarkAblationIQPartition(b *testing.B) {
+	for _, part := range []int{0, 24, 48} {
+		part := part
+		name := "shared"
+		if part > 0 {
+			name = map[int]string{24: "quarter", 48: "half"}[part]
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runAblation(b, 4, ablationMix, func(c *core.Config) {
+					c.IQPartition = part
+				})
+				b.ReportMetric(res.IPC(), "IPC")
+				b.ReportMetric(100*res.StructAVF(smtavf.IQ), "IQ-AVF-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDGThreshold sweeps the DG fetch-gating threshold.
+func BenchmarkAblationDGThreshold(b *testing.B) {
+	for _, th := range []int{0, 1, 2, 4} {
+		th := th
+		b.Run(string(rune('0'+th)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runAblation(b, 4, ablationMix, func(c *core.Config) {
+					c.Policy = dgPolicy(th)
+				})
+				b.ReportMetric(res.IPC(), "IPC")
+				b.ReportMetric(100*res.StructAVF(smtavf.IQ), "IQ-AVF-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStallPredict contrasts reactive STALL with the paper's
+// proposed L2-miss-predictive STALLP.
+func BenchmarkAblationStallPredict(b *testing.B) {
+	for _, pol := range []string{"STALL", "STALLP"} {
+		pol := pol
+		b.Run(pol, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runAblation(b, 4, ablationMix, func(c *core.Config) {
+					if err := c.SetPolicy(pol); err != nil {
+						b.Fatal(err)
+					}
+				})
+				b.ReportMetric(res.IPC(), "IPC")
+				b.ReportMetric(100*res.StructAVF(smtavf.IQ), "IQ-AVF-%")
+			}
+		})
+	}
+}
+
+// BenchmarkSensitivity regenerates the §5 structure-size sweeps and
+// reports how much absolute ACE exposure a 6x larger IQ buys.
+func BenchmarkSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		tables, err := r.Sensitivity()
+		if err != nil {
+			b.Fatal(err)
+		}
+		iq := tables[0]
+		exp := iq.Row("ACE entries")
+		b.ReportMetric(iq.Get(exp, len(iq.Cols)-1)/iq.Get(exp, 0), "IQ-exposure-growth-x")
+	}
+}
+
+// BenchmarkExtensions regenerates the §5 proposal comparison (STALLP,
+// VAware) and reports STALLP's IQ-AVF advantage over STALL on MIX.
+func BenchmarkExtensions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		tb, err := r.Extensions()
+		if err != nil {
+			b.Fatal(err)
+		}
+		iq := tb.Row("IQ AVF")
+		stall := tb.Get(iq, tb.Col("MIX/STALL"))
+		if stall > 0 {
+			b.ReportMetric(tb.Get(iq, tb.Col("MIX/STALLP"))/stall, "STALLP/STALL-IQ-AVF")
+		}
+	}
+}
+
+// BenchmarkSimulatorCycles measures raw simulation speed: simulated cycles
+// per wall-clock second on a 4-context mixed workload.
+func BenchmarkSimulatorCycles(b *testing.B) {
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res := runAblation(b, 4, ablationMix, nil)
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}

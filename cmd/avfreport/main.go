@@ -1,0 +1,110 @@
+// Command avfreport regenerates every table and figure of the paper's
+// evaluation section and prints them as aligned text tables (or CSV).
+//
+// Usage:
+//
+//	avfreport                      # everything, default budgets
+//	avfreport -figure 6 -base 20000
+//	avfreport -csv > report.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"smtavf/internal/experiments"
+)
+
+func main() {
+	var (
+		base   = flag.Uint64("base", 50_000, "instruction budget of a 2-context run (4/8 contexts use 2x/4x)")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		figure = flag.String("figure", "all", "which figure to produce: all, table1, table2, 1..8, ext, or sens (comma-separated)")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		chart  = flag.Bool("chart", false, "render tables as horizontal bar charts")
+	)
+	flag.Parse()
+
+	r := experiments.NewRunner(experiments.Options{Base: *base, Seed: *seed})
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figure, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+
+	emit := func(tables ...*experiments.Table) {
+		for _, t := range tables {
+			switch {
+			case *csv:
+				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			case *chart:
+				fmt.Println(t.Chart())
+			default:
+				fmt.Println(t)
+			}
+		}
+	}
+
+	start := time.Now()
+	if all {
+		// Fill the run cache with all cores before assembling figures.
+		if err := r.Preload(experiments.AllSpecs()); err != nil {
+			fmt.Fprintf(os.Stderr, "avfreport: preload: %v\n", err)
+			os.Exit(1)
+		}
+		if err := r.PreloadSingles(); err != nil {
+			fmt.Fprintf(os.Stderr, "avfreport: preload singles: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if all || want["table1"] {
+		fmt.Println(experiments.Table1())
+	}
+	if all || want["table2"] {
+		fmt.Println(experiments.Table2())
+	}
+	type one struct {
+		name  string
+		run   func() ([]*experiments.Table, error)
+		extra bool // not part of the paper: only on explicit request
+	}
+	single := func(f func() (*experiments.Table, error)) func() ([]*experiments.Table, error) {
+		return func() ([]*experiments.Table, error) {
+			t, err := f()
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{t}, nil
+		}
+	}
+	figures := []one{
+		{"1", single(r.Figure1), false},
+		{"2", single(r.Figure2), false},
+		{"3", single(r.Figure3), false},
+		{"4", single(r.Figure4), false},
+		{"5", r.Figure5, false},
+		{"6", r.Figure6, false},
+		{"7", single(r.Figure7), false},
+		{"8", r.Figure8, false},
+		{"ext", single(r.Extensions), true},
+		{"sens", r.Sensitivity, true},
+		{"stab", func() ([]*experiments.Table, error) { return r.Stability(5) }, true},
+	}
+	for _, f := range figures {
+		if !want[f.name] && !(all && !f.extra) {
+			continue
+		}
+		ts, err := f.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avfreport: figure %s: %v\n", f.name, err)
+			os.Exit(1)
+		}
+		emit(ts...)
+	}
+	fmt.Fprintf(os.Stderr, "avfreport: done in %s (base budget %s)\n",
+		time.Since(start).Round(time.Millisecond), strconv.FormatUint(*base, 10))
+}

@@ -1,0 +1,122 @@
+// Command avfsweep runs a grid of simulations — fetch policies crossed
+// with one structural parameter — and emits a CSV of performance and
+// per-structure AVFs, for custom design-space studies beyond the paper's
+// figures.
+//
+// Usage:
+//
+//	avfsweep -mix 4ctx-MIX-A -policies ICOUNT,STALL,FLUSH -param iq -values 48,96,192
+//	avfsweep -bench gcc,mcf -policies ICOUNT -param regs -values 256,448,640
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"smtavf"
+)
+
+func main() {
+	var (
+		mixName  = flag.String("mix", "", "Table 2 mix name")
+		benches  = flag.String("bench", "", "comma-separated benchmarks (alternative to -mix)")
+		policies = flag.String("policies", "ICOUNT", "comma-separated fetch policies")
+		param    = flag.String("param", "none", "structural parameter to sweep: none, iq, rob, lsq, regs, fetchq")
+		values   = flag.String("values", "", "comma-separated parameter values")
+		instrs   = flag.Uint64("instructions", 100_000, "instructions per run")
+		warmup   = flag.Uint64("warmup", 50_000, "warmup instructions per run")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	var names []string
+	switch {
+	case *mixName != "":
+		m, err := smtavf.MixByName(*mixName)
+		if err != nil {
+			fatal(err)
+		}
+		names = m.Benchmarks
+	case *benches != "":
+		names = strings.Split(*benches, ",")
+	default:
+		fatal(fmt.Errorf("need -mix or -bench"))
+	}
+
+	vals := []int{0}
+	if *values != "" {
+		vals = vals[:0]
+		for _, v := range strings.Split(*values, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil {
+				fatal(fmt.Errorf("bad value %q: %w", v, err))
+			}
+			vals = append(vals, n)
+		}
+	} else if *param != "none" {
+		fatal(fmt.Errorf("-param %s needs -values", *param))
+	}
+
+	// CSV header.
+	fmt.Printf("policy,%s,ipc", *param)
+	for _, s := range smtavf.Structs() {
+		fmt.Printf(",%s_avf", strings.ToLower(s.String()))
+	}
+	fmt.Println()
+
+	for _, pol := range strings.Split(*policies, ",") {
+		for _, v := range vals {
+			cfg := smtavf.DefaultConfig(len(names))
+			cfg.Seed = *seed
+			cfg.Warmup = *warmup
+			if err := cfg.SetPolicy(strings.TrimSpace(pol)); err != nil {
+				fatal(err)
+			}
+			if err := apply(&cfg, *param, v); err != nil {
+				fatal(err)
+			}
+			sim, err := smtavf.NewSimulator(cfg, names)
+			if err != nil {
+				fatal(err)
+			}
+			res, err := sim.Run(*instrs)
+			if err != nil {
+				fatal(fmt.Errorf("%s %s=%d: %w", pol, *param, v, err))
+			}
+			fmt.Printf("%s,%d,%.4f", res.Policy, v, res.IPC())
+			for _, s := range smtavf.Structs() {
+				fmt.Printf(",%.4f", res.StructAVF(s))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// apply sets the swept structural parameter.
+func apply(cfg *smtavf.Config, param string, v int) error {
+	switch param {
+	case "none":
+		return nil
+	case "iq":
+		cfg.IQSize = v
+	case "rob":
+		cfg.ROBSize = v
+	case "lsq":
+		cfg.LSQSize = v
+	case "regs":
+		cfg.IntPhysRegs, cfg.FPPhysRegs = v, v
+	case "fetchq":
+		cfg.FetchQueue = v
+	default:
+		return fmt.Errorf("unknown -param %q (want none, iq, rob, lsq, regs, fetchq)", param)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "avfsweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Command smtsim runs one SMT workload on the simulated machine and prints
+// its performance and per-structure AVF report.
+//
+// Usage:
+//
+//	smtsim -mix 4ctx-MEM-A -policy FLUSH -instructions 100000
+//	smtsim -bench mcf,twolf -policy ICOUNT -instructions 50000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smtavf"
+)
+
+func main() {
+	var (
+		mixName = flag.String("mix", "", "Table 2 mix name, e.g. 4ctx-MEM-A")
+		benches = flag.String("bench", "", "comma-separated benchmark names (alternative to -mix)")
+		traces  = flag.String("trace", "", "comma-separated trace files recorded by tracegen (alternative to -mix/-bench)")
+		policy  = flag.String("policy", "ICOUNT", "fetch policy: ICOUNT, STALL, FLUSH, DG, PDG, DWarn, STALLP")
+		instrs  = flag.Uint64("instructions", 100_000, "total instructions to simulate")
+		warmup  = flag.Uint64("warmup", 0, "instructions committed before measurement begins")
+		phases  = flag.Uint64("phases", 0, "sample per-interval IPC/AVF every N cycles (0 = off)")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		list    = flag.Bool("list", false, "list available mixes and benchmarks, then exit")
+		cfgPath = flag.String("config", "", "JSON machine configuration to load (overrides defaults; Threads is set from the workload)")
+		dumpCfg = flag.Bool("dumpconfig", false, "print the effective machine configuration as JSON and exit")
+		asJSON  = flag.Bool("json", false, "emit the full results as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Table 2 mixes:")
+		for _, m := range smtavf.Mixes() {
+			fmt.Printf("  %-12s %s\n", m.Name(), strings.Join(m.Benchmarks, ", "))
+		}
+		fmt.Println("benchmarks:", strings.Join(smtavf.Benchmarks(), ", "))
+		return
+	}
+
+	var names, paths []string
+	switch {
+	case *mixName != "":
+		m, err := smtavf.MixByName(*mixName)
+		if err != nil {
+			fatal(err)
+		}
+		names = m.Benchmarks
+	case *benches != "":
+		names = strings.Split(*benches, ",")
+	case *traces != "":
+		paths = strings.Split(*traces, ",")
+	default:
+		fatal(fmt.Errorf("need -mix, -bench, or -trace (try -list)"))
+	}
+
+	contexts := len(names)
+	if contexts == 0 {
+		contexts = len(paths)
+	}
+	cfg := smtavf.DefaultConfig(contexts)
+	if *cfgPath != "" {
+		data, err := os.ReadFile(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			fatal(fmt.Errorf("%s: %w", *cfgPath, err))
+		}
+		cfg.Threads = contexts // the workload decides the context count
+		if cfg.Policy == nil {
+			cfg.Policy, _ = smtavf.PolicyByName("ICOUNT")
+		}
+	}
+	cfg.Seed = *seed
+	cfg.Warmup = *warmup
+	cfg.PhaseInterval = *phases
+	if err := cfg.SetPolicy(*policy); err != nil {
+		fatal(err)
+	}
+	if *dumpCfg {
+		data, err := json.MarshalIndent(cfg, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	var (
+		sim *smtavf.Simulator
+		err error
+	)
+	if paths != nil {
+		sim, err = smtavf.NewSimulatorFromTraceFiles(cfg, paths)
+	} else {
+		sim, err = smtavf.NewSimulator(cfg, names)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(*instrs)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	fmt.Print(res)
+	if *phases > 0 {
+		fmt.Println("  phases (cycle / IPC / IQ AVF / ROB AVF):")
+		for _, ph := range res.Phases {
+			fmt.Printf("    %10d  %6.3f  %6.2f%%  %6.2f%%\n",
+				ph.Cycle, ph.IPC, 100*ph.AVF[smtavf.IQ], 100*ph.AVF[smtavf.ROB])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smtsim:", err)
+	os.Exit(1)
+}

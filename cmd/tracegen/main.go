@@ -1,0 +1,93 @@
+// Command tracegen records synthetic benchmark instruction traces to
+// files, and inspects existing trace files. Recorded traces replay through
+// smtsim -trace, decoupling workload generation from simulation (and
+// letting externally produced traces drive the machine).
+//
+// Usage:
+//
+//	tracegen -bench mcf -n 100000 -o mcf.trc
+//	tracegen -dump mcf.trc | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smtavf/internal/trace"
+	"smtavf/internal/workload"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "", "benchmark to record (see smtsim -list)")
+		n     = flag.Int("n", 100_000, "instructions to record")
+		out   = flag.String("o", "", "output file (default <bench>.trc)")
+		seed  = flag.Uint64("seed", 1, "generator seed")
+		dump  = flag.String("dump", "", "print a trace file's header and first records, then exit")
+	)
+	flag.Parse()
+
+	if *dump != "" {
+		if err := dumpTrace(*dump); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *bench == "" {
+		fatal(fmt.Errorf("need -bench or -dump"))
+	}
+	p, err := workload.Profile(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = *bench + ".trc"
+	}
+	gen := trace.NewSynthetic(p, *seed)
+	ins := trace.Record(gen, *n)
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.WriteTrace(f, *bench, ins); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d instructions of %s to %s\n", *n, *bench, path)
+}
+
+func dumpTrace(path string) error {
+	r, err := trace.LoadTraceFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s: workload %q, %d instructions per lap\n", path, r.Name(), r.Len())
+	for i := 0; i < 20 && i < r.Len(); i++ {
+		in := r.Next()
+		fmt.Printf("  %6d  pc=%#010x  %-7s", in.Seq, in.PC, in.Class)
+		if in.Dest.Valid() {
+			fmt.Printf(" d=r%-3d", in.Dest)
+		}
+		if in.Class.IsMem() {
+			fmt.Printf(" addr=%#x", in.Addr)
+		}
+		if in.Class.IsCTI() {
+			fmt.Printf(" taken=%v", in.Taken)
+		}
+		if in.Dead {
+			fmt.Print(" dead")
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

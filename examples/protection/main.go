@@ -1,0 +1,43 @@
+// Protection turns the AVF analysis into the design decision the paper's
+// §5 motivates: with a limited protection budget (ECC/parity costs area
+// and power), which structures should be protected first? The plan ranks
+// structures by their FIT contribution — AVF × size × raw error rate —
+// and shows the cumulative chip-level coverage of protecting the top k.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smtavf"
+)
+
+func main() {
+	const rawFITPerMbit = 1000 // illustrative circuit-level rate
+
+	mix, err := smtavf.MixByName("4ctx-MIX-A")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := smtavf.DefaultConfig(mix.Contexts)
+	cfg.Warmup = 50_000
+	sim, err := smtavf.NewSimulator(cfg, mix.Benchmarks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s: whole-processor AVF %.2f%%, total %.1f FIT at %g FIT/Mbit\n\n",
+		mix.Name(), 100*res.ProcessorAVF(), res.TotalFIT(rawFITPerMbit), float64(rawFITPerMbit))
+	fmt.Printf("%4s %-10s %10s %10s %12s\n", "rank", "structure", "bits", "FIT", "cum.coverage")
+	for i, item := range res.ProtectionPlan(rawFITPerMbit) {
+		fmt.Printf("%4d %-10s %10d %10.2f %11.1f%%\n",
+			i+1, item.Struct, item.Bits, item.FIT, 100*item.CumulativeCoverage)
+	}
+	fmt.Println("\nProtecting the top two or three structures removes most of the chip's")
+	fmt.Println("soft-error failure rate — the paper's 'protect the shared structures")
+	fmt.Println("first' guidance, quantified.")
+}

@@ -1,0 +1,42 @@
+// Quickstart: simulate a 4-context SMT machine running the paper's
+// memory-bound workload mix and print each structure's AVF and
+// reliability efficiency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smtavf"
+)
+
+func main() {
+	// The machine is the paper's Table 1 configuration.
+	cfg := smtavf.DefaultConfig(4)
+
+	// Run the Table 2 "4-context MEM group A" mix: mcf, equake, vpr, swim.
+	mix, err := smtavf.MixByName("4ctx-MEM-A")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := smtavf.NewSimulator(cfg, mix.Benchmarks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sim.Run(100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s: IPC = %.3f over %d cycles\n\n", mix.Name(), res.IPC(), res.Cycles)
+	fmt.Printf("%-10s %8s %12s\n", "structure", "AVF", "IPC/AVF")
+	for _, s := range smtavf.Structs() {
+		fmt.Printf("%-10s %7.2f%% %12.2f\n", s, 100*res.StructAVF(s), res.Efficiency(s))
+	}
+	fmt.Println("\nPer-thread AVF contributions to the shared IQ:")
+	for tid, ts := range res.Thread {
+		fmt.Printf("  %-8s %6.2f%%  (IPC %.3f)\n",
+			ts.Workload, 100*res.AVF.ThreadAVF(smtavf.IQ, tid), res.ThreadIPC(tid))
+	}
+}

@@ -1,0 +1,60 @@
+// Stvsmt contrasts SMT execution against single-thread (superscalar)
+// execution of the same work — the experiment behind the paper's Figures
+// 3 and 4. Each thread of a 4-context SMT run is replayed alone for
+// exactly the instructions it completed under SMT, so the two executions
+// do identical work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smtavf"
+)
+
+func main() {
+	mix, err := smtavf.MixByName("4ctx-MIX-A")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	smtSim, err := smtavf.NewSimulator(smtavf.DefaultConfig(4), mix.Benchmarks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	smt, err := smtSim.Run(100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mix %s under SMT: IPC %.3f in %d cycles\n\n", mix.Name(), smt.IPC(), smt.Cycles)
+	fmt.Printf("%-10s %10s %10s %10s %10s\n", "thread", "IQ(ST)", "IQ(SMT)", "ROB(ST)", "ROB(SMT)")
+
+	var seqCycles, seqInstrs uint64
+	for tid, bench := range mix.Benchmarks {
+		// Replay this thread alone for its SMT progress.
+		sim, err := smtavf.NewSimulator(smtavf.DefaultConfig(1), []string{bench})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := sim.Run(smt.Committed[tid])
+		if err != nil {
+			log.Fatal(err)
+		}
+		seqCycles += st.Cycles
+		seqInstrs += st.Total
+		fmt.Printf("%-10s %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n", bench,
+			100*st.StructAVF(smtavf.IQ),
+			100*smt.ThreadStructAVF(smtavf.IQ, tid),
+			100*st.StructAVF(smtavf.ROB),
+			100*smt.ThreadStructAVF(smtavf.ROB, tid))
+	}
+
+	fmt.Printf("\nsequential execution of all threads: %d instructions in %d cycles (IPC %.3f)\n",
+		seqInstrs, seqCycles, float64(seqInstrs)/float64(seqCycles))
+	fmt.Printf("SMT execution of the same work:      %d instructions in %d cycles (IPC %.3f)\n",
+		smt.Total, smt.Cycles, smt.IPC())
+	fmt.Println("\nIndividual threads are *less* vulnerable under SMT (each holds fewer")
+	fmt.Println("resources), while the aggregate machine is *more* vulnerable — and")
+	fmt.Println("still wins on the performance/reliability tradeoff.")
+}

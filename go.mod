@@ -1,0 +1,3 @@
+module smtavf
+
+go 1.22

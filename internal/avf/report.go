@@ -1,0 +1,34 @@
+package avf
+
+// Report is an immutable per-structure AVF snapshot extracted from a
+// Tracker at the end of a run.
+type Report struct {
+	Cycles    uint64
+	Threads   int
+	Total     [NumStructs]float64   // AVF per structure
+	PerThread [][NumStructs]float64 // AVF contribution per thread
+	Occ       [NumStructs]float64   // occupancy diagnostic
+}
+
+// Snapshot extracts a Report covering totalCycles cycles.
+func (t *Tracker) Snapshot(totalCycles uint64) Report {
+	r := Report{
+		Cycles:    totalCycles,
+		Threads:   t.threads,
+		PerThread: make([][NumStructs]float64, t.threads),
+	}
+	for s := Struct(0); s < NumStructs; s++ {
+		r.Total[s] = t.AVF(s, totalCycles)
+		r.Occ[s] = t.Occupancy(s, totalCycles)
+		for tid := 0; tid < t.threads; tid++ {
+			r.PerThread[tid][s] = t.ThreadAVF(s, tid, totalCycles)
+		}
+	}
+	return r
+}
+
+// AVF returns the whole-structure AVF of s.
+func (r *Report) AVF(s Struct) float64 { return r.Total[s] }
+
+// ThreadAVF returns thread tid's contribution to the AVF of s.
+func (r *Report) ThreadAVF(s Struct, tid int) float64 { return r.PerThread[tid][s] }

@@ -1,0 +1,49 @@
+package avf
+
+// Sink observes positioned residency intervals as they are classified.
+// The accumulators in Tracker only need (bits × cycles) totals, but
+// consumers like statistical fault injection (internal/inject) need to
+// know *when* state was resident; call sites that know interval positions
+// use AddInterval, which both accumulates and forwards to the sink.
+type Sink interface {
+	// Interval reports that 'bits' bits of structure s, owned by thread
+	// tid, were resident from cycle start (inclusive) to end (exclusive),
+	// and whether a particle strike in that window would have corrupted
+	// the program (ace).
+	Interval(s Struct, tid int, bits, start, end uint64, ace bool)
+}
+
+// SetSink attaches a Sink receiving every positioned interval; nil
+// detaches. Intervals recorded through the position-less Add are not
+// forwarded (no call sites mix the two for the same structure).
+func (t *Tracker) SetSink(s Sink) { t.sink = s }
+
+// AddInterval records a residency interval [start, end) and forwards it to
+// the sink, if any. Intervals are clipped against the rebase point (see
+// Rebase), so warmup-era residency never pollutes measured statistics.
+func (t *Tracker) AddInterval(s Struct, tid int, bits, start, end uint64, ace bool) {
+	if start < t.rebase {
+		start = t.rebase
+	}
+	if end <= start {
+		return
+	}
+	t.Add(s, tid, bits, end-start, ace)
+	if t.sink != nil {
+		t.sink.Interval(s, tid, bits, start, end, ace)
+	}
+}
+
+// Rebase zeroes the accumulators and clips all future intervals at cycle:
+// the simulator calls it at the end of a warmup period, so that AVFs cover
+// only the measurement window. Callers must thereafter compute AVFs over
+// cycles-since-rebase.
+func (t *Tracker) Rebase(cycle uint64) {
+	t.rebase = cycle
+	for s := 0; s < NumStructs; s++ {
+		for tid := range t.ace[s] {
+			t.ace[s][tid] = 0
+			t.unace[s][tid] = 0
+		}
+	}
+}

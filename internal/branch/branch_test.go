@@ -1,0 +1,183 @@
+package branch
+
+import "testing"
+
+func TestGshareLearnsBias(t *testing.T) {
+	g := NewGshare(2048, 10, 1)
+	pc := uint64(0x400100)
+	// Train an always-taken branch.
+	for i := 0; i < 20; i++ {
+		g.Update(0, pc, true)
+	}
+	if !g.Predict(0, pc) {
+		t.Error("gshare failed to learn an always-taken branch")
+	}
+	// Retrain to not-taken.
+	for i := 0; i < 20; i++ {
+		g.Update(0, pc, false)
+	}
+	if g.Predict(0, pc) {
+		t.Error("gshare failed to relearn a not-taken branch")
+	}
+}
+
+func TestGshareLearnsLoopExit(t *testing.T) {
+	// A loop of period 4 (TTTN) is learnable with 10 bits of history.
+	g := NewGshare(2048, 10, 1)
+	pc := uint64(0x400200)
+	pattern := []bool{true, true, true, false}
+	// Warm up.
+	for round := 0; round < 200; round++ {
+		g.Update(0, pc, pattern[round%4])
+	}
+	correct := 0
+	for round := 0; round < 400; round++ {
+		want := pattern[round%4]
+		if g.Predict(0, pc) == want {
+			correct++
+		}
+		g.Update(0, pc, want)
+	}
+	if rate := float64(correct) / 400; rate < 0.95 {
+		t.Errorf("loop pattern accuracy %.2f, want >= 0.95", rate)
+	}
+}
+
+func TestGsharePerThreadHistory(t *testing.T) {
+	g := NewGshare(2048, 10, 2)
+	pc := uint64(0x400300)
+	g.Update(0, pc, true)
+	g.Update(1, pc, false)
+	if g.hist[0] == g.hist[1] {
+		t.Error("thread histories must diverge")
+	}
+}
+
+func TestGshareRoundsEntries(t *testing.T) {
+	g := NewGshare(1000, 10, 1)
+	if len(g.pht) != 1024 {
+		t.Errorf("PHT size %d, want 1024", len(g.pht))
+	}
+}
+
+func TestBTBInsertLookup(t *testing.T) {
+	b := NewBTB(2048, 4)
+	if _, ok := b.Lookup(0x1000); ok {
+		t.Error("empty BTB hit")
+	}
+	b.Insert(0x1000, 0x2000)
+	if tgt, ok := b.Lookup(0x1000); !ok || tgt != 0x2000 {
+		t.Errorf("lookup = %#x,%v", tgt, ok)
+	}
+	// Update in place.
+	b.Insert(0x1000, 0x3000)
+	if tgt, _ := b.Lookup(0x1000); tgt != 0x3000 {
+		t.Errorf("update failed: %#x", tgt)
+	}
+}
+
+func TestBTBLRUEviction(t *testing.T) {
+	b := NewBTB(16, 4) // 4 sets
+	sets := b.sets
+	// Five branches mapping to the same set: the first inserted (and
+	// never re-touched) must be the one evicted.
+	base := uint64(0x1000)
+	stride := uint64(sets * 4) // same set index
+	for i := uint64(0); i < 5; i++ {
+		b.Insert(base+i*stride, 0x9000+i)
+	}
+	if _, ok := b.Lookup(base); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	for i := uint64(1); i < 5; i++ {
+		if _, ok := b.Lookup(base + i*stride); !ok {
+			t.Errorf("entry %d evicted unexpectedly", i)
+		}
+	}
+}
+
+func TestBTBLRUTouchOnLookup(t *testing.T) {
+	b := NewBTB(16, 2) // 8 sets, 2 ways
+	stride := uint64(b.sets * 4)
+	b.Insert(0x1000, 1)
+	b.Insert(0x1000+stride, 2)
+	b.Lookup(0x1000) // make the older entry MRU
+	b.Insert(0x1000+2*stride, 3)
+	if _, ok := b.Lookup(0x1000); !ok {
+		t.Error("MRU entry evicted")
+	}
+	if _, ok := b.Lookup(0x1000 + stride); ok {
+		t.Error("LRU entry survived")
+	}
+}
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS(4)
+	if _, ok := r.Pop(); ok {
+		t.Error("empty RAS popped")
+	}
+	r.Push(1)
+	r.Push(2)
+	r.Push(3)
+	if r.Depth() != 3 {
+		t.Errorf("depth %d", r.Depth())
+	}
+	for want := uint64(3); want >= 1; want-- {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if r.Depth() != 0 {
+		t.Error("RAS not empty after pops")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(3)
+	for i := uint64(1); i <= 5; i++ {
+		r.Push(i)
+	}
+	// Capacity 3: the newest three (5,4,3) survive.
+	for _, want := range []uint64{5, 4, 3} {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("RAS returned an overwritten entry")
+	}
+}
+
+func TestMissPredictorLearns(t *testing.T) {
+	m := NewMissPredictor(1024)
+	pc := uint64(0x400400)
+	if m.Predict(pc) {
+		t.Error("cold predictor predicts miss")
+	}
+	for i := 0; i < 4; i++ {
+		m.Update(pc, true)
+	}
+	if !m.Predict(pc) {
+		t.Error("predictor failed to learn misses")
+	}
+	for i := 0; i < 4; i++ {
+		m.Update(pc, false)
+	}
+	if m.Predict(pc) {
+		t.Error("predictor failed to unlearn")
+	}
+}
+
+func TestMissPredictorHysteresis(t *testing.T) {
+	m := NewMissPredictor(1024)
+	pc := uint64(0x400500)
+	for i := 0; i < 4; i++ {
+		m.Update(pc, true)
+	}
+	m.Update(pc, false) // one hit must not flip a saturated predictor
+	if !m.Predict(pc) {
+		t.Error("single hit flipped a saturated miss predictor")
+	}
+}

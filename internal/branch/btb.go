@@ -1,0 +1,85 @@
+package branch
+
+// BTB is a set-associative branch target buffer with true-LRU replacement
+// (paper Table 1: 2K entries, 4-way, per thread). A BTB miss on a
+// predicted-taken branch means the front end cannot redirect and the fetch
+// is treated as a misprediction.
+type BTB struct {
+	sets  int
+	ways  int
+	tags  []uint64 // sets*ways; 0 = invalid (PCs are never 0)
+	tgt   []uint64
+	order []uint8 // LRU rank per way; 0 = MRU
+}
+
+// NewBTB builds a BTB with the given entry count and associativity.
+func NewBTB(entries, ways int) *BTB {
+	sets := entries / ways
+	if sets < 1 {
+		sets = 1
+	}
+	// Round sets to a power of two for cheap indexing.
+	n := 1
+	for n < sets {
+		n <<= 1
+	}
+	b := &BTB{
+		sets:  n,
+		ways:  ways,
+		tags:  make([]uint64, n*ways),
+		tgt:   make([]uint64, n*ways),
+		order: make([]uint8, n*ways),
+	}
+	for s := 0; s < n; s++ {
+		for w := 0; w < ways; w++ {
+			b.order[s*ways+w] = uint8(w)
+		}
+	}
+	return b
+}
+
+func (b *BTB) set(pc uint64) int { return int((pc >> 2) & uint64(b.sets-1)) }
+
+// Lookup returns the stored target for the branch at pc, if present.
+func (b *BTB) Lookup(pc uint64) (uint64, bool) {
+	s := b.set(pc)
+	base := s * b.ways
+	for w := 0; w < b.ways; w++ {
+		if b.tags[base+w] == pc {
+			b.touch(base, w)
+			return b.tgt[base+w], true
+		}
+	}
+	return 0, false
+}
+
+// Insert records the target for the branch at pc, evicting the LRU way.
+func (b *BTB) Insert(pc, target uint64) {
+	s := b.set(pc)
+	base := s * b.ways
+	victim := 0
+	for w := 0; w < b.ways; w++ {
+		if b.tags[base+w] == pc {
+			b.tgt[base+w] = target
+			b.touch(base, w)
+			return
+		}
+		if b.order[base+w] == uint8(b.ways-1) {
+			victim = w
+		}
+	}
+	b.tags[base+victim] = pc
+	b.tgt[base+victim] = target
+	b.touch(base, victim)
+}
+
+// touch marks way w MRU within the set at base.
+func (b *BTB) touch(base, w int) {
+	old := b.order[base+w]
+	for i := 0; i < b.ways; i++ {
+		if b.order[base+i] < old {
+			b.order[base+i]++
+		}
+	}
+	b.order[base+w] = 0
+}

@@ -1,0 +1,70 @@
+// Package branch implements the front-end predictors of the simulated
+// machine: a gshare direction predictor with per-thread global history, a
+// set-associative branch target buffer, a return address stack, and the
+// PC-indexed L1D-miss predictor used by the PDG fetch policy.
+package branch
+
+// Gshare is a global-history direction predictor (paper Table 1: 2K-entry
+// table of 2-bit counters, 10-bit global history per thread). The pattern
+// history table is shared; histories are private per thread, which is how
+// SMT front ends are built.
+type Gshare struct {
+	pht      []uint8 // 2-bit saturating counters
+	mask     uint64
+	histBits uint
+	hist     []uint64 // per-thread global history registers
+}
+
+// NewGshare builds a predictor with 'entries' counters (rounded up to a
+// power of two), histBits of global history, and one history register per
+// thread.
+func NewGshare(entries int, histBits uint, threads int) *Gshare {
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	pht := make([]uint8, n)
+	for i := range pht {
+		pht[i] = 1 // weakly not-taken
+	}
+	return &Gshare{
+		pht:      pht,
+		mask:     uint64(n - 1),
+		histBits: histBits,
+		hist:     make([]uint64, threads),
+	}
+}
+
+func (g *Gshare) index(tid int, pc uint64) uint64 {
+	return ((pc >> 2) ^ g.hist[tid]) & g.mask
+}
+
+// Predict returns the predicted direction for the branch at pc in thread
+// tid, without updating any state.
+func (g *Gshare) Predict(tid int, pc uint64) bool {
+	return g.pht[g.index(tid, pc)] >= 2
+}
+
+// Update trains the counter for (tid, pc) with the resolved direction and
+// shifts the thread's history. The simulator calls it at fetch using the
+// trace's oracle outcome, which models the usual update-at-retire training
+// without needing a separate recovery path for the history register.
+func (g *Gshare) Update(tid int, pc uint64, taken bool) {
+	i := g.index(tid, pc)
+	c := g.pht[i]
+	if taken {
+		if c < 3 {
+			g.pht[i] = c + 1
+		}
+	} else if c > 0 {
+		g.pht[i] = c - 1
+	}
+	g.hist[tid] = ((g.hist[tid] << 1) | b2u(taken)) & ((1 << g.histBits) - 1)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,42 @@
+package branch
+
+// MissPredictor predicts whether a load will miss the L1 data cache. The
+// PDG fetch policy (El-Moursy & Albonesi, HPCA 2003) gates a thread's fetch
+// on *predicted* misses to react before the miss is discovered; this is the
+// predictor that enables it. It is a PC-indexed table of 2-bit saturating
+// counters trained on resolved hit/miss outcomes.
+type MissPredictor struct {
+	ctr  []uint8
+	mask uint64
+}
+
+// NewMissPredictor builds a predictor with 'entries' counters (rounded up
+// to a power of two), shared across threads (load PCs are thread-disjoint
+// in practice because each thread runs its own code region).
+func NewMissPredictor(entries int) *MissPredictor {
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	return &MissPredictor{ctr: make([]uint8, n), mask: uint64(n - 1)}
+}
+
+func (m *MissPredictor) index(pc uint64) uint64 { return (pc >> 2) & m.mask }
+
+// Predict returns true when the load at pc is predicted to miss.
+func (m *MissPredictor) Predict(pc uint64) bool {
+	return m.ctr[m.index(pc)] >= 2
+}
+
+// Update trains the counter with the load's resolved outcome.
+func (m *MissPredictor) Update(pc uint64, miss bool) {
+	i := m.index(pc)
+	c := m.ctr[i]
+	if miss {
+		if c < 3 {
+			m.ctr[i] = c + 1
+		}
+	} else if c > 0 {
+		m.ctr[i] = c - 1
+	}
+}

@@ -1,0 +1,39 @@
+package branch
+
+// RAS is a return address stack (paper Table 1: 32 entries per thread). It
+// wraps on overflow, overwriting the oldest entry, as hardware stacks do.
+type RAS struct {
+	buf []uint64
+	top int // index of the next push slot
+	n   int // live entries, capped at len(buf)
+}
+
+// NewRAS builds a stack with the given capacity.
+func NewRAS(entries int) *RAS {
+	if entries < 1 {
+		entries = 1
+	}
+	return &RAS{buf: make([]uint64, entries)}
+}
+
+// Push records a return address.
+func (r *RAS) Push(addr uint64) {
+	r.buf[r.top] = addr
+	r.top = (r.top + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// Pop predicts the return target. ok is false when the stack is empty.
+func (r *RAS) Pop() (addr uint64, ok bool) {
+	if r.n == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.buf)) % len(r.buf)
+	r.n--
+	return r.buf[r.top], true
+}
+
+// Depth returns the number of live entries.
+func (r *RAS) Depth() int { return r.n }

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"smtavf/internal/avf"
+	"smtavf/internal/isa"
+	"smtavf/internal/trace"
+)
+
+// loopGen emits a tight loop: bodyLen independent ALU ops followed by an
+// always-taken branch back to the top. Completely predictable after
+// warmup.
+type loopGen struct {
+	bodyLen int
+	i       uint64
+}
+
+func (g *loopGen) Name() string { return "loop" }
+func (g *loopGen) Next() isa.Instruction {
+	period := uint64(g.bodyLen + 1)
+	pos := g.i % period
+	in := isa.Instruction{
+		Seq: g.i, PC: 0x400000 + pos*4,
+		Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone,
+	}
+	if pos == uint64(g.bodyLen) {
+		in.Class = isa.Branch
+		in.Src1 = 1
+		in.Taken = true
+		in.Target = 0x400000
+	} else {
+		in.Class = isa.IntALU
+		in.Src1 = isa.RegID(1 + pos%8)
+		in.Dest = isa.RegID(10 + pos%8)
+	}
+	g.i++
+	return in
+}
+
+// flipGen emits a branch whose direction is an LFSR bit — effectively
+// unpredictable, so roughly half the branches mispredict.
+type flipGen struct {
+	i    uint64
+	lfsr uint32
+}
+
+func (g *flipGen) Name() string { return "flip" }
+func (g *flipGen) Next() isa.Instruction {
+	const period = 4
+	pos := g.i % period
+	in := isa.Instruction{
+		Seq: g.i, PC: 0x400000 + pos*4,
+		Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone,
+	}
+	if pos == period-1 {
+		if g.lfsr == 0 {
+			g.lfsr = 0xACE1
+		}
+		bit := g.lfsr & 1
+		g.lfsr = g.lfsr>>1 ^ (uint32(-int32(bit)) & 0xB400)
+		in.Class = isa.Branch
+		in.Src1 = 1
+		in.Taken = bit == 1
+		if in.Taken {
+			in.Target = 0x400000
+		}
+		// Not-taken falls through to PC+4 = the loop top on the next lap
+		// (PC wraps because pos resets), which the simulator never checks
+		// — it is trace driven.
+	} else {
+		in.Class = isa.IntALU
+		in.Src1 = isa.RegID(1 + pos)
+		in.Dest = isa.RegID(10 + pos)
+	}
+	g.i++
+	return in
+}
+
+func TestPredictableLoopRunsFast(t *testing.T) {
+	cfg := DefaultConfig(1)
+	proc, err := NewFromSources(cfg, []Source{{Gen: &loopGen{bodyLen: 7}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proc.Run(Limits{TotalInstructions: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := res.Thread[0]
+	if mr := ts.MispredictRate(); mr > 0.02 {
+		t.Errorf("predictable loop mispredicted %.2f%% of branches", 100*mr)
+	}
+	if ipc := res.IPC(); ipc < 3 {
+		t.Errorf("predictable loop IPC %.2f, want >= 3", ipc)
+	}
+}
+
+func TestUnpredictableBranchesRecoverCorrectly(t *testing.T) {
+	cfg := DefaultConfig(1)
+	proc, err := NewFromSources(cfg, []Source{{Gen: &flipGen{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The commit-order invariant (a panic in commit) is the real assert:
+	// every mispredict recovery must resume the exact trace.
+	res, err := proc.Run(Limits{TotalInstructions: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := res.Thread[0]
+	if mr := ts.MispredictRate(); mr < 0.25 {
+		t.Errorf("LFSR branches mispredicted only %.2f%%", 100*mr)
+	}
+	if ts.WrongPathFetch == 0 || ts.SquashedUops == 0 {
+		t.Error("no wrong-path activity despite constant mispredicts")
+	}
+	if res.Total < 20_000 {
+		t.Errorf("committed %d", res.Total)
+	}
+	// Mispredicting costs throughput.
+	if ipc := res.IPC(); ipc > 4 {
+		t.Errorf("IPC %.2f implausibly high under 50%% mispredicts", ipc)
+	}
+}
+
+func TestCommitFairnessBetweenIdenticalThreads(t *testing.T) {
+	cfg := DefaultConfig(2)
+	proc, err := New(cfg, profilesFor(t, []string{"bzip2", "bzip2"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proc.Run(Limits{TotalInstructions: 40_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := float64(res.Committed[0]), float64(res.Committed[1])
+	if math.Abs(a-b)/(a+b) > 0.15 {
+		t.Errorf("identical threads diverged: %v vs %v committed", a, b)
+	}
+}
+
+func TestSingleFUBoundsThroughput(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.FUCounts[isa.FUIntALU] = 1
+	pattern := []isa.Instruction{
+		alu(5, 1), alu(6, 2), alu(7, 3), alu(8, 4),
+	}
+	proc := scriptedProc(t, cfg, pattern)
+	res, err := proc.Run(Limits{TotalInstructions: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipc := res.IPC(); ipc > 1.01 {
+		t.Errorf("one ALU sustained IPC %.2f", ipc)
+	}
+}
+
+func TestNarrowFetchConfig(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.MaxFetchThreads = 1
+	cfg.FetchWidth = 4
+	proc, err := New(cfg, profilesFor(t, []string{"bzip2", "eon"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proc.Run(Limits{TotalInstructions: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total < 10_000 {
+		t.Fatalf("narrow front end committed %d", res.Total)
+	}
+}
+
+func TestReplayDrivesProcessor(t *testing.T) {
+	// Record a synthetic stream, replay it through the machine, and check
+	// it behaves like the live generator (same committed work).
+	gen := trace.NewSynthetic(profilesFor(t, []string{"bzip2"})[0], 1)
+	rec := trace.Record(gen, 8_000)
+	rep, err := trace.NewReplay("bzip2", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1)
+	proc, err := NewFromSources(cfg, []Source{{Gen: rep}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proc.Run(Limits{TotalInstructions: 20_000}) // 2.5 laps
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total < 20_000 {
+		t.Fatalf("replay committed %d", res.Total)
+	}
+}
+
+func TestStoreTrafficReachesLSQDataAndDL1(t *testing.T) {
+	res := runMix(t, []string{"swim"}, "ICOUNT", 20_000)
+	if res.Thread[0].DL1Loads == 0 {
+		t.Fatal("no loads")
+	}
+	// A streaming store-heavy workload must put data in the LSQ data
+	// array and dirty the DL1.
+	if res.AVF.Occ[avf.LSQData] == 0 {
+		t.Error("LSQ data array never occupied despite stores")
+	}
+	if res.StructAVF(avf.DL1Data) == 0 {
+		t.Error("DL1 data never ACE despite load/store traffic")
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Config serializes to JSON with the fetch policy carried by name
+// (policies are identified behaviourally by name; DG/PDG thresholds
+// round-trip through their defaults). cmd/smtsim's -config flag and any
+// experiment driver that persists machine descriptions use this.
+
+// MarshalJSON implements json.Marshaler.
+func (c Config) MarshalJSON() ([]byte, error) {
+	type plain Config // strips methods, breaking the recursion
+	name := ""
+	if c.Policy != nil {
+		name = c.Policy.Name()
+	}
+	cc := c
+	cc.Policy = nil
+	// The outer Policy field shadows the embedded interface field at a
+	// shallower depth, so encoding/json uses the string.
+	return json.Marshal(struct {
+		plain
+		Policy string
+	}{plain(cc), name})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, resolving the policy by
+// name. An absent or empty policy name leaves the field nil (callers can
+// fall back to a default).
+func (c *Config) UnmarshalJSON(data []byte) error {
+	type plain Config
+	aux := struct {
+		*plain
+		Policy string
+	}{plain: (*plain)(c)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	c.Policy = nil
+	if aux.Policy != "" {
+		if err := c.SetPolicy(aux.Policy); err != nil {
+			return fmt.Errorf("core: config: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"smtavf/internal/avf"
+)
+
+func TestPhaseSampling(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.PhaseInterval = 1_000
+	proc, err := New(cfg, profilesFor(t, []string{"bzip2", "twolf"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proc.Run(Limits{TotalInstructions: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) < 2 {
+		t.Fatalf("only %d phases sampled over %d cycles", len(res.Phases), res.Cycles)
+	}
+	// Phases must cover the run: committed counts sum to the total, cycles
+	// are strictly increasing and end at the run's end.
+	var committed uint64
+	prev := uint64(0)
+	for _, ph := range res.Phases {
+		if ph.Cycle <= prev {
+			t.Fatalf("phase cycles not increasing: %d after %d", ph.Cycle, prev)
+		}
+		prev = ph.Cycle
+		committed += ph.Committed
+		for s := avf.Struct(0); s < avf.NumStructs; s++ {
+			if ph.AVF[s] < 0 {
+				t.Fatalf("negative phase AVF for %v", s)
+			}
+		}
+	}
+	if committed != res.Total {
+		t.Fatalf("phase commits sum to %d, run total %d", committed, res.Total)
+	}
+	if res.Phases[len(res.Phases)-1].Cycle != res.Cycles {
+		t.Fatalf("last phase ends at %d, run at %d", res.Phases[len(res.Phases)-1].Cycle, res.Cycles)
+	}
+	// The cycle-weighted mean of phase IPCs must equal the run IPC.
+	var ipcw float64
+	start := uint64(0)
+	for _, ph := range res.Phases {
+		ipcw += ph.IPC * float64(ph.Cycle-start)
+		start = ph.Cycle
+	}
+	if got := ipcw / float64(res.Cycles); math.Abs(got-res.IPC()) > 1e-9 {
+		t.Fatalf("phase-weighted IPC %v vs run IPC %v", got, res.IPC())
+	}
+}
+
+func TestPhaseSamplingDisabledByDefault(t *testing.T) {
+	res := runMix(t, []string{"bzip2"}, "ICOUNT", 5_000)
+	if len(res.Phases) != 0 {
+		t.Fatalf("phases sampled without PhaseInterval: %d", len(res.Phases))
+	}
+}
+
+func TestProcessorAVFWeighting(t *testing.T) {
+	res := runMix(t, []string{"bzip2", "mcf"}, "ICOUNT", 20_000)
+	p := res.ProcessorAVF()
+	if p <= 0 || p > 1 {
+		t.Fatalf("processor AVF %v", p)
+	}
+	// The whole-processor AVF must lie between the min and max structure
+	// AVFs (it is a weighted average).
+	lo, hi := 1.0, 0.0
+	for s := avf.Struct(0); s < avf.NumStructs; s++ {
+		v := res.AVF.Total[s]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if p < lo || p > hi {
+		t.Fatalf("processor AVF %v outside [%v, %v]", p, lo, hi)
+	}
+	// The DL1 data array dominates the bit budget, so the processor AVF
+	// must sit close to its AVF.
+	if math.Abs(p-res.AVF.Total[avf.DL1Data]) > 0.2 {
+		t.Errorf("processor AVF %v far from DL1-dominated expectation %v", p, res.AVF.Total[avf.DL1Data])
+	}
+}
+
+func TestFITScalesLinearly(t *testing.T) {
+	res := runMix(t, []string{"bzip2"}, "ICOUNT", 5_000)
+	a := res.TotalFIT(1)
+	b := res.TotalFIT(10)
+	if a <= 0 {
+		t.Fatal("zero FIT")
+	}
+	if math.Abs(b-10*a) > 1e-9*b {
+		t.Fatalf("FIT not linear in raw rate: %v vs %v", b, 10*a)
+	}
+	// Per-structure FIT sums to the total.
+	sum := 0.0
+	for s := avf.Struct(0); s < avf.NumStructs; s++ {
+		sum += res.FIT(s, 1)
+	}
+	if math.Abs(sum-a) > 1e-12 {
+		t.Fatalf("per-structure FIT sums to %v, total %v", sum, a)
+	}
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+
+	"smtavf/internal/avf"
+	"smtavf/internal/branch"
+	"smtavf/internal/fetch"
+	"smtavf/internal/mem"
+	"smtavf/internal/pipeline"
+	"smtavf/internal/trace"
+)
+
+// deadlockWindow is the commit-silence span, in cycles, after which a run
+// is declared wedged. It comfortably exceeds the worst serialized memory
+// chain (TLB miss + L2 miss + memory ≈ 420 cycles).
+const deadlockWindow = 200_000
+
+// Source supplies one thread's instruction stream.
+type Source struct {
+	// Gen produces the correct-path trace.
+	Gen trace.Generator
+	// Wrong synthesizes wrong-path instructions after a misprediction.
+	Wrong *trace.WrongPath
+}
+
+// Processor is the simulated SMT machine.
+type Processor struct {
+	cfg    Config
+	policy fetch.Policy
+
+	threads []*thread
+	iq      *pipeline.IQ
+	rf      *pipeline.RegFile
+	fus     *pipeline.FUPool
+
+	gshares    []*branch.Gshare // private per thread (paper §3)
+	btbs       []*branch.BTB
+	l1MissPred *branch.MissPredictor
+	l2MissPred *branch.MissPredictor
+
+	il1, dl1, l2 *mem.Cache
+	itlb, dtlb   *mem.TLB
+
+	trk *avf.Tracker
+
+	now      uint64
+	gseq     uint64
+	inflight []*pipeline.Uop // issued, not yet written back
+
+	commitRR   int
+	dispatchRR int
+
+	totalCommitted  uint64
+	lastCommitCycle uint64
+	totalQuota      uint64
+
+	// Phase sampling state (Config.PhaseInterval).
+	phases      []Phase
+	phaseCycle  uint64
+	phaseCommit uint64
+	phaseACE    [avf.NumStructs]uint64
+
+	// Measurement window (Config.Warmup rebases these).
+	measureStart  uint64
+	warmCommitted uint64
+	warmPerThread []uint64
+	warmThread    []ThreadStats
+	warmCounters  machineCounters
+}
+
+// New builds a processor running one synthetic benchmark per context.
+// len(profiles) must equal cfg.Threads. Thread i's generators derive from
+// cfg.Seed and i, so runs are exactly reproducible.
+func New(cfg Config, profiles []trace.Profile) (*Processor, error) {
+	if len(profiles) != cfg.Threads {
+		return nil, fmt.Errorf("core: %d profiles for %d threads", len(profiles), cfg.Threads)
+	}
+	srcs := make([]Source, len(profiles))
+	for i, p := range profiles {
+		seed := cfg.Seed + uint64(i)*0x9e37
+		srcs[i] = Source{
+			Gen:   trace.NewSynthetic(p, seed),
+			Wrong: trace.NewWrongPath(p, seed),
+		}
+	}
+	return NewFromSources(cfg, srcs)
+}
+
+// NewFromSources builds a processor from explicit instruction sources,
+// which lets tests drive the pipeline with scripted traces.
+func NewFromSources(cfg Config, srcs []Source) (*Processor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(srcs) != cfg.Threads {
+		return nil, fmt.Errorf("core: %d sources for %d threads", len(srcs), cfg.Threads)
+	}
+
+	trk := avf.NewTracker(cfg.Threads, StructBits(cfg))
+	p := &Processor{
+		cfg:        cfg,
+		policy:     cfg.Policy,
+		iq:         pipeline.NewIQ(cfg.IQSize, cfg.Threads, cfg.IQPartition),
+		rf:         pipeline.NewRegFile(cfg.IntPhysRegs, cfg.FPPhysRegs, cfg.Threads, trk, cfg.Bits),
+		fus:        pipeline.NewFUPool(cfg.FUCounts),
+		l1MissPred: branch.NewMissPredictor(cfg.MissPredEntries),
+		l2MissPred: branch.NewMissPredictor(cfg.MissPredEntries),
+		trk:        trk,
+	}
+	p.l2 = mem.New(cfg.L2, nil, cfg.MemLatency, nil, 0, 0)
+	p.dl1 = mem.New(cfg.DL1, p.l2, 0, trk, avf.DL1Data, avf.DL1Tag)
+	p.il1 = mem.New(cfg.IL1, p.l2, 0, nil, 0, 0)
+	p.itlb = mem.NewTLB(cfg.ITLB, trk, avf.ITLB)
+	p.dtlb = mem.NewTLB(cfg.DTLB, trk, avf.DTLB)
+
+	for i, src := range srcs {
+		if src.Gen == nil {
+			return nil, fmt.Errorf("core: thread %d has no generator", i)
+		}
+		wrong := src.Wrong
+		if wrong == nil {
+			wrong = trace.NewWrongPath(trace.Profile{Name: src.Gen.Name()}, cfg.Seed+uint64(i))
+		}
+		t := &thread{
+			id:     i,
+			stream: trace.NewStream(src.Gen),
+			wrong:  wrong,
+			offset: threadOffset(i),
+			rob:    pipeline.NewROB(cfg.ROBSize),
+			lsq:    pipeline.NewLSQ(cfg.LSQSize),
+			ras:    branch.NewRAS(cfg.RASEntries),
+		}
+		p.threads = append(p.threads, t)
+		p.btbs = append(p.btbs, branch.NewBTB(cfg.BTBEntries, cfg.BTBWays))
+		p.gshares = append(p.gshares, branch.NewGshare(cfg.GshareEntries, cfg.GshareHistBits, 1))
+	}
+	return p, nil
+}
+
+// StructBits computes the AVF denominator capacities — each structure's
+// total bits — from the machine configuration. Fault-injection campaigns
+// (internal/inject) need the same values the tracker is built with.
+func StructBits(cfg Config) [avf.NumStructs]uint64 {
+	var b [avf.NumStructs]uint64
+	th := uint64(cfg.Threads)
+	b[avf.IQ] = uint64(cfg.IQSize) * cfg.Bits.IQEntry
+	b[avf.ROB] = th * uint64(cfg.ROBSize) * cfg.Bits.ROBEntry
+	units := 0
+	for _, c := range cfg.FUCounts {
+		units += c
+	}
+	b[avf.FU] = uint64(units) * cfg.Bits.FUUnit
+	b[avf.Reg] = uint64(cfg.IntPhysRegs+cfg.FPPhysRegs) * cfg.Bits.RegEntry
+	b[avf.LSQData] = th * uint64(cfg.LSQSize) * cfg.Bits.LSQDataEntry
+	b[avf.LSQTag] = th * uint64(cfg.LSQSize) * cfg.Bits.LSQTagEntry
+	b[avf.DL1Data] = uint64(cfg.DL1.Size) * 8
+	b[avf.DL1Tag] = uint64(cfg.DL1.Sets()*cfg.DL1.Ways) * uint64(cfg.DL1.TagBits())
+	b[avf.DTLB] = uint64(cfg.DTLB.Entries) * uint64(cfg.DTLB.EntryBits())
+	b[avf.ITLB] = uint64(cfg.ITLB.Entries) * uint64(cfg.ITLB.EntryBits())
+	return b
+}
+
+// Limits bounds a run. The run ends when TotalInstructions have committed
+// across all threads (the paper's stop rule), or earlier if every thread
+// hits its per-thread quota.
+type Limits struct {
+	// TotalInstructions across all threads; 0 means unlimited (some
+	// PerThread quota must then be set).
+	TotalInstructions uint64
+	// PerThread quotas; nil or 0 entries mean unlimited. Used to replay a
+	// thread's SMT progress in a single-thread run (Figures 3 and 4).
+	PerThread []uint64
+}
+
+// Run simulates until the limits are reached and returns the results.
+func (p *Processor) Run(lim Limits) (*Results, error) {
+	if lim.TotalInstructions == 0 && lim.PerThread == nil {
+		return nil, fmt.Errorf("core: Run needs a total or per-thread instruction limit")
+	}
+	if lim.PerThread != nil && len(lim.PerThread) != len(p.threads) {
+		return nil, fmt.Errorf("core: %d per-thread limits for %d threads", len(lim.PerThread), len(p.threads))
+	}
+	for i, t := range p.threads {
+		if lim.PerThread != nil {
+			t.quota = lim.PerThread[i]
+		}
+	}
+	p.totalQuota = lim.TotalInstructions
+	maxCycles := p.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 1 << 40
+	}
+	p.lastCommitCycle = p.now
+
+	guard := func() error {
+		if p.now >= maxCycles {
+			return fmt.Errorf("core: exceeded MaxCycles=%d (committed %d)", maxCycles, p.totalCommitted)
+		}
+		if p.now-p.lastCommitCycle > deadlockWindow {
+			return fmt.Errorf("core: no commit for %d cycles at cycle %d (committed %d): pipeline wedged",
+				deadlockWindow, p.now, p.totalCommitted)
+		}
+		return nil
+	}
+
+	if p.cfg.Warmup > 0 {
+		if lim.PerThread != nil {
+			return nil, fmt.Errorf("core: Warmup cannot be combined with per-thread quotas")
+		}
+		for p.totalCommitted < p.cfg.Warmup {
+			if err := guard(); err != nil {
+				return nil, fmt.Errorf("during warmup: %w", err)
+			}
+			p.step()
+		}
+		p.rebaseMeasurement()
+	}
+
+	for !p.done() {
+		if err := guard(); err != nil {
+			return nil, err
+		}
+		p.step()
+		if iv := p.cfg.PhaseInterval; iv > 0 && p.now-p.phaseCycle >= iv {
+			p.samplePhase()
+		}
+	}
+	p.closeAccounting()
+	if p.cfg.PhaseInterval > 0 && p.now > p.phaseCycle {
+		p.samplePhase() // close the final partial phase
+	}
+	return p.results(), nil
+}
+
+// rebaseMeasurement marks the end of warmup: all statistics reset while
+// the microarchitectural state (caches, predictors, in-flight pipeline)
+// stays warm.
+func (p *Processor) rebaseMeasurement() {
+	p.trk.Rebase(p.now)
+	p.measureStart = p.now
+	p.warmCommitted = p.totalCommitted
+	p.warmPerThread = make([]uint64, len(p.threads))
+	p.warmThread = make([]ThreadStats, len(p.threads))
+	for i, t := range p.threads {
+		p.warmPerThread[i] = t.committed
+		p.warmThread[i] = p.threadStats(t)
+		t.vaLastACE = 0 // the tracker's counters were just zeroed
+		t.recentACE = 0
+	}
+	p.warmCounters = p.counters()
+	p.phaseCycle = p.now
+	p.phaseCommit = p.totalCommitted
+	p.phaseACE = [avf.NumStructs]uint64{}
+}
+
+// samplePhase records the IPC and per-structure AVF of the interval since
+// the previous sample.
+func (p *Processor) samplePhase() {
+	dCycles := p.now - p.phaseCycle
+	if dCycles == 0 {
+		return
+	}
+	ph := Phase{
+		Cycle:     p.now - p.measureStart, // relative to the measurement window
+		Committed: p.totalCommitted - p.phaseCommit,
+	}
+	ph.IPC = float64(ph.Committed) / float64(dCycles)
+	for s := avf.Struct(0); s < avf.NumStructs; s++ {
+		ace := p.trk.ACEBitCycles(s)
+		den := float64(p.trk.Bits(s)) * float64(dCycles)
+		if den > 0 {
+			ph.AVF[s] = float64(ace-p.phaseACE[s]) / den
+		}
+		p.phaseACE[s] = ace
+	}
+	p.phaseCycle = p.now
+	p.phaseCommit = p.totalCommitted
+	p.phases = append(p.phases, ph)
+}
+
+// done reports whether the run limits are satisfied. The total-instruction
+// quota counts only post-warmup commits.
+func (p *Processor) done() bool {
+	if p.totalQuota > 0 && p.totalCommitted-p.warmCommitted >= p.totalQuota {
+		return true
+	}
+	all := true
+	for _, t := range p.threads {
+		if !t.done() {
+			all = false
+			break
+		}
+	}
+	return all
+}
+
+// step advances the machine one cycle. Stages run back-to-front so that
+// same-cycle structural hazards resolve like hardware: commit frees
+// resources, writeback wakes consumers, issue drains the IQ, dispatch
+// refills it, fetch replenishes the front end.
+func (p *Processor) step() {
+	p.commit()
+	p.writeback()
+	p.issue()
+	p.dispatch()
+	p.fetchStage()
+	p.now++
+}
+
+// Now returns the current cycle.
+func (p *Processor) Now() uint64 { return p.now }
+
+// Tracker exposes the AVF tracker (tests and diagnostics).
+func (p *Processor) Tracker() *avf.Tracker { return p.trk }
+
+// AttachSink registers a positioned-interval observer (e.g. a fault
+// injection campaign) on the AVF tracker. Call before Run.
+func (p *Processor) AttachSink(s avf.Sink) { p.trk.SetSink(s) }
+
+// closeAccounting finalizes every open residency interval at the end of a
+// run: in-flight uops are classified with the fate they were heading for
+// (commit unless wrong-path), and the address structures close their
+// resident entries.
+func (p *Processor) closeAccounting() {
+	for _, t := range p.threads {
+		for t.rob.Len() > 0 {
+			u := t.rob.PopTail(p.now)
+			if u.InIQ {
+				p.iq.Remove(u, p.now)
+			}
+			if u.LSQIdx >= 0 {
+				t.lsq.PopTail(p.now)
+			}
+			u.Classify(p.trk, p.cfg.Bits, u.WrongPath)
+		}
+	}
+	p.rf.CloseAccounting(p.now)
+	p.dl1.CloseAccounting(p.now)
+	p.itlb.CloseAccounting(p.now)
+	p.dtlb.CloseAccounting(p.now)
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"smtavf/internal/avf"
+)
+
+func TestProtectionPlan(t *testing.T) {
+	res := runMix(t, []string{"gcc", "mcf"}, "ICOUNT", 20_000)
+	plan := res.ProtectionPlan(1000)
+	if len(plan) != avf.NumStructs {
+		t.Fatalf("plan covers %d structures", len(plan))
+	}
+	// Sorted by descending FIT.
+	for i := 1; i < len(plan); i++ {
+		if plan[i].FIT > plan[i-1].FIT {
+			t.Fatalf("plan not sorted: %v after %v", plan[i], plan[i-1])
+		}
+	}
+	// Cumulative coverage is monotone and ends at 1.
+	prev := 0.0
+	for _, item := range plan {
+		if item.CumulativeCoverage < prev {
+			t.Fatal("coverage not monotone")
+		}
+		prev = item.CumulativeCoverage
+	}
+	if math.Abs(prev-1) > 1e-9 {
+		t.Fatalf("full plan covers %.4f of FIT", prev)
+	}
+	// FIT entries must match Results.FIT.
+	for _, item := range plan {
+		if math.Abs(item.FIT-res.FIT(item.Struct, 1000)) > 1e-9 {
+			t.Fatalf("%v FIT mismatch", item.Struct)
+		}
+	}
+	// The DL1 data array dominates the bit budget; with nonzero AVF it
+	// should rank near the top.
+	if plan[0].Struct != avf.DL1Data && plan[1].Struct != avf.DL1Data {
+		t.Errorf("DL1_data not in the top two: %v, %v", plan[0].Struct, plan[1].Struct)
+	}
+}
+
+func TestProtectionPlanZeroRate(t *testing.T) {
+	res := runMix(t, []string{"bzip2"}, "ICOUNT", 2_000)
+	plan := res.ProtectionPlan(0)
+	for _, item := range plan {
+		if item.FIT != 0 || item.CumulativeCoverage != 0 {
+			t.Fatal("zero raw rate must zero the plan")
+		}
+	}
+}

@@ -1,0 +1,549 @@
+package core
+
+import (
+	"fmt"
+
+	"smtavf/internal/avf"
+	"smtavf/internal/fetch"
+	"smtavf/internal/isa"
+	"smtavf/internal/mem"
+	"smtavf/internal/pipeline"
+)
+
+// commit retires up to CommitWidth instructions across threads in
+// round-robin order, each thread committing in program order from its ROB
+// head. Stores write the DL1 here (write-back point); committed uops free
+// their previous register mapping and classify their residencies as ACE or
+// un-ACE.
+func (p *Processor) commit() {
+	budget := p.cfg.CommitWidth
+	n := len(p.threads)
+	start := p.commitRR
+	p.commitRR = (p.commitRR + 1) % n
+	for i := 0; i < n && budget > 0; i++ {
+		t := p.threads[(start+i)%n]
+		for budget > 0 && !t.finished {
+			u := t.rob.Head()
+			if u == nil || !u.Executed {
+				break
+			}
+			if u.Class == isa.Store {
+				if !p.dl1.TryPort(p.now) {
+					break // store port busy: retry next cycle
+				}
+				p.dl1.Access(p.now, u.Addr, int(u.Size), true, t.id)
+			}
+			if u.Seq != t.nextCommit || u.WrongPath {
+				// The commit stream must be exactly the program's dynamic
+				// instruction order; any gap means squash/refetch broke.
+				panic(fmt.Sprintf("core: thread %d commits seq %d (wrongPath=%v), want %d",
+					t.id, u.Seq, u.WrongPath, t.nextCommit))
+			}
+			t.nextCommit++
+			if u.LSQIdx >= 0 {
+				t.lsq.PopHead(u, p.now)
+			}
+			t.rob.PopHead(p.now)
+			if u.PhysDest >= 0 {
+				p.rf.CommitFree(u.OldPhysDest, p.now)
+			}
+			u.Classify(p.trk, p.cfg.Bits, false)
+			t.committed++
+			p.totalCommitted++
+			p.lastCommitCycle = p.now
+			t.stream.Release(u.Seq + 1)
+			budget--
+			if t.quota > 0 && t.committed >= t.quota {
+				t.finished = true
+				break
+			}
+		}
+	}
+}
+
+// writeback completes executions whose results arrive this cycle: results
+// become visible to consumers, outstanding-miss counters resolve, and
+// mispredicted branches trigger recovery.
+func (p *Processor) writeback() {
+	keep := p.inflight[:0]
+	for _, u := range p.inflight {
+		if u.Squashed {
+			continue
+		}
+		if u.ReadyAt > p.now {
+			keep = append(keep, u)
+			continue
+		}
+		u.Executed = true
+		t := p.threads[u.TID]
+		if u.PhysDest >= 0 {
+			p.rf.Write(u.PhysDest, p.now)
+		}
+		if u.Class == isa.Load {
+			u.DataAt = p.now // datum lands in the LSQ data array
+			p.resolveMissCounters(t, u)
+		}
+		if t.wpBranch == u {
+			p.recoverMispredict(t, u)
+		}
+	}
+	p.inflight = keep
+}
+
+// resolveMissCounters drops the outstanding/predicted miss counts a load
+// contributed, at resolution or squash.
+func (p *Processor) resolveMissCounters(t *thread, u *pipeline.Uop) {
+	if u.CountedL1 {
+		t.outL1--
+		u.CountedL1 = false
+	}
+	if u.CountedL2 {
+		t.outL2--
+		u.CountedL2 = false
+	}
+	if u.PredL1 {
+		t.predL1--
+		u.PredL1 = false
+	}
+	if u.PredL2 {
+		t.predL2--
+		u.PredL2 = false
+	}
+}
+
+// issue selects up to IssueWidth ready instructions from the IQ, oldest
+// first, subject to function-unit and cache-port availability. Loads access
+// the DL1 (or forward from an older store); the FLUSH policy's squash
+// triggers here, when a load discovers an L2 miss.
+func (p *Processor) issue() {
+	cand := p.iq.Candidates(func(u *pipeline.Uop) bool {
+		if !p.rf.Ready(u.PhysSrc1) || !p.rf.Ready(u.PhysSrc2) {
+			return false
+		}
+		if u.Class == isa.Load {
+			_, wait := p.threads[u.TID].lsq.ForwardCheck(u)
+			if wait {
+				return false // older store address/data unknown
+			}
+		}
+		return true
+	})
+	budget := p.cfg.IssueWidth
+	var flushLoads []*pipeline.Uop
+	for _, u := range cand {
+		if budget == 0 {
+			break
+		}
+		t := p.threads[u.TID]
+		forwarded := false
+		if u.Class == isa.Load {
+			fwd, wait := t.lsq.ForwardCheck(u)
+			if wait {
+				continue
+			}
+			forwarded = fwd
+			if !forwarded && !p.dl1.TryPort(p.now) {
+				continue // no load port this cycle
+			}
+		}
+		if !p.fus.TryIssue(u.Class, p.now) {
+			continue
+		}
+		p.iq.Remove(u, p.now)
+		u.Issued = true
+		u.IssuedAt = p.now
+		if !u.WrongPath {
+			p.rf.Read(u.PhysSrc1, p.now)
+			p.rf.Read(u.PhysSrc2, p.now)
+		}
+		lat := uint64(u.Class.Latency())
+		switch u.Class {
+		case isa.Load:
+			pen, _ := p.dtlb.Access(p.now, u.Addr, t.id)
+			if forwarded {
+				u.ReadyAt = p.now + lat + uint64(pen)
+				u.Forwarded = true
+				t.loadForwards++
+			} else {
+				res := p.dl1.Access(p.now+lat+uint64(pen), u.Addr, int(u.Size), false, t.id)
+				u.ReadyAt = res.Ready
+				u.DL1Kind = int(res.Kind)
+				t.dl1Loads++
+				if res.Kind != mem.Hit {
+					u.CountedL1 = true
+					t.outL1++
+					t.dl1LoadMisses++
+				}
+				if res.Kind == mem.L2Miss {
+					u.CountedL2 = true
+					t.outL2++
+					t.l2LoadMisses++
+					if p.policy.FlushOnL2Miss() && !u.WrongPath {
+						flushLoads = append(flushLoads, u)
+					}
+				}
+				p.l1MissPred.Update(u.PC, res.Kind != mem.Hit)
+				p.l2MissPred.Update(u.PC, res.Kind == mem.L2Miss)
+			}
+		case isa.Store:
+			pen, _ := p.dtlb.Access(p.now, u.Addr, t.id)
+			u.ReadyAt = p.now + lat + uint64(pen)
+			u.DataAt = u.ReadyAt // store datum waits in the LSQ data array
+		default:
+			u.ReadyAt = p.now + lat
+		}
+		u.FUCycles += uint64(u.Class.Latency())
+		p.inflight = append(p.inflight, u)
+		budget--
+	}
+	// FLUSH: squash everything younger than the L2-missing load; the
+	// thread refetches it when the miss returns (fetch is gated by the
+	// policy while outL2 > 0). Oldest flush per thread wins.
+	for _, u := range flushLoads {
+		t := p.threads[u.TID]
+		if u.Squashed {
+			continue // an older flush already removed it
+		}
+		u.FlushLoad = true
+		t.flushes++
+		p.squashThread(t, u.GSeq)
+	}
+}
+
+// dispatch renames and inserts front-end instructions into the IQ, ROB,
+// and LSQ, round-robin across threads up to DispatchWidth.
+func (p *Processor) dispatch() {
+	budget := p.cfg.DispatchWidth
+	n := len(p.threads)
+	start := p.dispatchRR
+	p.dispatchRR = (p.dispatchRR + 1) % n
+	for i := 0; i < n && budget > 0; i++ {
+		t := p.threads[(start+i)%n]
+		for budget > 0 && len(t.fetchQ) > 0 {
+			u := t.fetchQ[0]
+			if u.FrontReady > p.now {
+				break
+			}
+			if t.rob.Full() {
+				t.robFullStalls++
+				break
+			}
+			if u.Class.IsMem() && t.lsq.Full() {
+				t.lsqFullStalls++
+				break
+			}
+			if !p.iq.CanInsert(t.id) {
+				t.iqFullStalls++
+				break
+			}
+			if !p.rf.CanRename(u.Dest) {
+				t.renameStalls++
+				break
+			}
+			p.rf.Rename(u, p.now)
+			t.rob.Push(u, p.now)
+			if u.Class.IsMem() {
+				t.lsq.Push(u, p.now)
+			}
+			p.iq.Insert(u, p.now)
+			t.fetchQ = t.fetchQ[1:]
+			budget--
+		}
+	}
+}
+
+// fetchStage asks the policy which threads may fetch and distributes the
+// fetch bandwidth over them (ICOUNT2.8: up to MaxFetchThreads threads, up
+// to FetchWidth instructions in total).
+func (p *Processor) fetchStage() {
+	if p.now&(vulnWindow-1) == 0 {
+		p.updateVulnFeedback()
+	}
+	states := make([]fetch.ThreadState, len(p.threads))
+	for i, t := range p.threads {
+		states[i] = fetch.ThreadState{
+			Active:        !t.done(),
+			InFlight:      t.icount(p.iq),
+			OutstandingL1: t.outL1,
+			OutstandingL2: t.outL2,
+			PredictedL1:   t.predL1,
+			PredictedL2:   t.predL2,
+			RecentACE:     t.recentACE,
+		}
+	}
+	order := p.policy.Order(states)
+	budget := p.cfg.FetchWidth
+	used := 0
+	for _, tid := range order {
+		if budget == 0 || used == p.cfg.MaxFetchThreads {
+			break
+		}
+		t := p.threads[tid]
+		if t.done() || p.now < t.stallUntil || len(t.fetchQ) >= p.cfg.FetchQueue {
+			continue
+		}
+		n := p.fetchThread(t, budget)
+		budget -= n
+		used++
+	}
+}
+
+// vulnWindow is the cycle period (a power of two) of the vulnerability
+// feedback refresh that drives the VAware policy.
+const vulnWindow = 512
+
+// updateVulnFeedback refreshes each thread's moving-average ACE
+// contribution to the shared pipeline structures. Classification happens
+// at commit/squash, so the signal lags residency by the pipeline depth —
+// fine for a fetch-throttling heuristic.
+func (p *Processor) updateVulnFeedback() {
+	for i, t := range p.threads {
+		var cur uint64
+		for _, s := range [...]avf.Struct{avf.IQ, avf.ROB, avf.LSQTag, avf.LSQData} {
+			cur += p.trk.ThreadACEBitCycles(s, i)
+		}
+		delta := float64(cur - t.vaLastACE)
+		t.vaLastACE = cur
+		t.recentACE = 0.7*t.recentACE + 0.3*delta
+	}
+}
+
+// fetchThread pulls up to max instructions for thread t, stopping at a
+// predicted-taken branch, a front-end stall, or the fetch-queue limit.
+func (p *Processor) fetchThread(t *thread, max int) int {
+	fetched := 0
+	for fetched < max && len(t.fetchQ) < p.cfg.FetchQueue {
+		// Address of the next instruction, in this thread's address space.
+		var pc uint64
+		if t.wrongPath {
+			pc = t.wrongPathPC
+		} else {
+			pc = t.stream.Peek().PC + t.offset
+		}
+
+		// Instruction-fetch memory access, once per cache line.
+		line := pc &^ (uint64(p.cfg.IL1.LineSize) - 1)
+		if line != t.lastFetchLine {
+			if !p.il1.TryPort(p.now) {
+				break
+			}
+			pen, _ := p.itlb.Access(p.now, pc, t.id)
+			res := p.il1.Access(p.now, pc, 4, false, t.id)
+			t.lastFetchLine = line
+			ready := res.Ready + uint64(pen)
+			if ready > p.now+uint64(p.cfg.IL1.Latency) {
+				t.stallUntil = ready
+				break
+			}
+		}
+
+		// Materialize the instruction.
+		var in isa.Instruction
+		if t.wrongPath {
+			in = t.wrong.Next(t.wrongPathPC)
+			if in.Class.IsMem() {
+				in.Addr += t.offset
+			}
+		} else {
+			in = t.stream.Next()
+			in.PC += t.offset
+			if in.Class.IsMem() {
+				in.Addr += t.offset
+			}
+			if in.Class.IsCTI() && in.Taken {
+				in.Target += t.offset
+			}
+		}
+		u := &pipeline.Uop{
+			Instruction: in,
+			TID:         t.id,
+			GSeq:        p.gseq,
+			WrongPath:   t.wrongPath,
+			FrontReady:  p.now + uint64(p.cfg.FrontEndDepth),
+			PhysDest:    -1,
+			OldPhysDest: -1,
+			LSQIdx:      -1,
+		}
+		p.gseq++
+
+		if u.Class.IsCTI() {
+			p.predictCTI(t, u)
+		}
+		if u.Class == isa.Load && !t.wrongPath {
+			if p.l1MissPred.Predict(u.PC) {
+				u.PredL1 = true
+				t.predL1++
+			}
+			if p.l2MissPred.Predict(u.PC) {
+				u.PredL2 = true
+				t.predL2++
+			}
+		}
+
+		t.fetchQ = append(t.fetchQ, u)
+		t.fetched++
+		if u.WrongPath {
+			t.wrongPathFetch++
+		}
+		fetched++
+
+		if !u.Class.IsCTI() {
+			if t.wrongPath {
+				t.wrongPathPC = u.PC + 4
+			}
+			continue
+		}
+		// Control transfer: steer the fetch PC and end the fetch group on
+		// a predicted-taken branch.
+		if u.Mispred {
+			// Oracle says the prediction is wrong: everything younger is
+			// wrong-path until this branch resolves.
+			t.wrongPath = true
+			t.wpBranch = u
+			if u.PredTaken && u.PredTarget != 0 {
+				t.wrongPathPC = u.PredTarget
+			} else {
+				t.wrongPathPC = u.PC + 4
+			}
+			break
+		}
+		if t.wrongPath {
+			if u.PredTaken && u.PredTarget != 0 {
+				t.wrongPathPC = u.PredTarget
+			} else {
+				t.wrongPathPC = u.PC + 4
+			}
+		}
+		if u.PredTaken {
+			break // taken branch ends the fetch group
+		}
+	}
+	return fetched
+}
+
+// predictCTI runs the front-end predictors for a control-transfer uop:
+// gshare direction (conditional branches), BTB target, RAS for
+// calls/returns. For correct-path uops the oracle outcome decides Mispred
+// and trains the predictors; wrong-path CTIs only steer the wrong-path PC.
+func (p *Processor) predictCTI(t *thread, u *pipeline.Uop) {
+	btb := p.btbs[t.id]
+	switch u.Class {
+	case isa.Branch:
+		pred := p.gshares[t.id].Predict(0, u.PC)
+		u.PredTaken = pred
+		if pred {
+			if tgt, ok := btb.Lookup(u.PC); ok {
+				u.PredTarget = tgt
+			} else {
+				// Predicted taken with no target: the front end cannot
+				// redirect, so it behaves as a not-taken prediction.
+				u.PredTaken = false
+			}
+		}
+	case isa.Call:
+		u.PredTaken = true
+		if tgt, ok := btb.Lookup(u.PC); ok {
+			u.PredTarget = tgt
+		} else {
+			u.PredTaken = false
+		}
+		// Wrong-path calls do not touch the RAS: hardware checkpoints the
+		// stack at each branch and restores it on a squash, which this
+		// models without the checkpoint bookkeeping.
+		if !u.WrongPath {
+			t.ras.Push(u.PC + 4)
+		}
+	case isa.Return:
+		if u.WrongPath {
+			u.PredTaken = true
+			u.PredTarget = u.PC + 4 // arbitrary; the uop is squashed anyway
+			break
+		}
+		if tgt, ok := t.ras.Pop(); ok {
+			u.PredTaken = true
+			u.PredTarget = tgt
+		}
+	}
+	if u.WrongPath {
+		return
+	}
+	u.Mispred = u.PredTaken != u.Taken ||
+		(u.Taken && u.PredTarget != u.Target)
+	t.branches++
+	if u.Mispred {
+		t.mispredicts++
+	}
+	if u.Class == isa.Branch {
+		p.gshares[t.id].Update(0, u.PC, u.Taken)
+	}
+	if u.Taken && u.Class != isa.Return {
+		btb.Insert(u.PC, u.Target)
+	}
+}
+
+// recoverMispredict squashes thread t's wrong path once the mispredicted
+// branch u resolves and redirects fetch to the correct path.
+func (p *Processor) recoverMispredict(t *thread, u *pipeline.Uop) {
+	t.wrongPath = false
+	t.wpBranch = nil
+	p.squashThread(t, u.GSeq)
+	if next := p.now + 1; next > t.stallUntil {
+		t.stallUntil = next // redirect bubble
+	}
+}
+
+// squashThread removes every uop of thread t younger than afterGSeq from
+// the front end, IQ, ROB, and LSQ; rolls back its renames youngest-first;
+// classifies its residencies un-ACE; and rewinds the trace stream so the
+// squashed correct-path instructions are refetched.
+func (p *Processor) squashThread(t *thread, afterGSeq uint64) {
+	// Front end: drop queued uops (no structure residency yet).
+	var rewindTo uint64
+	haveRewind := false
+	note := func(u *pipeline.Uop) {
+		if !u.WrongPath && (!haveRewind || u.Seq < rewindTo) {
+			rewindTo = u.Seq
+			haveRewind = true
+		}
+	}
+	for len(t.fetchQ) > 0 {
+		u := t.fetchQ[len(t.fetchQ)-1]
+		if u.GSeq <= afterGSeq {
+			break
+		}
+		note(u)
+		u.Squashed = true
+		if u.PredL1 {
+			t.predL1--
+		}
+		if u.PredL2 {
+			t.predL2--
+		}
+		t.fetchQ = t.fetchQ[:len(t.fetchQ)-1]
+	}
+	// Back end: roll the ROB back from the tail.
+	for t.rob.Len() > 0 && t.rob.Tail().GSeq > afterGSeq {
+		u := t.rob.PopTail(p.now)
+		if u.InIQ {
+			p.iq.Remove(u, p.now)
+		}
+		if u.LSQIdx >= 0 {
+			t.lsq.PopTail(p.now)
+		}
+		p.rf.Rollback(u, p.now)
+		p.resolveMissCounters(t, u)
+		note(u)
+		u.Squashed = true
+		u.Classify(p.trk, p.cfg.Bits, true)
+		t.squashedUops++
+	}
+	if haveRewind {
+		t.stream.Rewind(rewindTo)
+	}
+	if t.wpBranch != nil && t.wpBranch.GSeq > afterGSeq {
+		// The pending mispredicted branch itself was squashed (a FLUSH
+		// landed underneath it); leave wrong-path mode.
+		t.wrongPath = false
+		t.wpBranch = nil
+	}
+}

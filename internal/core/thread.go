@@ -1,0 +1,84 @@
+package core
+
+import (
+	"smtavf/internal/branch"
+	"smtavf/internal/pipeline"
+	"smtavf/internal/trace"
+)
+
+// threadSpacing separates the address spaces of the contexts. The large
+// component keeps the spaces disjoint; the page-granular stagger breaks the
+// set-index congruence that identical virtual layouts would otherwise have
+// in the shared caches and TLBs (real systems get this de-aliasing from
+// physical page placement).
+const (
+	threadSpacing = 1 << 40
+	threadStagger = 977 * 4096
+)
+
+// threadOffset is the address-space offset of thread tid.
+func threadOffset(tid int) uint64 {
+	return uint64(tid)*threadSpacing + uint64(tid)*threadStagger
+}
+
+// thread is one hardware context.
+type thread struct {
+	id      int
+	stream  *trace.Stream
+	wrong   *trace.WrongPath
+	profile trace.Profile
+	offset  uint64 // address-space offset (id * threadSpacing)
+
+	// Private microarchitecture state.
+	rob *pipeline.ROB
+	lsq *pipeline.LSQ
+	ras *branch.RAS
+
+	// Fetch state.
+	fetchQ        []*pipeline.Uop // fetched, in the front-end pipe
+	stallUntil    uint64          // IL1/ITLB miss or redirect penalty
+	lastFetchLine uint64          // last IL1 line touched (access per line)
+
+	// Wrong-path mode: set between fetching a mispredicted CTI and its
+	// resolution; while set, fetch synthesizes wrong-path uops.
+	wrongPath   bool
+	wrongPathPC uint64
+	wpBranch    *pipeline.Uop
+
+	// Fetch-policy inputs.
+	outL1, outL2   int // outstanding (unresolved) L1 / L2 data misses
+	predL1, predL2 int // in-flight loads predicted to miss
+	recentACE      float64
+	vaLastACE      uint64
+
+	// Progress.
+	committed  uint64
+	nextCommit uint64 // trace sequence number the next commit must carry
+	quota      uint64 // per-thread instruction limit (0 = unlimited)
+	finished   bool
+
+	// Statistics.
+	fetched        uint64
+	wrongPathFetch uint64
+	mispredicts    uint64
+	branches       uint64
+	flushes        uint64
+	squashedUops   uint64
+	loadForwards   uint64
+	dl1Loads       uint64
+	dl1LoadMisses  uint64
+	l2LoadMisses   uint64
+	renameStalls   uint64
+	iqFullStalls   uint64
+	robFullStalls  uint64
+	lsqFullStalls  uint64
+}
+
+// icount is the ICOUNT fetch-policy metric: instructions in the front end
+// and the issue queue.
+func (t *thread) icount(iq *pipeline.IQ) int {
+	return len(t.fetchQ) + iq.ThreadCount(t.id)
+}
+
+// done reports whether the thread has reached its quota.
+func (t *thread) done() bool { return t.finished }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"smtavf/internal/avf"
+)
+
+func TestWarmupImprovesBranchAccuracy(t *testing.T) {
+	cold := runMix(t, []string{"eon"}, "ICOUNT", 30_000)
+
+	cfg := DefaultConfig(1)
+	cfg.Warmup = 100_000
+	proc, err := New(cfg, profilesFor(t, []string{"eon"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := proc.Run(Limits{TotalInstructions: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Total < 30_000 || warm.Total > 30_000+8 {
+		t.Fatalf("measured %d instructions, want ~30000", warm.Total)
+	}
+	if warm.Thread[0].MispredictRate() >= cold.Thread[0].MispredictRate() {
+		t.Errorf("warm mispredict rate %.3f not below cold %.3f",
+			warm.Thread[0].MispredictRate(), cold.Thread[0].MispredictRate())
+	}
+	if warm.IPC() <= cold.IPC() {
+		t.Errorf("warm IPC %.3f not above cold %.3f", warm.IPC(), cold.IPC())
+	}
+}
+
+func TestWarmupStatsCoverOnlyMeasurement(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Warmup = 10_000
+	proc, err := New(cfg, profilesFor(t, []string{"bzip2", "eon"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proc.Run(Limits{TotalInstructions: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, c := range res.Committed {
+		sum += c
+	}
+	if sum != res.Total || res.Total < 10_000 || res.Total > 10_000+8 {
+		t.Fatalf("committed %v (total %d), want ~10000 measured", res.Committed, res.Total)
+	}
+	// AVFs still well-formed after the rebase.
+	for _, s := range avf.Structs() {
+		a := res.StructAVF(s)
+		if a < 0 || a > 1 {
+			t.Errorf("%v AVF %v out of range after warmup", s, a)
+		}
+		if a > res.AVF.Occ[s]+1e-9 {
+			t.Errorf("%v AVF %v exceeds occupancy %v", s, a, res.AVF.Occ[s])
+		}
+	}
+}
+
+func TestWarmupRejectsPerThreadQuotas(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Warmup = 1_000
+	proc, err := New(cfg, profilesFor(t, []string{"bzip2"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Run(Limits{PerThread: []uint64{100}}); err == nil {
+		t.Fatal("warmup + per-thread quotas accepted")
+	}
+}
+
+func TestWarmupReproducible(t *testing.T) {
+	run := func() *Results {
+		cfg := DefaultConfig(1)
+		cfg.Warmup = 5_000
+		proc, err := New(cfg, profilesFor(t, []string{"gcc"}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := proc.Run(Limits{TotalInstructions: 5_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles {
+		t.Fatalf("cycles differ: %d vs %d", a.Cycles, b.Cycles)
+	}
+	if math.Abs(a.StructAVF(avf.IQ)-b.StructAVF(avf.IQ)) > 0 {
+		t.Fatal("AVF differs between identical warm runs")
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// chartWidth is the bar length of the largest value, in cells.
+const chartWidth = 44
+
+// Chart renders the table as horizontal bars — a terminal-friendly
+// approximation of the paper's bar figures. Bars are scaled to the
+// table's maximum value.
+func (t *Table) Chart() string {
+	max := 0.0
+	for i := range t.Rows {
+		for j := range t.Cols {
+			if v := t.Cells[i][j]; v > max {
+				max = v
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "  (%s)\n", t.Note)
+	}
+	if max == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	rowW := 0
+	for _, r := range t.Rows {
+		if len(r) > rowW {
+			rowW = len(r)
+		}
+	}
+	colW := 0
+	for _, c := range t.Cols {
+		if len(c) > colW {
+			colW = len(c)
+		}
+	}
+	for i, r := range t.Rows {
+		for j, c := range t.Cols {
+			label := ""
+			if j == 0 {
+				label = r
+			}
+			v := t.Cells[i][j]
+			n := int(v/max*chartWidth + 0.5)
+			if n > chartWidth {
+				n = chartWidth
+			}
+			bar := strings.Repeat("█", n)
+			if n == 0 && v > 0 {
+				bar = "▏"
+			}
+			if t.Percent {
+				fmt.Fprintf(&b, "  %-*s %-*s %-*s %6.2f%%\n", rowW, label, colW, c, chartWidth, bar, 100*v)
+			} else {
+				fmt.Fprintf(&b, "  %-*s %-*s %-*s %8.3f\n", rowW, label, colW, c, chartWidth, bar, v)
+			}
+		}
+		if i < len(t.Rows)-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

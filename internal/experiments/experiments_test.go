@@ -1,0 +1,401 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"smtavf/internal/workload"
+)
+
+// smallRunner keeps test budgets tiny; the figure *shapes* asserted here
+// hold even at these scales because the synthetic workloads are stationary.
+func smallRunner() *Runner {
+	return NewRunner(Options{Base: 4_000, Seed: 1})
+}
+
+func TestRunnerCaches(t *testing.T) {
+	r := smallRunner()
+	a, err := r.Mix(2, workload.CPU, workload.GroupA, "ICOUNT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Mix(2, workload.CPU, workload.GroupA, "ICOUNT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical mix runs not cached")
+	}
+	s1, err := r.Single("bzip2", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.Single("bzip2", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("identical single runs not cached")
+	}
+}
+
+func TestBudgetScalesWithContexts(t *testing.T) {
+	r := NewRunner(Options{Base: 1000})
+	if r.budget(2) != 1000 || r.budget(4) != 2000 || r.budget(8) != 4000 {
+		t.Fatalf("budgets: %d %d %d", r.budget(2), r.budget(4), r.budget(8))
+	}
+}
+
+func TestMixErrors(t *testing.T) {
+	r := smallRunner()
+	if _, err := r.Mix(3, workload.CPU, workload.GroupA, "ICOUNT"); err == nil {
+		t.Error("unknown mix accepted")
+	}
+	if _, err := r.Mix(2, workload.CPU, workload.GroupA, "BOGUS"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := r.Single("bogus", 100); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	r := smallRunner()
+	f1, err := r.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.Rows) != 8 || len(f1.Cols) != 3 {
+		t.Fatalf("figure 1 is %dx%d", len(f1.Rows), len(f1.Cols))
+	}
+	iq, mem := f1.Row("IQ"), f1.Col("MEM")
+	cpu := f1.Col("CPU")
+	if f1.Get(iq, mem) <= f1.Get(iq, cpu) {
+		t.Errorf("MEM IQ AVF %.3f <= CPU IQ AVF %.3f", f1.Get(iq, mem), f1.Get(iq, cpu))
+	}
+	fu := f1.Row("FU")
+	if f1.Get(fu, mem) >= f1.Get(fu, cpu) {
+		t.Errorf("MEM FU AVF %.3f >= CPU FU AVF %.3f", f1.Get(fu, mem), f1.Get(fu, cpu))
+	}
+	// DL1 tag more vulnerable than DL1 data (paper §4.1).
+	tag, data := f1.Row("DL1_tag"), f1.Row("DL1_data")
+	for c := range f1.Cols {
+		if f1.Get(tag, c) <= f1.Get(data, c) {
+			t.Errorf("col %s: DL1_tag %.3f <= DL1_data %.3f",
+				f1.Cols[c], f1.Get(tag, c), f1.Get(data, c))
+		}
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	r := smallRunner()
+	f2, err := r.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reliability efficiency is best on CPU-bound workloads (paper §4.1).
+	iq := f2.Row("IQ")
+	if f2.Get(iq, f2.Col("CPU")) <= f2.Get(iq, f2.Col("MEM")) {
+		t.Errorf("CPU IQ efficiency %.2f <= MEM %.2f",
+			f2.Get(iq, f2.Col("CPU")), f2.Get(iq, f2.Col("MEM")))
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	r := smallRunner()
+	f3, err := r.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 kinds × (4 threads + all) rows.
+	if len(f3.Rows) != 15 {
+		t.Fatalf("figure 3 has %d rows", len(f3.Rows))
+	}
+	// Per-thread AVF must be lower under SMT than standalone for most
+	// threads (paper's headline result); check the majority holds.
+	iqST, iqSMT := f3.Col("IQ_ST"), f3.Col("IQ_SMT")
+	lower := 0
+	threads := 0
+	for i, name := range f3.Rows {
+		if strings.HasSuffix(name, ":all") {
+			continue
+		}
+		threads++
+		if f3.Get(i, iqSMT) < f3.Get(i, iqST) {
+			lower++
+		}
+	}
+	if lower*2 < threads {
+		t.Errorf("only %d/%d threads show lower IQ AVF under SMT", lower, threads)
+	}
+	// Aggregate SMT AVF exceeds the weighted sequential AVF.
+	for i, name := range f3.Rows {
+		if !strings.HasSuffix(name, ":all") {
+			continue
+		}
+		if f3.Get(i, iqSMT) <= f3.Get(i, iqST) {
+			t.Errorf("%s: aggregate SMT IQ AVF %.3f <= sequential %.3f",
+				name, f3.Get(i, iqSMT), f3.Get(i, iqST))
+		}
+	}
+}
+
+func TestFigure4Runs(t *testing.T) {
+	r := smallRunner()
+	f4, err := r.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f4.Rows) != 15 || len(f4.Cols) != 6 {
+		t.Fatalf("figure 4 is %dx%d", len(f4.Rows), len(f4.Cols))
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	r := smallRunner()
+	panels, err := r.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 2 {
+		t.Fatalf("%d panels", len(panels))
+	}
+	// IQ AVF grows with the number of contexts (paper §4.2). The trend is
+	// asserted 2→8 (individual steps can wobble a point or two with the
+	// instruction budget).
+	p := panels[0]
+	iq := p.Row("IQ")
+	for _, k := range []string{"CPU", "MIX", "MEM"} {
+		a := p.Get(iq, p.Col(k+"/2"))
+		c := p.Get(iq, p.Col(k+"/8"))
+		if c <= a {
+			t.Errorf("%s IQ AVF did not grow from 2 to 8 contexts: %.3f -> %.3f", k, a, c)
+		}
+	}
+	// Register AVF rises with contexts as well.
+	reg := p.Row("Reg")
+	if !(p.Get(reg, p.Col("MEM/2")) < p.Get(reg, p.Col("MEM/4"))) {
+		t.Error("register AVF did not rise from 2 to 4 contexts")
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	r := smallRunner()
+	tables, err := r.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 6 { // {4,8} contexts × {CPU,MIX,MEM}
+		t.Fatalf("%d tables", len(tables))
+	}
+	// On the 4-context MEM panel, FLUSH must show the lowest IQ AVF.
+	var memPanel *Table
+	for _, tb := range tables {
+		if strings.Contains(tb.Title, "(4 contexts, MEM)") {
+			memPanel = tb
+		}
+	}
+	if memPanel == nil {
+		t.Fatal("missing 4-context MEM panel")
+	}
+	iq := memPanel.Row("IQ")
+	flush := memPanel.Get(iq, memPanel.Col("FLUSH"))
+	for _, pol := range []string{"ICOUNT", "STALL", "DG", "PDG", "DWarn"} {
+		if flush >= memPanel.Get(iq, memPanel.Col(pol)) {
+			t.Errorf("FLUSH IQ AVF %.3f >= %s's %.3f", flush, pol, memPanel.Get(iq, memPanel.Col(pol)))
+		}
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	r := smallRunner()
+	f7, err := r.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iq := f7.Row("IQ")
+	if got := f7.Get(iq, f7.Col("ICOUNT")); got != 1 {
+		t.Errorf("ICOUNT column must be the 1.0 baseline, got %v", got)
+	}
+	// FLUSH yields the best IQ reliability efficiency (paper Figure 7).
+	flush := f7.Get(iq, f7.Col("FLUSH"))
+	if flush <= 1 {
+		t.Errorf("FLUSH IQ IPC/AVF %.2f not above ICOUNT", flush)
+	}
+	for _, pol := range []string{"STALL", "DG", "PDG", "DWarn"} {
+		if flush <= f7.Get(iq, f7.Col(pol)) {
+			t.Errorf("FLUSH IQ efficiency %.2f <= %s's %.2f", flush, pol, f7.Get(iq, f7.Col(pol)))
+		}
+	}
+}
+
+func TestFigure8Runs(t *testing.T) {
+	r := smallRunner()
+	tables, err := r.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	for _, tb := range tables {
+		iq := tb.Row("IQ")
+		if got := tb.Get(iq, tb.Col("ICOUNT")); got != 1 {
+			t.Errorf("%s: ICOUNT baseline %v", tb.Title, got)
+		}
+	}
+}
+
+func TestPreloadParallel(t *testing.T) {
+	r := NewRunner(Options{Base: 1_000, Seed: 1})
+	specs := AllSpecs()
+	if len(specs) != 6+36+18 {
+		t.Fatalf("AllSpecs returned %d specs", len(specs))
+	}
+	if err := r.Preload(specs[:12]); err != nil {
+		t.Fatal(err)
+	}
+	// Results must now come straight from the cache and be identical to a
+	// sequential request.
+	a, err := r.Mix(specs[0].Contexts, specs[0].Kind, specs[0].Group, specs[0].Policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := r.Mix(specs[0].Contexts, specs[0].Kind, specs[0].Group, specs[0].Policy)
+	if a != b {
+		t.Fatal("preload did not populate the cache")
+	}
+	if err := r.PreloadSingles(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreloadPropagatesErrors(t *testing.T) {
+	r := smallRunner()
+	err := r.Preload([]MixSpec{{Contexts: 3, Kind: workload.CPU, Group: workload.GroupA, Policy: "ICOUNT"}})
+	if err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestExtensionsShape(t *testing.T) {
+	r := smallRunner()
+	tb, err := r.Extensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 || len(tb.Cols) != 15 {
+		t.Fatalf("extensions table is %dx%d", len(tb.Rows), len(tb.Cols))
+	}
+	// VAware must reduce IQ AVF relative to ICOUNT on the mixed workload
+	// (the point of vulnerability-aware fetch).
+	iq := tb.Row("IQ AVF")
+	if tb.Get(iq, tb.Col("MIX/VAware")) >= tb.Get(iq, tb.Col("MIX/ICOUNT")) {
+		t.Errorf("VAware IQ AVF %.3f not below ICOUNT's %.3f",
+			tb.Get(iq, tb.Col("MIX/VAware")), tb.Get(iq, tb.Col("MIX/ICOUNT")))
+	}
+}
+
+func TestSensitivityShape(t *testing.T) {
+	r := NewRunner(Options{Base: 2_000, Seed: 1})
+	tables, err := r.Sensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("%d sweeps", len(tables))
+	}
+	// The paper's §5 claim: absolute exposed ACE state grows with the
+	// structure size (even as per-bit AVF falls).
+	iq := tables[0]
+	exp := iq.Row("ACE entries")
+	first, last := iq.Get(exp, 0), iq.Get(exp, len(iq.Cols)-1)
+	if last <= first {
+		t.Errorf("IQ ACE exposure did not grow with size: %.1f -> %.1f", first, last)
+	}
+	avfRow := iq.Row("AVF")
+	if iq.Get(avfRow, 0) <= iq.Get(avfRow, len(iq.Cols)-1) {
+		t.Errorf("per-bit IQ AVF should fall as the structure grows")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("T", []string{"r1", "r2"}, []string{"c1", "c2"})
+	tb.Set(0, 0, 0.5)
+	tb.Set(1, 1, 0.25)
+	tb.Percent = true
+	s := tb.String()
+	if !strings.Contains(s, "T") || !strings.Contains(s, "50.00") || !strings.Contains(s, "25.00") {
+		t.Errorf("rendering wrong:\n%s", s)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, "row,c1,c2") || !strings.Contains(csv, "r1,0.5,0") {
+		t.Errorf("CSV wrong:\n%s", csv)
+	}
+	if tb.Row("nope") != -1 || tb.Col("nope") != -1 {
+		t.Error("missing lookups must return -1")
+	}
+}
+
+func TestStabilityShape(t *testing.T) {
+	r := NewRunner(Options{Base: 2_000, Seed: 1})
+	tables, err := r.Stability(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	mean, spread := tables[0], tables[1]
+	iq := mean.Row("IQ")
+	for j := range mean.Cols {
+		if mean.Get(iq, j) <= 0 {
+			t.Errorf("mean IQ AVF zero in column %s", mean.Cols[j])
+		}
+		if s := spread.Get(iq, j); s < 0 || s > 1.5 {
+			t.Errorf("implausible spread %v in column %s", s, spread.Cols[j])
+		}
+	}
+	if _, err := r.Stability(1); err == nil {
+		t.Error("single-seed stability accepted")
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	tb := NewTable("Chart", []string{"IQ", "FU"}, []string{"CPU", "MEM"})
+	tb.Percent = true
+	tb.Set(0, 0, 0.5)
+	tb.Set(0, 1, 1.0)
+	tb.Set(1, 0, 0.25)
+	tb.Set(1, 1, 0.001)
+	s := tb.Chart()
+	if !strings.Contains(s, "Chart") || !strings.Contains(s, "█") {
+		t.Fatalf("chart missing bars:\n%s", s)
+	}
+	if !strings.Contains(s, "100.00%") || !strings.Contains(s, "50.00%") {
+		t.Fatalf("chart missing values:\n%s", s)
+	}
+	// Tiny nonzero values render a sliver, not an empty bar.
+	if !strings.Contains(s, "▏") {
+		t.Fatalf("tiny value rendered invisibly:\n%s", s)
+	}
+	empty := NewTable("E", []string{"r"}, []string{"c"})
+	if !strings.Contains(empty.Chart(), "no data") {
+		t.Fatal("empty chart not handled")
+	}
+}
+
+func TestTable1And2Render(t *testing.T) {
+	t1 := Table1()
+	for _, want := range []string{"8-wide", "96 entries", "ICOUNT", "2048KB", "gshare"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, t1)
+		}
+	}
+	t2 := Table2()
+	for _, want := range []string{"4ctx-MEM-A", "mcf", "8ctx-CPU-A"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+}

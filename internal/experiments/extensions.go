@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"smtavf/internal/avf"
+	"smtavf/internal/core"
+	"smtavf/internal/workload"
+)
+
+// extensionPolicies pits the baseline and the two best paper policies
+// against the two §5 future-work proposals implemented here: STALLP
+// (L2-miss-predictive gating) and VAware (vulnerability-feedback fetch
+// priority).
+var extensionPolicies = []string{"ICOUNT", "STALL", "FLUSH", "STALLP", "VAware"}
+
+// Extensions evaluates the paper's §5 proposed mechanisms on the
+// 4-context mixes: throughput, IQ/ROB AVF, and the IQ reliability
+// efficiency, per policy (groups averaged, kinds averaged per column
+// group).
+func (r *Runner) Extensions() (*Table, error) {
+	rows := []string{"IPC", "IQ AVF", "ROB AVF", "IQ IPC/AVF"}
+	var cols []string
+	for _, k := range workload.Kinds() {
+		for _, p := range extensionPolicies {
+			cols = append(cols, k.String()+"/"+p)
+		}
+	}
+	t := NewTable("Extensions: the paper's §5 proposals (4 contexts)", rows, cols)
+	t.Note = "STALLP and VAware are the future-work mechanisms the paper sketches"
+	col := 0
+	for _, k := range workload.Kinds() {
+		for _, pol := range extensionPolicies {
+			runs, err := r.MixAvg(4, k, pol)
+			if err != nil {
+				return nil, err
+			}
+			t.Set(0, col, meanOver(runs, func(res *core.Results) float64 { return res.IPC() }))
+			t.Set(1, col, meanOver(runs, func(res *core.Results) float64 { return res.StructAVF(avf.IQ) }))
+			t.Set(2, col, meanOver(runs, func(res *core.Results) float64 { return res.StructAVF(avf.ROB) }))
+			t.Set(3, col, meanOver(runs, func(res *core.Results) float64 { return res.Efficiency(avf.IQ) }))
+			col++
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"smtavf/internal/workload"
+)
+
+// MixSpec names one simulation run of the evaluation grid.
+type MixSpec struct {
+	Contexts int
+	Kind     workload.Kind
+	Group    workload.Group
+	Policy   string
+}
+
+// AllSpecs returns every mix run the eight figures need: the six paper
+// policies across 4 and 8 contexts, plus the ICOUNT runs at 2 contexts
+// (Figure 5), for every kind and group.
+func AllSpecs() []MixSpec {
+	var specs []MixSpec
+	add := func(contexts int, policies []string) {
+		for _, k := range workload.Kinds() {
+			for _, g := range workload.Groups(contexts) {
+				for _, p := range policies {
+					specs = append(specs, MixSpec{contexts, k, g, p})
+				}
+			}
+		}
+	}
+	add(2, []string{"ICOUNT"})
+	add(4, policyNames)
+	add(8, policyNames)
+	return specs
+}
+
+// Preload runs the given specs concurrently (bounded by GOMAXPROCS) and
+// fills the runner's cache, so the figure drivers afterwards assemble
+// their tables from memoized results. Each simulation is fully
+// independent — processors share no state — which is what makes this
+// safe. The first error aborts the rest.
+func (r *Runner) Preload(specs []MixSpec) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan MixSpec)
+	errc := make(chan error, len(specs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				if _, err := r.Mix(s.Contexts, s.Kind, s.Group, s.Policy); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	for _, s := range specs {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+	close(errc)
+	return <-errc // nil when the channel is empty
+}
+
+// PreloadSingles concurrently runs each distinct benchmark standalone for
+// the runner's base budget (the Figure 8 speedup denominators).
+func (r *Runner) PreloadSingles() error {
+	seen := map[string]bool{}
+	var names []string
+	for _, m := range workload.Mixes() {
+		for _, b := range m.Benchmarks {
+			if !seen[b] {
+				seen[b] = true
+				names = append(names, b)
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(names) {
+		workers = len(names)
+	}
+	jobs := make(chan string)
+	errc := make(chan error, len(names))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range jobs {
+				if _, err := r.Single(b, r.opts.Base); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	for _, b := range names {
+		jobs <- b
+	}
+	close(jobs)
+	wg.Wait()
+	close(errc)
+	return <-errc
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a labeled numeric grid — one figure panel or table.
+type Table struct {
+	Title string
+	Note  string // provenance / reading instructions
+	Cols  []string
+	Rows  []string
+	Cells [][]float64 // [row][col]
+	// Percent renders cells as percentages (AVF tables).
+	Percent bool
+}
+
+// NewTable allocates a zeroed grid.
+func NewTable(title string, rows, cols []string) *Table {
+	cells := make([][]float64, len(rows))
+	for i := range cells {
+		cells[i] = make([]float64, len(cols))
+	}
+	return &Table{Title: title, Cols: cols, Rows: rows, Cells: cells}
+}
+
+// Set stores a value by row/column index.
+func (t *Table) Set(row, col int, v float64) { t.Cells[row][col] = v }
+
+// Get returns the value at row/column index.
+func (t *Table) Get(row, col int) float64 { return t.Cells[row][col] }
+
+// Col returns the index of the named column, or -1.
+func (t *Table) Col(name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Row returns the index of the named row, or -1.
+func (t *Table) Row(name string) int {
+	for i, r := range t.Rows {
+		if r == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders an aligned text table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "  (%s)\n", t.Note)
+	}
+	rowW := len("row")
+	for _, r := range t.Rows {
+		if len(r) > rowW {
+			rowW = len(r)
+		}
+	}
+	colW := 9
+	for _, c := range t.Cols {
+		if len(c)+1 > colW {
+			colW = len(c) + 1
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s", rowW, "")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%*s", colW, c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "  %-*s", rowW, r)
+		for j := range t.Cols {
+			v := t.Cells[i][j]
+			if t.Percent {
+				fmt.Fprintf(&b, "%*.2f", colW, 100*v)
+			} else {
+				fmt.Fprintf(&b, "%*.3f", colW, v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (raw, not percent).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("row")
+	for _, c := range t.Cols {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		b.WriteString(r)
+		for j := range t.Cols {
+			fmt.Fprintf(&b, ",%g", t.Cells[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

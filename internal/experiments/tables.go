@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smtavf/internal/core"
+	"smtavf/internal/mem"
+	"smtavf/internal/workload"
+)
+
+// Table1 renders the simulated machine configuration (the paper's
+// Table 1), as realized by core.DefaultConfig.
+func Table1() string {
+	cfg := core.DefaultConfig(4)
+	var b strings.Builder
+	b.WriteString("Table 1: simulated machine configuration\n")
+	row := func(k, v string) { fmt.Fprintf(&b, "  %-24s %s\n", k, v) }
+	row("Processor width", fmt.Sprintf("%d-wide fetch/issue/commit", cfg.FetchWidth))
+	row("Baseline fetch policy", cfg.Policy.Name())
+	row("Pipeline depth", fmt.Sprintf("%d", cfg.FrontEndDepth+3))
+	row("Issue queue", fmt.Sprintf("%d entries, shared", cfg.IQSize))
+	row("ROB size", fmt.Sprintf("%d entries per thread", cfg.ROBSize))
+	row("Load/store queue", fmt.Sprintf("%d entries per thread", cfg.LSQSize))
+	row("Physical registers", fmt.Sprintf("%d INT + %d FP, shared pool", cfg.IntPhysRegs, cfg.FPPhysRegs))
+	row("Branch prediction", fmt.Sprintf("%d-entry gshare, %d-bit history per thread",
+		cfg.GshareEntries, cfg.GshareHistBits))
+	row("BTB", fmt.Sprintf("%d entries, %d-way, per thread", cfg.BTBEntries, cfg.BTBWays))
+	row("Return address stack", fmt.Sprintf("%d entries per thread", cfg.RASEntries))
+	row("L1 I-cache", cacheLine(cfg.IL1))
+	row("L1 D-cache", cacheLine(cfg.DL1))
+	row("L2 cache", cacheLine(cfg.L2))
+	row("Memory latency", fmt.Sprintf("%d cycles", cfg.MemLatency))
+	row("ITLB", fmt.Sprintf("%d entries, %d-way, %d-cycle miss", cfg.ITLB.Entries, cfg.ITLB.Ways, cfg.ITLB.MissPenalty))
+	row("DTLB", fmt.Sprintf("%d entries, %d-way, %d-cycle miss", cfg.DTLB.Entries, cfg.DTLB.Ways, cfg.DTLB.MissPenalty))
+	row("Integer FUs", fmt.Sprintf("%d ALU, %d MUL/DIV, %d load/store",
+		cfg.FUCounts[0], cfg.FUCounts[1], cfg.FUCounts[2]))
+	row("FP FUs", fmt.Sprintf("%d ALU, %d MUL/DIV/SQRT", cfg.FUCounts[3], cfg.FUCounts[4]))
+	return b.String()
+}
+
+func cacheLine(c mem.Config) string {
+	ports := ""
+	if c.Ports > 0 {
+		ports = fmt.Sprintf(", %d ports", c.Ports)
+	}
+	return fmt.Sprintf("%dKB, %d-way, %dB/line, %d-cycle access%s",
+		c.Size>>10, c.Ways, c.LineSize, c.Latency, ports)
+}
+
+// Table2 renders the studied SMT workloads (the paper's Table 2).
+func Table2() string {
+	var b strings.Builder
+	b.WriteString("Table 2: the studied SMT workloads\n")
+	for _, m := range workload.Mixes() {
+		fmt.Fprintf(&b, "  %-12s %s\n", m.Name(), strings.Join(m.Benchmarks, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,315 @@
+// Package fetch implements the SMT instruction-fetch policies studied in
+// the paper: the ICOUNT baseline (Tullsen et al., ISCA 1996) and the five
+// advanced policies it compares — FLUSH and STALL (Tullsen & Brown, MICRO
+// 2001), DG and PDG (El-Moursy & Albonesi, HPCA 2003), and DWarn (Cazorla
+// et al., IPDPS 2004) — plus STALLP, the predictive STALL enhancement the
+// paper's §5 proposes as future work.
+//
+// A policy sees a per-thread state snapshot each cycle and returns the
+// threads allowed to fetch, in priority order; the core distributes the
+// fetch bandwidth over that order (ICOUNT2.8 style: up to 2 threads and 8
+// instructions per cycle).
+package fetch
+
+import "sort"
+
+// ThreadState is the per-thread view a policy bases its decision on.
+type ThreadState struct {
+	Active        bool // context exists and has not finished its run
+	InFlight      int  // instructions in the front end and IQ (ICOUNT metric)
+	OutstandingL1 int  // unresolved loads that missed the DL1
+	OutstandingL2 int  // unresolved loads that also missed the L2
+	PredictedL1   int  // in-flight loads *predicted* to miss the DL1 (PDG)
+	PredictedL2   int  // in-flight loads *predicted* to miss the L2 (STALLP)
+	// RecentACE is a moving average of the thread's ACE bit-cycle
+	// contribution to the shared pipeline structures — the vulnerability
+	// feedback used by the VAware policy (the paper's §5 proposal of
+	// thread-vulnerability-driven resource distribution).
+	RecentACE float64
+}
+
+// Policy decides which threads fetch each cycle.
+type Policy interface {
+	// Name returns the policy's canonical name (e.g. "FLUSH").
+	Name() string
+	// Order returns thread ids permitted to fetch this cycle, highest
+	// priority first. Threads omitted are fetch-gated this cycle.
+	Order(ts []ThreadState) []int
+	// FlushOnL2Miss reports whether the core must squash the instructions
+	// younger than a load that misses the L2 (the FLUSH mechanism).
+	FlushOnL2Miss() bool
+}
+
+// byICount returns the active thread ids sorted by ascending in-flight
+// count (ties by id), optionally filtered by keep.
+func byICount(ts []ThreadState, keep func(ThreadState) bool) []int {
+	var ids []int
+	for i, t := range ts {
+		if t.Active && (keep == nil || keep(t)) {
+			ids = append(ids, i)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ta, tb := ts[ids[a]], ts[ids[b]]
+		if ta.InFlight != tb.InFlight {
+			return ta.InFlight < tb.InFlight
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// ICount is the baseline: priority to the thread with the fewest in-flight
+// instructions.
+type ICount struct{}
+
+// Name implements Policy.
+func (ICount) Name() string { return "ICOUNT" }
+
+// Order implements Policy.
+func (ICount) Order(ts []ThreadState) []int { return byICount(ts, nil) }
+
+// FlushOnL2Miss implements Policy.
+func (ICount) FlushOnL2Miss() bool { return false }
+
+// Stall gates threads with outstanding L2 misses but always lets at least
+// one thread fetch.
+type Stall struct{}
+
+// Name implements Policy.
+func (Stall) Name() string { return "STALL" }
+
+// Order implements Policy.
+func (Stall) Order(ts []ThreadState) []int {
+	ids := byICount(ts, func(t ThreadState) bool { return t.OutstandingL2 == 0 })
+	if len(ids) > 0 {
+		return ids
+	}
+	// All threads are waiting on memory: allow the least-loaded one.
+	all := byICount(ts, nil)
+	if len(all) > 0 {
+		return all[:1]
+	}
+	return nil
+}
+
+// FlushOnL2Miss implements Policy.
+func (Stall) FlushOnL2Miss() bool { return false }
+
+// Flush squashes the offending thread's younger instructions on an L2 miss
+// and gates its fetch until the miss returns.
+type Flush struct{}
+
+// Name implements Policy.
+func (Flush) Name() string { return "FLUSH" }
+
+// Order implements Policy.
+func (Flush) Order(ts []ThreadState) []int {
+	return byICount(ts, func(t ThreadState) bool { return t.OutstandingL2 == 0 })
+}
+
+// FlushOnL2Miss implements Policy.
+func (Flush) FlushOnL2Miss() bool { return true }
+
+// DG (data gating) stops fetching for threads with more than Threshold
+// outstanding L1 data-cache misses.
+type DG struct {
+	// Threshold is the outstanding-miss count at which fetch gates;
+	// 0 means gate on the first outstanding miss.
+	Threshold int
+}
+
+// Name implements Policy.
+func (DG) Name() string { return "DG" }
+
+// Order implements Policy.
+func (p DG) Order(ts []ThreadState) []int {
+	ids := byICount(ts, func(t ThreadState) bool { return t.OutstandingL1 <= p.Threshold })
+	if len(ids) > 0 {
+		return ids
+	}
+	all := byICount(ts, nil)
+	if len(all) > 0 {
+		return all[:1]
+	}
+	return nil
+}
+
+// FlushOnL2Miss implements Policy.
+func (DG) FlushOnL2Miss() bool { return false }
+
+// PDG (predictive data gating) gates on *predicted* outstanding L1 misses,
+// reacting before the miss is detected.
+type PDG struct {
+	// Threshold as in DG, applied to predicted+resolved outstanding misses.
+	Threshold int
+}
+
+// Name implements Policy.
+func (PDG) Name() string { return "PDG" }
+
+// Order implements Policy.
+func (p PDG) Order(ts []ThreadState) []int {
+	ids := byICount(ts, func(t ThreadState) bool {
+		return t.PredictedL1+t.OutstandingL1 <= p.Threshold
+	})
+	if len(ids) > 0 {
+		return ids
+	}
+	all := byICount(ts, nil)
+	if len(all) > 0 {
+		return all[:1]
+	}
+	return nil
+}
+
+// FlushOnL2Miss implements Policy.
+func (PDG) FlushOnL2Miss() bool { return false }
+
+// DWarn demotes threads with outstanding data-cache misses to a lower fetch
+// priority group instead of gating them.
+type DWarn struct{}
+
+// Name implements Policy.
+func (DWarn) Name() string { return "DWarn" }
+
+// Order implements Policy.
+func (DWarn) Order(ts []ThreadState) []int {
+	clean := byICount(ts, func(t ThreadState) bool { return t.OutstandingL1 == 0 })
+	warn := byICount(ts, func(t ThreadState) bool { return t.OutstandingL1 > 0 })
+	return append(clean, warn...)
+}
+
+// FlushOnL2Miss implements Policy.
+func (DWarn) FlushOnL2Miss() bool { return false }
+
+// StallP is the paper's §5 proposed enhancement: STALL driven by an L2-miss
+// predictor, gating the offending thread at fetch before the miss is
+// discovered so fewer ACE bits enter the pipeline.
+type StallP struct{}
+
+// Name implements Policy.
+func (StallP) Name() string { return "STALLP" }
+
+// Order implements Policy.
+func (StallP) Order(ts []ThreadState) []int {
+	ids := byICount(ts, func(t ThreadState) bool {
+		return t.OutstandingL2 == 0 && t.PredictedL2 == 0
+	})
+	if len(ids) > 0 {
+		return ids
+	}
+	all := byICount(ts, nil)
+	if len(all) > 0 {
+		return all[:1]
+	}
+	return nil
+}
+
+// FlushOnL2Miss implements Policy.
+func (StallP) FlushOnL2Miss() bool { return false }
+
+// RoundRobin is the original SMT fetch scheme (Tullsen et al., ISCA
+// 1995): threads take strict turns regardless of pipeline state. It
+// predates ICOUNT and serves as the historical baseline. Unlike the other
+// policies it carries state (the turn counter), so use it by pointer and
+// do not share one instance between machines.
+type RoundRobin struct {
+	turn int
+}
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "RR" }
+
+// Order implements Policy.
+func (r *RoundRobin) Order(ts []ThreadState) []int {
+	var ids []int
+	for i, t := range ts {
+		if t.Active {
+			ids = append(ids, i)
+		}
+	}
+	if len(ids) < 2 {
+		return ids
+	}
+	rot := r.turn % len(ids)
+	r.turn++
+	return append(ids[rot:], ids[:rot]...)
+}
+
+// FlushOnL2Miss implements Policy.
+func (*RoundRobin) FlushOnL2Miss() bool { return false }
+
+// VAware is the paper's §5 thread-aware reliability proposal: fetch
+// priority goes to the threads currently contributing the *least* ACE
+// state to the shared structures, so high-vulnerability threads (whose
+// instructions sit in the IQ/ROB accumulating exposure) are throttled
+// while low-vulnerability threads keep the pipeline productive. Threads
+// with outstanding L2 misses are gated as in STALL, since their ACE bits
+// are exactly the long-residency kind.
+type VAware struct{}
+
+// Name implements Policy.
+func (VAware) Name() string { return "VAware" }
+
+// Order implements Policy.
+func (VAware) Order(ts []ThreadState) []int {
+	var ids []int
+	for i, t := range ts {
+		if t.Active && t.OutstandingL2 == 0 {
+			ids = append(ids, i)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ta, tb := ts[ids[a]], ts[ids[b]]
+		if ta.RecentACE != tb.RecentACE {
+			return ta.RecentACE < tb.RecentACE
+		}
+		if ta.InFlight != tb.InFlight {
+			return ta.InFlight < tb.InFlight
+		}
+		return ids[a] < ids[b]
+	})
+	if len(ids) > 0 {
+		return ids
+	}
+	all := byICount(ts, nil)
+	if len(all) > 0 {
+		return all[:1]
+	}
+	return nil
+}
+
+// FlushOnL2Miss implements Policy.
+func (VAware) FlushOnL2Miss() bool { return false }
+
+// ByName returns the policy named name (case-sensitive, as printed by
+// Name), or nil when unknown. DG/PDG use their default thresholds.
+func ByName(name string) Policy {
+	switch name {
+	case "ICOUNT":
+		return ICount{}
+	case "STALL":
+		return Stall{}
+	case "FLUSH":
+		return Flush{}
+	case "DG":
+		return DG{Threshold: 1}
+	case "PDG":
+		return PDG{Threshold: 1}
+	case "DWarn":
+		return DWarn{}
+	case "STALLP":
+		return StallP{}
+	case "VAware":
+		return VAware{}
+	case "RR":
+		return &RoundRobin{}
+	}
+	return nil
+}
+
+// All returns the paper's six policies in presentation order (Figure 6).
+func All() []Policy {
+	return []Policy{ICount{}, Stall{}, Flush{}, DG{Threshold: 1}, PDG{Threshold: 1}, DWarn{}}
+}

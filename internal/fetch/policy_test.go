@@ -1,0 +1,227 @@
+package fetch
+
+import (
+	"reflect"
+	"testing"
+)
+
+// states builds a 4-thread snapshot: in-flight counts 10, 20, 30, 40.
+func states() []ThreadState {
+	return []ThreadState{
+		{Active: true, InFlight: 10},
+		{Active: true, InFlight: 20},
+		{Active: true, InFlight: 30},
+		{Active: true, InFlight: 40},
+	}
+}
+
+func TestICountOrder(t *testing.T) {
+	ts := states()
+	ts[0].InFlight = 25 // reorder
+	got := ICount{}.Order(ts)
+	if !reflect.DeepEqual(got, []int{1, 0, 2, 3}) {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestICountSkipsInactive(t *testing.T) {
+	ts := states()
+	ts[1].Active = false
+	got := ICount{}.Order(ts)
+	if !reflect.DeepEqual(got, []int{0, 2, 3}) {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestICountTieBreak(t *testing.T) {
+	ts := []ThreadState{
+		{Active: true, InFlight: 5},
+		{Active: true, InFlight: 5},
+	}
+	got := ICount{}.Order(ts)
+	if !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("ties must break by id: %v", got)
+	}
+}
+
+func TestStallGatesL2Missing(t *testing.T) {
+	ts := states()
+	ts[0].OutstandingL2 = 1
+	got := Stall{}.Order(ts)
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestStallAlwaysAllowsOne(t *testing.T) {
+	ts := states()
+	for i := range ts {
+		ts[i].OutstandingL2 = 1
+	}
+	got := Stall{}.Order(ts)
+	if !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("all-gated STALL must allow the least-loaded thread: %v", got)
+	}
+}
+
+func TestFlushGatesStrictly(t *testing.T) {
+	ts := states()
+	for i := range ts {
+		ts[i].OutstandingL2 = 1
+	}
+	if got := (Flush{}).Order(ts); len(got) != 0 {
+		t.Fatalf("FLUSH must gate all memory-waiting threads: %v", got)
+	}
+	if f := (Flush{}); !f.FlushOnL2Miss() {
+		t.Fatal("FLUSH must request squashes")
+	}
+}
+
+func TestOnlyFlushSquashes(t *testing.T) {
+	for _, p := range []Policy{ICount{}, Stall{}, DG{}, PDG{}, DWarn{}, StallP{}} {
+		if p.FlushOnL2Miss() {
+			t.Errorf("%s must not squash", p.Name())
+		}
+	}
+}
+
+func TestDGThreshold(t *testing.T) {
+	ts := states()
+	ts[0].OutstandingL1 = 2
+	ts[1].OutstandingL1 = 1
+	p := DG{Threshold: 1}
+	got := p.Order(ts)
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestDGAllGatedAllowsOne(t *testing.T) {
+	ts := states()
+	for i := range ts {
+		ts[i].OutstandingL1 = 5
+	}
+	if got := (DG{Threshold: 1}).Order(ts); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestPDGUsesPredictions(t *testing.T) {
+	ts := states()
+	ts[0].PredictedL1 = 2 // no resolved misses yet, but predicted
+	p := PDG{Threshold: 1}
+	got := p.Order(ts)
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("PDG ignored predictions: %v", got)
+	}
+	// DG with the same state would not gate.
+	if got := (DG{Threshold: 1}).Order(ts); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("DG gated on predictions: %v", got)
+	}
+}
+
+func TestDWarnDeprioritizesWithoutGating(t *testing.T) {
+	ts := states()
+	ts[0].OutstandingL1 = 1 // least loaded but warned
+	got := DWarn{}.Order(ts)
+	if !reflect.DeepEqual(got, []int{1, 2, 3, 0}) {
+		t.Fatalf("order = %v", got)
+	}
+	if len(got) != 4 {
+		t.Fatal("DWarn must not gate")
+	}
+}
+
+func TestStallPGatesOnPredictedL2(t *testing.T) {
+	ts := states()
+	ts[0].PredictedL2 = 1
+	got := StallP{}.Order(ts)
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("order = %v", got)
+	}
+	// STALL with the same state would not gate.
+	if got := (Stall{}).Order(ts); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("STALL gated on a prediction: %v", got)
+	}
+}
+
+func TestVAwareOrdersByVulnerability(t *testing.T) {
+	ts := states()
+	ts[0].RecentACE = 400 // least loaded, but most vulnerable
+	ts[1].RecentACE = 100
+	ts[2].RecentACE = 300
+	ts[3].RecentACE = 200
+	got := VAware{}.Order(ts)
+	if !reflect.DeepEqual(got, []int{1, 3, 2, 0}) {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestVAwareGatesOnL2AndTieBreaks(t *testing.T) {
+	ts := states()
+	ts[1].OutstandingL2 = 1
+	got := VAware{}.Order(ts) // all RecentACE equal: fall back to icount
+	if !reflect.DeepEqual(got, []int{0, 2, 3}) {
+		t.Fatalf("order = %v", got)
+	}
+	for i := range ts {
+		ts[i].OutstandingL2 = 1
+	}
+	if got := (VAware{}).Order(ts); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("all-gated VAware must keep one thread fetching: %v", got)
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	rr := &RoundRobin{}
+	ts := states()
+	a := rr.Order(ts)
+	b := rr.Order(ts)
+	if reflect.DeepEqual(a, b) {
+		t.Fatalf("round robin did not rotate: %v then %v", a, b)
+	}
+	if !reflect.DeepEqual(a, []int{0, 1, 2, 3}) || !reflect.DeepEqual(b, []int{1, 2, 3, 0}) {
+		t.Fatalf("rotation wrong: %v, %v", a, b)
+	}
+	// Inactive threads drop out without breaking rotation.
+	ts[2].Active = false
+	if got := rr.Order(ts); len(got) != 3 {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ICOUNT", "STALL", "FLUSH", "DG", "PDG", "DWarn", "STALLP", "VAware", "RR"} {
+		p := ByName(name)
+		if p == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+		if p.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if ByName("bogus") != nil {
+		t.Fatal("unknown policy resolved")
+	}
+}
+
+func TestAllReturnsPaperPolicies(t *testing.T) {
+	ps := All()
+	if len(ps) != 6 {
+		t.Fatalf("All() returned %d policies", len(ps))
+	}
+	want := []string{"ICOUNT", "STALL", "FLUSH", "DG", "PDG", "DWarn"}
+	for i, p := range ps {
+		if p.Name() != want[i] {
+			t.Fatalf("All()[%d] = %s, want %s", i, p.Name(), want[i])
+		}
+	}
+}
+
+func TestEmptyStates(t *testing.T) {
+	for _, p := range []Policy{ICount{}, Stall{}, Flush{}, DG{}, PDG{}, DWarn{}, StallP{}} {
+		if got := p.Order(nil); len(got) != 0 {
+			t.Errorf("%s ordered threads out of nothing: %v", p.Name(), got)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package inject implements statistical fault injection, the validation
+// methodology the paper's §2 and §6 discuss as the (much more expensive)
+// alternative to ACE analysis: strike random state bits at random cycles
+// and observe the fraction of strikes that corrupt the program.
+//
+// A Campaign samples the machine on a systematic grid of cycles (every
+// Every-th cycle, with a random phase). At each sample cycle the
+// probability that a uniformly random bit strike corrupts the program is
+//
+//	P(corrupt | strike at cycle c) = ACE bits resident at c / total bits
+//
+// so the campaign's mean over sample cycles is an unbiased estimate of the
+// structure's AVF — computed from an entirely different direction than the
+// Tracker's residency accumulators. Agreement between the two validates
+// the interval accounting end to end (intervals that overlapped,
+// double-counted, or leaked past the end of the run would split the
+// estimates apart). Campaign implements avf.Sink; attach it to a tracker
+// before the run.
+package inject
+
+import (
+	"fmt"
+
+	"smtavf/internal/avf"
+	"smtavf/internal/rng"
+)
+
+// Campaign collects strike samples. Create with NewCampaign, attach via
+// Tracker.SetSink, run the simulation, then call Estimate/Outcomes.
+type Campaign struct {
+	every  uint64 // sample grid pitch in cycles
+	phase  uint64 // grid offset, drawn in [0, every)
+	bits   [avf.NumStructs]uint64
+	ace    [avf.NumStructs]map[uint64]uint64 // sample index -> ACE bits resident
+	occ    [avf.NumStructs]map[uint64]uint64 // sample index -> occupied bits
+	rnd    *rng.Source
+	events uint64
+}
+
+// NewCampaign builds a campaign sampling every 'every' cycles. bits gives
+// each structure's total capacity (use the same values the Tracker was
+// built with). seed fixes the grid phase and the Bernoulli outcome draws.
+func NewCampaign(bits [avf.NumStructs]uint64, every uint64, seed uint64) (*Campaign, error) {
+	if every == 0 {
+		return nil, fmt.Errorf("inject: sampling pitch must be positive")
+	}
+	c := &Campaign{every: every, bits: bits, rnd: rng.New(seed)}
+	c.phase = c.rnd.Uint64n(every)
+	for s := range c.ace {
+		c.ace[s] = make(map[uint64]uint64)
+		c.occ[s] = make(map[uint64]uint64)
+	}
+	return c, nil
+}
+
+var _ avf.Sink = (*Campaign)(nil)
+
+// Interval implements avf.Sink: it books the interval's bits into every
+// sample cycle the interval covers.
+func (c *Campaign) Interval(s avf.Struct, tid int, bits, start, end uint64, ace bool) {
+	if end <= start {
+		return
+	}
+	c.events++
+	// First sample index at or after start.
+	var idx uint64
+	if start > c.phase {
+		idx = (start - c.phase + c.every - 1) / c.every
+	}
+	for cyc := c.phase + idx*c.every; cyc < end; cyc += c.every {
+		if ace {
+			c.ace[s][idx] += bits
+		}
+		c.occ[s][idx] += bits
+		idx++
+	}
+}
+
+// Samples returns the number of sample cycles within a run of 'cycles'
+// cycles.
+func (c *Campaign) Samples(cycles uint64) uint64 {
+	if cycles <= c.phase {
+		return 0
+	}
+	return (cycles-c.phase-1)/c.every + 1
+}
+
+// Estimate returns the fault-injection AVF estimate for structure s over a
+// run of 'cycles' cycles: the mean, over sample cycles, of the fraction of
+// the structure's bits whose corruption would have mattered.
+func (c *Campaign) Estimate(s avf.Struct, cycles uint64) float64 {
+	n := c.Samples(cycles)
+	if n == 0 || c.bits[s] == 0 {
+		return 0
+	}
+	var sum uint64
+	for idx, b := range c.ace[s] {
+		if idx < n {
+			sum += b
+		}
+	}
+	return float64(sum) / (float64(n) * float64(c.bits[s]))
+}
+
+// Occupancy returns the estimated fraction of (bits × cycles) holding any
+// tracked state — the analogue of Tracker.Occupancy.
+func (c *Campaign) Occupancy(s avf.Struct, cycles uint64) float64 {
+	n := c.Samples(cycles)
+	if n == 0 || c.bits[s] == 0 {
+		return 0
+	}
+	var sum uint64
+	for idx, b := range c.occ[s] {
+		if idx < n {
+			sum += b
+		}
+	}
+	return float64(sum) / (float64(n) * float64(c.bits[s]))
+}
+
+// Overbooked reports sample cycles where the recorded occupancy exceeds
+// the structure's capacity — impossible in a correct accounting, so any
+// hit indicates overlapping or double-counted intervals.
+func (c *Campaign) Overbooked(s avf.Struct) int {
+	n := 0
+	for _, b := range c.occ[s] {
+		if b > c.bits[s] {
+			n++
+		}
+	}
+	return n
+}
+
+// Outcomes simulates 'strikes' actual fault injections into structure s:
+// for each strike a sample cycle and a bit are drawn uniformly, and the
+// strike corrupts the program if the bit holds ACE state. It returns the
+// number of corrupting strikes. With many strikes, corrupted/strikes
+// converges to Estimate.
+func (c *Campaign) Outcomes(s avf.Struct, cycles uint64, strikes int) (corrupted int) {
+	n := c.Samples(cycles)
+	if n == 0 || c.bits[s] == 0 {
+		return 0
+	}
+	for i := 0; i < strikes; i++ {
+		idx := c.rnd.Uint64n(n)
+		bit := c.rnd.Uint64n(c.bits[s])
+		if bit < c.ace[s][idx] {
+			corrupted++
+		}
+	}
+	return corrupted
+}
+
+// Events returns the number of intervals observed (diagnostics).
+func (c *Campaign) Events() uint64 { return c.events }

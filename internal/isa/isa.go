@@ -1,0 +1,178 @@
+// Package isa defines the micro instruction set executed by the simulator.
+//
+// The simulator is trace driven: workload generators emit a stream of
+// Instruction values carrying everything the timing and AVF models need —
+// instruction class, architectural register def/use, effective memory
+// address, and branch outcome. No functional semantics (actual arithmetic)
+// are modeled, because AVF analysis depends only on where bits reside and
+// for how long, not on their values.
+package isa
+
+import "fmt"
+
+// Class identifies the functional class of an instruction. It selects the
+// function-unit pool and the execution latency.
+type Class uint8
+
+// Instruction classes.
+const (
+	NOP Class = iota
+	IntALU
+	IntMul
+	IntDiv
+	Load
+	Store
+	Branch // conditional branch
+	Call   // pushes return address on the RAS
+	Return // pops the RAS
+	FPALU
+	FPMul
+	FPDiv
+	numClasses
+)
+
+// NumClasses is the number of distinct instruction classes.
+const NumClasses = int(numClasses)
+
+var classNames = [NumClasses]string{
+	"nop", "ialu", "imul", "idiv", "load", "store",
+	"branch", "call", "return", "fpalu", "fpmul", "fpdiv",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// IsCTI reports whether the class is a control-transfer instruction.
+func (c Class) IsCTI() bool { return c == Branch || c == Call || c == Return }
+
+// IsFP reports whether the class uses the floating-point register file.
+func (c Class) IsFP() bool { return c == FPALU || c == FPMul || c == FPDiv }
+
+// RegID names an architectural register. Integer registers are 0..31 and
+// floating-point registers are 32..63. RegNone marks an absent operand.
+type RegID int16
+
+// Register-file layout constants.
+const (
+	RegNone    RegID = -1
+	NumIntRegs       = 32
+	NumFPRegs        = 32
+	NumRegs          = NumIntRegs + NumFPRegs
+
+	// FirstFPReg is the architectural index of floating-point register 0.
+	FirstFPReg RegID = NumIntRegs
+
+	// IntScratch and FPScratch are the registers used by generators for
+	// dynamically dead results: values written there are never sourced.
+	IntScratch RegID = NumIntRegs - 1
+	FPScratch  RegID = NumRegs - 1
+)
+
+// Valid reports whether r names an actual architectural register.
+func (r RegID) Valid() bool { return r >= 0 && r < NumRegs }
+
+// IsFP reports whether r belongs to the floating-point file.
+func (r RegID) IsFP() bool { return r >= FirstFPReg && r < NumRegs }
+
+// Instruction is one dynamic instruction of a workload trace.
+type Instruction struct {
+	Seq    uint64 // per-thread dynamic sequence number, starting at 0
+	PC     uint64 // instruction address (4-byte granularity)
+	Class  Class
+	Src1   RegID  // first source operand, RegNone if absent
+	Src2   RegID  // second source operand, RegNone if absent
+	Dest   RegID  // destination, RegNone if absent
+	Addr   uint64 // effective address for Load/Store
+	Size   uint8  // access size in bytes for Load/Store (1..8)
+	Taken  bool   // resolved direction for CTIs
+	Target uint64 // resolved target for taken CTIs
+	Dead   bool   // result is never consumed (dynamically dead)
+}
+
+// FallThrough returns the address of the next sequential instruction.
+func (in *Instruction) FallThrough() uint64 { return in.PC + 4 }
+
+// NextPC returns the address of the dynamically next instruction.
+func (in *Instruction) NextPC() uint64 {
+	if in.Class.IsCTI() && in.Taken {
+		return in.Target
+	}
+	return in.FallThrough()
+}
+
+// Latency is the execution latency in cycles of each class, excluding any
+// memory-hierarchy time (Load latency is the address-generation cycle; cache
+// access time is added by the memory model).
+func (c Class) Latency() int {
+	switch c {
+	case NOP:
+		return 1
+	case IntALU:
+		return 1
+	case IntMul:
+		return 3
+	case IntDiv:
+		return 12
+	case Load, Store:
+		return 1
+	case Branch, Call, Return:
+		return 1
+	case FPALU:
+		return 2
+	case FPMul:
+		return 4
+	case FPDiv:
+		return 12
+	default:
+		return 1
+	}
+}
+
+// Pipelined reports whether the function unit for the class can accept a new
+// operation each cycle. Divide units are iterative and unpipelined.
+func (c Class) Pipelined() bool { return c != IntDiv && c != FPDiv }
+
+// FUKind identifies a function-unit pool (paper Table 1).
+type FUKind uint8
+
+// Function-unit pools.
+const (
+	FUIntALU FUKind = iota // 8 units: IntALU, Branch, Call, Return, NOP
+	FUIntMulDiv
+	FULoadStore
+	FUFPALU
+	FUFPMulDiv
+	NumFUKinds = 5
+)
+
+var fuNames = [NumFUKinds]string{"IALU", "IMULDIV", "LSU", "FPALU", "FPMULDIV"}
+
+func (k FUKind) String() string {
+	if int(k) < len(fuNames) {
+		return fuNames[k]
+	}
+	return fmt.Sprintf("fu(%d)", uint8(k))
+}
+
+// FU returns the function-unit pool that executes class c.
+func (c Class) FU() FUKind {
+	switch c {
+	case IntMul, IntDiv:
+		return FUIntMulDiv
+	case Load, Store:
+		return FULoadStore
+	case FPALU:
+		return FUFPALU
+	case FPMul, FPDiv:
+		return FUFPMulDiv
+	default: // NOP, IntALU, CTIs
+		return FUIntALU
+	}
+}

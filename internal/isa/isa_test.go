@@ -1,0 +1,127 @@
+package isa
+
+import "testing"
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		NOP: "nop", IntALU: "ialu", IntMul: "imul", IntDiv: "idiv",
+		Load: "load", Store: "store", Branch: "branch", Call: "call",
+		Return: "return", FPALU: "fpalu", FPMul: "fpmul", FPDiv: "fpdiv",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", c, got, want)
+		}
+	}
+	if got := Class(200).String(); got != "class(200)" {
+		t.Errorf("unknown class string = %q", got)
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	for c := Class(0); c < Class(NumClasses); c++ {
+		wantMem := c == Load || c == Store
+		if c.IsMem() != wantMem {
+			t.Errorf("%v.IsMem() = %v", c, c.IsMem())
+		}
+		wantCTI := c == Branch || c == Call || c == Return
+		if c.IsCTI() != wantCTI {
+			t.Errorf("%v.IsCTI() = %v", c, c.IsCTI())
+		}
+		wantFP := c == FPALU || c == FPMul || c == FPDiv
+		if c.IsFP() != wantFP {
+			t.Errorf("%v.IsFP() = %v", c, c.IsFP())
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	// Latencies must be positive and ordered sensibly: divide is the
+	// longest op of its bank; multiplies beat divides; ALU is fastest.
+	for c := Class(0); c < Class(NumClasses); c++ {
+		if c.Latency() < 1 {
+			t.Errorf("%v latency %d < 1", c, c.Latency())
+		}
+	}
+	if !(IntALU.Latency() < IntMul.Latency() && IntMul.Latency() < IntDiv.Latency()) {
+		t.Error("integer latency ordering broken")
+	}
+	if !(FPALU.Latency() < FPMul.Latency() && FPMul.Latency() < FPDiv.Latency()) {
+		t.Error("FP latency ordering broken")
+	}
+}
+
+func TestPipelined(t *testing.T) {
+	if IntDiv.Pipelined() || FPDiv.Pipelined() {
+		t.Error("divides must be unpipelined")
+	}
+	for _, c := range []Class{NOP, IntALU, IntMul, Load, Store, Branch, FPALU, FPMul} {
+		if !c.Pipelined() {
+			t.Errorf("%v should be pipelined", c)
+		}
+	}
+}
+
+func TestFUMapping(t *testing.T) {
+	cases := map[Class]FUKind{
+		NOP: FUIntALU, IntALU: FUIntALU, Branch: FUIntALU, Call: FUIntALU,
+		Return: FUIntALU, IntMul: FUIntMulDiv, IntDiv: FUIntMulDiv,
+		Load: FULoadStore, Store: FULoadStore,
+		FPALU: FUFPALU, FPMul: FUFPMulDiv, FPDiv: FUFPMulDiv,
+	}
+	for c, want := range cases {
+		if got := c.FU(); got != want {
+			t.Errorf("%v.FU() = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestFUKindString(t *testing.T) {
+	if FUIntALU.String() != "IALU" || FUFPMulDiv.String() != "FPMULDIV" {
+		t.Error("FU kind names wrong")
+	}
+	if got := FUKind(99).String(); got != "fu(99)" {
+		t.Errorf("unknown FU kind string = %q", got)
+	}
+}
+
+func TestRegID(t *testing.T) {
+	if RegNone.Valid() {
+		t.Error("RegNone must be invalid")
+	}
+	if !RegID(0).Valid() || !RegID(NumRegs-1).Valid() {
+		t.Error("in-range registers must be valid")
+	}
+	if RegID(NumRegs).Valid() {
+		t.Error("out-of-range register valid")
+	}
+	if RegID(0).IsFP() {
+		t.Error("r0 is not FP")
+	}
+	if !FirstFPReg.IsFP() || !FPScratch.IsFP() {
+		t.Error("FP registers misclassified")
+	}
+	if IntScratch.IsFP() {
+		t.Error("IntScratch misclassified as FP")
+	}
+}
+
+func TestNextPC(t *testing.T) {
+	in := Instruction{PC: 100, Class: IntALU}
+	if in.NextPC() != 104 || in.FallThrough() != 104 {
+		t.Error("sequential NextPC wrong")
+	}
+	br := Instruction{PC: 100, Class: Branch, Taken: true, Target: 400}
+	if br.NextPC() != 400 {
+		t.Error("taken branch NextPC wrong")
+	}
+	nt := Instruction{PC: 100, Class: Branch, Taken: false, Target: 400}
+	if nt.NextPC() != 104 {
+		t.Error("not-taken branch NextPC wrong")
+	}
+	// A taken target only applies to CTIs.
+	ld := Instruction{PC: 100, Class: Load, Taken: true, Target: 400}
+	if ld.NextPC() != 104 {
+		t.Error("non-CTI must fall through")
+	}
+}

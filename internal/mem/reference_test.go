@@ -1,0 +1,103 @@
+package mem
+
+import (
+	"testing"
+
+	"smtavf/internal/rng"
+)
+
+// refCache is a deliberately naive set-associative LRU model: a map per
+// set plus an access-order list. The real Cache must agree with it on
+// every hit/miss decision over randomized access sequences.
+type refCache struct {
+	sets, ways, line int
+	data             []map[uint64]uint64 // set -> lineAddr -> last-use tick
+	tick             uint64
+}
+
+func newRefCache(size, ways, line int) *refCache {
+	sets := size / (ways * line)
+	r := &refCache{sets: sets, ways: ways, line: line}
+	for i := 0; i < sets; i++ {
+		r.data = append(r.data, map[uint64]uint64{})
+	}
+	return r
+}
+
+func (r *refCache) access(addr uint64) (hit bool) {
+	r.tick++
+	la := addr &^ (uint64(r.line) - 1)
+	set := int(la/uint64(r.line)) % r.sets
+	m := r.data[set]
+	if _, ok := m[la]; ok {
+		m[la] = r.tick
+		return true
+	}
+	if len(m) >= r.ways {
+		// Evict the least recently used line.
+		var victim uint64
+		oldest := r.tick + 1
+		for a, tk := range m {
+			if tk < oldest {
+				oldest = tk
+				victim = a
+			}
+		}
+		delete(m, victim)
+	}
+	m[la] = r.tick
+	return false
+}
+
+// TestCacheAgreesWithReferenceModel drives the production cache and the
+// naive model with identical random access streams and requires identical
+// hit/miss decisions — the LRU bookkeeping (rank vectors) must behave
+// exactly like a true LRU list.
+func TestCacheAgreesWithReferenceModel(t *testing.T) {
+	for _, cfg := range []Config{
+		{Name: "small", Size: 1 << 10, Ways: 2, LineSize: 64, Latency: 1},
+		{Name: "assoc", Size: 4 << 10, Ways: 8, LineSize: 32, Latency: 1},
+		{Name: "direct", Size: 2 << 10, Ways: 1, LineSize: 64, Latency: 1},
+	} {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			c := New(cfg, nil, 0, nil, 0, 0) // zero miss latency: timing out of scope
+			ref := newRefCache(cfg.Size, cfg.Ways, cfg.LineSize)
+			rnd := rng.New(42)
+			// Skewed address distribution: hot region + occasional far
+			// accesses, to exercise both hits and evictions.
+			for i := 0; i < 200_000; i++ {
+				var addr uint64
+				if rnd.Bool(0.8) {
+					addr = rnd.Uint64n(uint64(cfg.Size) * 2)
+				} else {
+					addr = rnd.Uint64n(uint64(cfg.Size) * 64)
+				}
+				now := uint64(i)
+				got := c.Access(now, addr, 8, rnd.Bool(0.3), 0)
+				want := ref.access(addr)
+				if (got.Kind == Hit) != want {
+					t.Fatalf("access %d (addr %#x): cache says hit=%v, reference says %v",
+						i, addr, got.Kind == Hit, want)
+				}
+			}
+		})
+	}
+}
+
+// TestTLBAgreesWithReferenceModel does the same for the TLB's LRU.
+func TestTLBAgreesWithReferenceModel(t *testing.T) {
+	cfg := TLBConfig{Name: "ref", Entries: 64, Ways: 4, PageSize: 4096, MissPenalty: 0}
+	tl := NewTLB(cfg, nil, 0)
+	ref := newRefCache(64*4096, 4, 4096) // pages as lines
+	rnd := rng.New(7)
+	for i := 0; i < 100_000; i++ {
+		page := rnd.Uint64n(512)
+		addr := page * 4096
+		_, miss := tl.Access(uint64(i), addr, 0)
+		want := ref.access(addr)
+		if !miss != want {
+			t.Fatalf("access %d (page %d): TLB hit=%v, reference %v", i, page, !miss, want)
+		}
+	}
+}

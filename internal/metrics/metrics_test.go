@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws, err := WeightedSpeedup([]float64{1, 1}, []float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ws-0.75) > 1e-12 {
+		t.Fatalf("weighted speedup = %v, want 0.75", ws)
+	}
+}
+
+func TestWeightedSpeedupErrors(t *testing.T) {
+	if _, err := WeightedSpeedup([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero single-thread IPC accepted")
+	}
+}
+
+func TestHarmonicIPC(t *testing.T) {
+	// Equal speedups of 0.5 each: harmonic mean is 0.5.
+	h, err := HarmonicIPC([]float64{1, 2}, []float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-0.5) > 1e-12 {
+		t.Fatalf("harmonic = %v, want 0.5", h)
+	}
+}
+
+func TestHarmonicPenalizesUnfairness(t *testing.T) {
+	// Same total speedup, distributed unevenly: harmonic must be lower.
+	fair, _ := HarmonicIPC([]float64{1, 1}, []float64{2, 2})
+	unfair, _ := HarmonicIPC([]float64{1.8, 0.2}, []float64{2, 2})
+	if unfair >= fair {
+		t.Fatalf("harmonic did not penalize unfairness: %v >= %v", unfair, fair)
+	}
+	// Whereas weighted speedup is indifferent.
+	a, _ := WeightedSpeedup([]float64{1, 1}, []float64{2, 2})
+	b, _ := WeightedSpeedup([]float64{1.8, 0.2}, []float64{2, 2})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatal("weighted speedup should not change")
+	}
+}
+
+func TestHarmonicErrors(t *testing.T) {
+	if _, err := HarmonicIPC([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero SMT IPC accepted")
+	}
+	if _, err := HarmonicIPC([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero ST IPC accepted")
+	}
+	if _, err := HarmonicIPC([]float64{1, 1}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if Efficiency(2, 0.5) != 4 {
+		t.Error("efficiency math wrong")
+	}
+	if Efficiency(2, 0) != 0 {
+		t.Error("zero AVF must yield 0, not Inf")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 4, 6}, 2)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Normalize = %v", out)
+		}
+	}
+	for _, v := range Normalize([]float64{1, 2}, 0) {
+		if v != 0 {
+			t.Fatal("zero base must normalize to zeros")
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean math wrong")
+	}
+}

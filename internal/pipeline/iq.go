@@ -1,0 +1,114 @@
+package pipeline
+
+import "sort"
+
+// IQ is the shared issue queue (paper Table 1: 96 entries). Entries wait
+// for their source operands; ready entries are selected oldest-first up to
+// the issue width each cycle.
+type IQ struct {
+	capacity int
+	entries  []*Uop
+	// perThread counts occupied entries per thread, for the ICOUNT fetch
+	// policy and for static-partition ablations.
+	perThread []int
+	partition int // per-thread entry cap; 0 = fully shared
+}
+
+// NewIQ builds an issue queue with the given capacity for the given number
+// of threads. partition, if nonzero, statically caps each thread's share
+// (the reliability-aware IQ-partition ablation of DESIGN.md §8).
+func NewIQ(capacity, threads, partition int) *IQ {
+	return &IQ{
+		capacity:  capacity,
+		entries:   make([]*Uop, 0, capacity),
+		perThread: make([]int, threads),
+		partition: partition,
+	}
+}
+
+// Len returns the number of occupied entries.
+func (q *IQ) Len() int { return len(q.entries) }
+
+// Capacity returns the total entry count.
+func (q *IQ) Capacity() int { return q.capacity }
+
+// ThreadCount returns the number of entries occupied by thread tid.
+func (q *IQ) ThreadCount(tid int) int { return q.perThread[tid] }
+
+// CanInsert reports whether thread tid may insert another entry.
+func (q *IQ) CanInsert(tid int) bool {
+	if len(q.entries) >= q.capacity {
+		return false
+	}
+	if q.partition > 0 && q.perThread[tid] >= q.partition {
+		return false
+	}
+	return true
+}
+
+// Insert places u in the queue at cycle now. The caller must have checked
+// CanInsert.
+func (q *IQ) Insert(u *Uop, now uint64) {
+	if !q.CanInsert(u.TID) {
+		panic("pipeline: IQ insert without capacity")
+	}
+	u.InIQ = true
+	u.EnterIQ = now
+	q.entries = append(q.entries, u)
+	q.perThread[u.TID]++
+}
+
+// remove deletes entry i, closing its residency at cycle now.
+func (q *IQ) remove(i int, now uint64) {
+	u := q.entries[i]
+	u.InIQ = false
+	u.IQCycles += now - u.EnterIQ
+	q.perThread[u.TID]--
+	q.entries[i] = q.entries[len(q.entries)-1]
+	q.entries = q.entries[:len(q.entries)-1]
+}
+
+// Candidates returns the entries satisfying ready, oldest first, without
+// removing them. The core picks from the front, subject to function-unit
+// and port availability, and removes issued entries with Remove.
+func (q *IQ) Candidates(ready func(*Uop) bool) []*Uop {
+	var cand []*Uop
+	for _, u := range q.entries {
+		if ready(u) {
+			cand = append(cand, u)
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i].GSeq < cand[j].GSeq })
+	return cand
+}
+
+// Remove deletes u from the queue, closing its residency at cycle now.
+func (q *IQ) Remove(u *Uop, now uint64) {
+	for i, e := range q.entries {
+		if e == u {
+			q.remove(i, now)
+			return
+		}
+	}
+	panic("pipeline: IQ remove of absent entry")
+}
+
+// SquashThread removes every entry of thread tid with GSeq > after,
+// closing residencies at cycle now, and returns the removed uops.
+func (q *IQ) SquashThread(tid int, after uint64, now uint64) []*Uop {
+	var out []*Uop
+	for i := 0; i < len(q.entries); {
+		u := q.entries[i]
+		if u.TID == tid && u.GSeq > after {
+			q.remove(i, now)
+			out = append(out, u)
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+// Occupied returns the entries currently in the queue (unsorted); callers
+// must not mutate queue membership through it.
+func (q *IQ) Occupied() []*Uop { return q.entries }

@@ -1,0 +1,105 @@
+package pipeline
+
+import "smtavf/internal/isa"
+
+// LSQ is one thread's load/store queue (paper Table 1: 48 entries per
+// thread): memory uops in program order. Its tag array (addresses) and
+// data array (store data and returned load data) are AVF tracked
+// separately, matching the paper's LSQ_tag and LSQ_data series.
+type LSQ struct {
+	buf  []*Uop
+	head int
+	n    int
+}
+
+// NewLSQ builds a load/store queue with the given capacity.
+func NewLSQ(capacity int) *LSQ {
+	return &LSQ{buf: make([]*Uop, capacity)}
+}
+
+// Len returns the number of occupied entries.
+func (q *LSQ) Len() int { return q.n }
+
+// Capacity returns the entry count.
+func (q *LSQ) Capacity() int { return len(q.buf) }
+
+// Full reports whether no entries remain.
+func (q *LSQ) Full() bool { return q.n == len(q.buf) }
+
+// Push appends the memory uop u at the tail at cycle now.
+func (q *LSQ) Push(u *Uop, now uint64) {
+	if q.Full() {
+		panic("pipeline: LSQ push when full")
+	}
+	u.EnterLSQ = now
+	u.LSQIdx = (q.head + q.n) % len(q.buf)
+	q.buf[u.LSQIdx] = u
+	q.n++
+}
+
+// PopHead removes the oldest entry, which must be u, closing its tag and
+// data residencies at cycle now.
+func (q *LSQ) PopHead(u *Uop, now uint64) {
+	if q.n == 0 || q.buf[q.head] != u {
+		panic("pipeline: LSQ pop out of order")
+	}
+	q.closeEntry(u, now)
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+}
+
+// PopTail removes the youngest entry (squash rollback), closing residency.
+func (q *LSQ) PopTail(now uint64) *Uop {
+	if q.n == 0 {
+		panic("pipeline: LSQ tail pop when empty")
+	}
+	i := (q.head + q.n - 1) % len(q.buf)
+	u := q.buf[i]
+	q.closeEntry(u, now)
+	q.buf[i] = nil
+	q.n--
+	return u
+}
+
+func (q *LSQ) closeEntry(u *Uop, now uint64) {
+	u.LSQTagCycles += now - u.EnterLSQ
+	if u.DataAt > 0 && now > u.DataAt {
+		u.LSQDataCycles += now - u.DataAt
+	}
+}
+
+// Tail returns the youngest entry, or nil when empty.
+func (q *LSQ) Tail() *Uop {
+	if q.n == 0 {
+		return nil
+	}
+	return q.buf[(q.head+q.n-1)%len(q.buf)]
+}
+
+// ForwardCheck inspects the stores older than the load ld. It returns:
+//
+//   - forward=true when an older store to the same address has its data
+//     ready — the load is satisfied in the queue;
+//   - wait=true when some older store's address or data is still unknown,
+//     so the load cannot safely access the cache yet (conservative memory
+//     disambiguation, which needs no misspeculation recovery).
+func (q *LSQ) ForwardCheck(ld *Uop) (forward, wait bool) {
+	for i := 0; i < q.n; i++ {
+		u := q.buf[(q.head+i)%len(q.buf)]
+		if u == ld {
+			break
+		}
+		if u.Class != isa.Store {
+			continue
+		}
+		if !u.Executed {
+			// Address/data not yet computed: possible conflict.
+			return false, true
+		}
+		if u.Addr == ld.Addr {
+			forward = true // youngest prior match wins; keep scanning
+		}
+	}
+	return forward, false
+}

@@ -1,0 +1,500 @@
+package pipeline
+
+import (
+	"testing"
+
+	"smtavf/internal/avf"
+	"smtavf/internal/isa"
+)
+
+func newUop(tid int, gseq uint64, class isa.Class) *Uop {
+	return &Uop{
+		Instruction: isa.Instruction{Class: class, Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone},
+		TID:         tid, GSeq: gseq, PhysDest: -1, OldPhysDest: -1, LSQIdx: -1,
+	}
+}
+
+func trackerFor(threads int) *avf.Tracker {
+	var bits [avf.NumStructs]uint64
+	for i := range bits {
+		bits[i] = 1 << 20
+	}
+	return avf.NewTracker(threads, bits)
+}
+
+// --- IQ ---
+
+func TestIQInsertRemoveResidency(t *testing.T) {
+	q := NewIQ(4, 1, 0)
+	u := newUop(0, 1, isa.IntALU)
+	q.Insert(u, 10)
+	if !u.InIQ || q.Len() != 1 || q.ThreadCount(0) != 1 {
+		t.Fatal("insert bookkeeping wrong")
+	}
+	q.Remove(u, 25)
+	if u.InIQ || q.Len() != 0 || q.ThreadCount(0) != 0 {
+		t.Fatal("remove bookkeeping wrong")
+	}
+	if u.IQCycles != 15 {
+		t.Fatalf("IQ residency %d, want 15", u.IQCycles)
+	}
+}
+
+func TestIQCapacity(t *testing.T) {
+	q := NewIQ(2, 1, 0)
+	q.Insert(newUop(0, 1, isa.IntALU), 0)
+	q.Insert(newUop(0, 2, isa.IntALU), 0)
+	if q.CanInsert(0) {
+		t.Fatal("full IQ accepts inserts")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-insert did not panic")
+		}
+	}()
+	q.Insert(newUop(0, 3, isa.IntALU), 0)
+}
+
+func TestIQPartition(t *testing.T) {
+	q := NewIQ(8, 2, 2)
+	q.Insert(newUop(0, 1, isa.IntALU), 0)
+	q.Insert(newUop(0, 2, isa.IntALU), 0)
+	if q.CanInsert(0) {
+		t.Fatal("partition cap not enforced")
+	}
+	if !q.CanInsert(1) {
+		t.Fatal("partition must be per thread")
+	}
+}
+
+func TestIQCandidatesOldestFirst(t *testing.T) {
+	q := NewIQ(8, 1, 0)
+	u3 := newUop(0, 3, isa.IntALU)
+	u1 := newUop(0, 1, isa.IntALU)
+	u2 := newUop(0, 2, isa.IntALU)
+	q.Insert(u3, 0)
+	q.Insert(u1, 0)
+	q.Insert(u2, 0)
+	cand := q.Candidates(func(u *Uop) bool { return u.GSeq != 2 })
+	if len(cand) != 2 || cand[0] != u1 || cand[1] != u3 {
+		t.Fatalf("candidates wrong: %v", cand)
+	}
+}
+
+func TestIQSquashThread(t *testing.T) {
+	q := NewIQ(8, 2, 0)
+	keep := newUop(0, 1, isa.IntALU)
+	gone := newUop(0, 5, isa.IntALU)
+	other := newUop(1, 9, isa.IntALU)
+	q.Insert(keep, 0)
+	q.Insert(gone, 0)
+	q.Insert(other, 0)
+	removed := q.SquashThread(0, 1, 10)
+	if len(removed) != 1 || removed[0] != gone {
+		t.Fatalf("squash removed %v", removed)
+	}
+	if q.Len() != 2 || q.ThreadCount(0) != 1 || q.ThreadCount(1) != 1 {
+		t.Fatal("squash bookkeeping wrong")
+	}
+}
+
+func TestIQRemoveAbsentPanics(t *testing.T) {
+	q := NewIQ(4, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	q.Remove(newUop(0, 1, isa.IntALU), 0)
+}
+
+// --- ROB ---
+
+func TestROBFIFO(t *testing.T) {
+	r := NewROB(3)
+	u1, u2, u3 := newUop(0, 1, isa.IntALU), newUop(0, 2, isa.IntALU), newUop(0, 3, isa.IntALU)
+	r.Push(u1, 0)
+	r.Push(u2, 0)
+	r.Push(u3, 0)
+	if !r.Full() {
+		t.Fatal("ROB should be full")
+	}
+	if r.Head() != u1 || r.Tail() != u3 || r.At(1) != u2 {
+		t.Fatal("ordering wrong")
+	}
+	if got := r.PopHead(10); got != u1 || got.ROBCycles != 10 {
+		t.Fatal("pop head wrong")
+	}
+	if got := r.PopTail(20); got != u3 || got.ROBCycles != 20 {
+		t.Fatal("pop tail wrong")
+	}
+	if r.Len() != 1 {
+		t.Fatal("length wrong")
+	}
+}
+
+func TestROBWrapAround(t *testing.T) {
+	r := NewROB(2)
+	for i := uint64(0); i < 10; i++ {
+		u := newUop(0, i, isa.IntALU)
+		r.Push(u, 0)
+		if got := r.PopHead(1); got != u {
+			t.Fatalf("wrap iteration %d broken", i)
+		}
+	}
+}
+
+func TestROBPanics(t *testing.T) {
+	r := NewROB(1)
+	mustPanic(t, func() { r.PopHead(0) })
+	mustPanic(t, func() { r.PopTail(0) })
+	r.Push(newUop(0, 1, isa.IntALU), 0)
+	mustPanic(t, func() { r.Push(newUop(0, 2, isa.IntALU), 0) })
+	mustPanic(t, func() { r.At(1) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+// --- LSQ ---
+
+func TestLSQResidencyAccounting(t *testing.T) {
+	q := NewLSQ(4)
+	ld := newUop(0, 1, isa.Load)
+	q.Push(ld, 10)
+	ld.DataAt = 30 // datum arrives
+	q.PopHead(ld, 50)
+	if ld.LSQTagCycles != 40 {
+		t.Fatalf("tag residency %d, want 40", ld.LSQTagCycles)
+	}
+	if ld.LSQDataCycles != 20 {
+		t.Fatalf("data residency %d, want 20", ld.LSQDataCycles)
+	}
+}
+
+func TestLSQPopOrderEnforced(t *testing.T) {
+	q := NewLSQ(4)
+	a, b := newUop(0, 1, isa.Load), newUop(0, 2, isa.Store)
+	q.Push(a, 0)
+	q.Push(b, 0)
+	mustPanic(t, func() { q.PopHead(b, 10) })
+}
+
+func TestLSQForwarding(t *testing.T) {
+	q := NewLSQ(8)
+	st := newUop(0, 1, isa.Store)
+	st.Addr = 0x1000
+	ld := newUop(0, 2, isa.Load)
+	ld.Addr = 0x1000
+	q.Push(st, 0)
+	q.Push(ld, 0)
+	// Store not yet executed: the load must wait.
+	if _, wait := q.ForwardCheck(ld); !wait {
+		t.Fatal("load did not wait for an unresolved older store")
+	}
+	st.Executed = true
+	fwd, wait := q.ForwardCheck(ld)
+	if wait || !fwd {
+		t.Fatalf("forward=%v wait=%v, want forwarding", fwd, wait)
+	}
+	// A different address: no forwarding, no wait.
+	ld2 := newUop(0, 3, isa.Load)
+	ld2.Addr = 0x2000
+	q.Push(ld2, 0)
+	fwd, wait = q.ForwardCheck(ld2)
+	if fwd || wait {
+		t.Fatal("unrelated load affected by store")
+	}
+}
+
+func TestLSQForwardOnlyOlderStores(t *testing.T) {
+	q := NewLSQ(8)
+	ld := newUop(0, 1, isa.Load)
+	ld.Addr = 0x1000
+	st := newUop(0, 2, isa.Store) // younger than the load
+	st.Addr = 0x1000
+	st.Executed = true
+	q.Push(ld, 0)
+	q.Push(st, 0)
+	if fwd, wait := q.ForwardCheck(ld); fwd || wait {
+		t.Fatal("younger store affected an older load")
+	}
+}
+
+func TestLSQPopTail(t *testing.T) {
+	q := NewLSQ(4)
+	a, b := newUop(0, 1, isa.Load), newUop(0, 2, isa.Store)
+	q.Push(a, 0)
+	q.Push(b, 5)
+	if got := q.PopTail(15); got != b || b.LSQTagCycles != 10 {
+		t.Fatal("pop tail wrong")
+	}
+	if q.Tail() != a {
+		t.Fatal("tail after pop wrong")
+	}
+}
+
+// --- RegFile ---
+
+func TestRenameAndReadiness(t *testing.T) {
+	rf := NewRegFile(64, 64, 1, nil, DefaultBits())
+	u := newUop(0, 1, isa.IntALU)
+	u.Src1, u.Src2, u.Dest = 1, 2, 3
+	rf.Rename(u, 0)
+	if u.PhysSrc1 < 0 || u.PhysSrc2 < 0 || u.PhysDest < 0 {
+		t.Fatal("rename incomplete")
+	}
+	// Initial architectural registers are ready; the new dest is not.
+	if !rf.Ready(u.PhysSrc1) || rf.Ready(u.PhysDest) {
+		t.Fatal("readiness wrong after rename")
+	}
+	rf.Write(u.PhysDest, 5)
+	if !rf.Ready(u.PhysDest) {
+		t.Fatal("writeback did not set ready")
+	}
+	// A consumer renamed later must see the new mapping.
+	v := newUop(0, 2, isa.IntALU)
+	v.Src1, v.Dest = 3, 4
+	rf.Rename(v, 6)
+	if v.PhysSrc1 != u.PhysDest {
+		t.Fatal("consumer not mapped to producer's register")
+	}
+}
+
+func TestRenameExhaustionAndCommitFree(t *testing.T) {
+	rf := NewRegFile(33, 32, 1, nil, DefaultBits()) // one spare int reg
+	u := newUop(0, 1, isa.IntALU)
+	u.Dest = 5
+	if !rf.CanRename(u.Dest) {
+		t.Fatal("one spare register should allow a rename")
+	}
+	rf.Rename(u, 0)
+	if rf.CanRename(isa.RegID(6)) {
+		t.Fatal("pool exhausted but rename allowed")
+	}
+	// Committing u frees the old mapping of r5.
+	rf.CommitFree(u.OldPhysDest, 10)
+	if !rf.CanRename(isa.RegID(6)) {
+		t.Fatal("commit did not free a register")
+	}
+}
+
+func TestRollbackRestoresMapping(t *testing.T) {
+	rf := NewRegFile(64, 64, 1, nil, DefaultBits())
+	before := rf.Mapping(0, 7)
+	u := newUop(0, 1, isa.IntALU)
+	u.Dest = 7
+	rf.Rename(u, 0)
+	if rf.Mapping(0, 7) == before {
+		t.Fatal("rename did not change mapping")
+	}
+	rf.Rollback(u, 5)
+	if rf.Mapping(0, 7) != before {
+		t.Fatal("rollback did not restore mapping")
+	}
+	if rf.FreeCount(false) != 64-32 {
+		t.Fatal("rollback did not free the register")
+	}
+}
+
+func TestRegisterAVFLifetime(t *testing.T) {
+	trk := trackerFor(1)
+	bits := DefaultBits()
+	rf := NewRegFile(64, 64, 1, trk, bits)
+	u := newUop(0, 1, isa.IntALU)
+	u.Dest = 3
+	rf.Rename(u, 100) // alloc at 100
+	rf.Write(u.PhysDest, 150)
+	rf.Read(u.PhysDest, 180)
+	rf.Read(u.PhysDest, 220) // last read
+	// Free it by committing an overwriting instruction.
+	v := newUop(0, 2, isa.IntALU)
+	v.Dest = 3
+	rf.Rename(v, 230)
+	rf.CommitFree(v.OldPhysDest, 300) // frees u's register
+	// ACE interval: write(150) → last read(220) = 70 cycles.
+	if got := trk.ACEBitCycles(avf.Reg); got != 70*bits.RegEntry {
+		t.Fatalf("register ACE bit-cycles = %d, want %d", got, 70*bits.RegEntry)
+	}
+}
+
+func TestSquashedRegisterEntirelyUnACE(t *testing.T) {
+	trk := trackerFor(1)
+	rf := NewRegFile(64, 64, 1, trk, DefaultBits())
+	u := newUop(0, 1, isa.IntALU)
+	u.Dest = 3
+	rf.Rename(u, 100)
+	rf.Write(u.PhysDest, 150)
+	rf.Read(u.PhysDest, 180)
+	rf.Rollback(u, 200)
+	if got := trk.ACEBitCycles(avf.Reg); got != 0 {
+		t.Fatalf("squashed register counted ACE: %d", got)
+	}
+}
+
+func TestNeverReadRegisterUnACEAfterWrite(t *testing.T) {
+	trk := trackerFor(1)
+	rf := NewRegFile(64, 64, 1, trk, DefaultBits())
+	u := newUop(0, 1, isa.IntALU)
+	u.Dest = 3
+	rf.Rename(u, 100)
+	rf.Write(u.PhysDest, 150)
+	v := newUop(0, 2, isa.IntALU)
+	v.Dest = 3
+	rf.Rename(v, 160)
+	rf.CommitFree(v.OldPhysDest, 300)
+	if got := trk.ACEBitCycles(avf.Reg); got != 0 {
+		t.Fatalf("never-read register counted ACE: %d", got)
+	}
+}
+
+func TestRegFileTooSmallPanics(t *testing.T) {
+	mustPanic(t, func() { NewRegFile(63, 64, 2, nil, DefaultBits()) })
+}
+
+func TestFPBankSeparate(t *testing.T) {
+	rf := NewRegFile(64, 64, 1, nil, DefaultBits())
+	u := newUop(0, 1, isa.FPALU)
+	u.Dest = isa.FirstFPReg + 3
+	rf.Rename(u, 0)
+	if u.PhysDest < 64 {
+		t.Fatal("FP destination allocated from the integer bank")
+	}
+	if rf.FreeCount(true) != 31 || rf.FreeCount(false) != 32 {
+		t.Fatalf("free counts %d/%d", rf.FreeCount(false), rf.FreeCount(true))
+	}
+}
+
+func TestCloseAccountingCoversLiveRegisters(t *testing.T) {
+	trk := trackerFor(1)
+	bits := DefaultBits()
+	rf := NewRegFile(64, 64, 1, trk, bits)
+	// Architectural register read late in the run: ACE from 0 to the read.
+	p := rf.Mapping(0, 9)
+	rf.Read(p, 500)
+	rf.CloseAccounting(1000)
+	if got := trk.ACEBitCycles(avf.Reg); got != 500*bits.RegEntry {
+		t.Fatalf("live register ACE = %d, want %d", got, 500*bits.RegEntry)
+	}
+}
+
+// --- FUPool ---
+
+func TestFUPoolPipelined(t *testing.T) {
+	p := NewFUPool(DefaultFUCounts())
+	// Eight IALUs: eight issues in one cycle, the ninth fails.
+	for i := 0; i < 8; i++ {
+		if !p.TryIssue(isa.IntALU, 10) {
+			t.Fatalf("issue %d failed", i)
+		}
+	}
+	if p.TryIssue(isa.IntALU, 10) {
+		t.Fatal("ninth IALU issue granted")
+	}
+	if !p.TryIssue(isa.IntALU, 11) {
+		t.Fatal("pipelined unit not free next cycle")
+	}
+}
+
+func TestFUPoolUnpipelinedDivide(t *testing.T) {
+	p := NewFUPool(DefaultFUCounts())
+	for i := 0; i < 4; i++ {
+		if !p.TryIssue(isa.IntDiv, 0) {
+			t.Fatalf("divide issue %d failed", i)
+		}
+	}
+	// All four divide units busy for the full latency.
+	if p.TryIssue(isa.IntDiv, 5) {
+		t.Fatal("busy divider granted")
+	}
+	if !p.TryIssue(isa.IntDiv, uint64(isa.IntDiv.Latency())) {
+		t.Fatal("divider not free after latency")
+	}
+}
+
+func TestFUPoolSharedMulDiv(t *testing.T) {
+	p := NewFUPool(DefaultFUCounts())
+	// Divides occupy the IMULDIV units multiplies need.
+	for i := 0; i < 4; i++ {
+		p.TryIssue(isa.IntDiv, 0)
+	}
+	if p.TryIssue(isa.IntMul, 1) {
+		t.Fatal("multiply granted while dividers hold the pool")
+	}
+}
+
+func TestFUUtilization(t *testing.T) {
+	p := NewFUPool(DefaultFUCounts())
+	p.TryIssue(isa.IntALU, 0)
+	if got := p.Utilization(28); got <= 0 || got > 1 {
+		t.Fatalf("utilization %v out of range", got)
+	}
+	if p.Utilization(0) != 0 {
+		t.Fatal("zero-cycle utilization")
+	}
+}
+
+// --- Uop classification ---
+
+func TestClassifyACE(t *testing.T) {
+	trk := trackerFor(1)
+	bits := DefaultBits()
+	u := newUop(0, 1, isa.IntALU)
+	u.IQCycles, u.ROBCycles, u.FUCycles = 10, 20, 1
+	u.Classify(trk, bits, false)
+	if trk.ACEBitCycles(avf.IQ) != 10*bits.IQEntry {
+		t.Fatal("IQ classification wrong")
+	}
+	if trk.ACEBitCycles(avf.ROB) != 20*bits.ROBEntry {
+		t.Fatal("ROB classification wrong")
+	}
+	if trk.ACEBitCycles(avf.FU) != 1*bits.FUUnit {
+		t.Fatal("FU classification wrong")
+	}
+}
+
+func TestClassifyUnACECases(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mod  func(*Uop)
+		sq   bool
+	}{
+		{"nop", func(u *Uop) { u.Class = isa.NOP }, false},
+		{"dead", func(u *Uop) { u.Dead = true }, false},
+		{"wrongpath", func(u *Uop) { u.WrongPath = true }, false},
+		{"squashed", func(u *Uop) {}, true},
+	} {
+		trk := trackerFor(1)
+		u := newUop(0, 1, isa.IntALU)
+		u.IQCycles = 10
+		tc.mod(u)
+		u.Classify(trk, DefaultBits(), tc.sq)
+		if trk.ACEBitCycles(avf.IQ) != 0 {
+			t.Errorf("%s counted ACE", tc.name)
+		}
+		if trk.Occupancy(avf.IQ, 100) == 0 {
+			t.Errorf("%s residency lost entirely", tc.name)
+		}
+	}
+}
+
+func TestClassifyMemResidencies(t *testing.T) {
+	trk := trackerFor(1)
+	bits := DefaultBits()
+	u := newUop(0, 1, isa.Load)
+	u.LSQTagCycles, u.LSQDataCycles = 30, 12
+	u.Classify(trk, bits, false)
+	if trk.ACEBitCycles(avf.LSQTag) != 30*bits.LSQTagEntry {
+		t.Fatal("LSQ tag classification wrong")
+	}
+	if trk.ACEBitCycles(avf.LSQData) != 12*bits.LSQDataEntry {
+		t.Fatal("LSQ data classification wrong")
+	}
+}

@@ -1,0 +1,86 @@
+package pipeline
+
+// ROB is one thread's reorder buffer (paper Table 1: 96 entries per
+// thread): a FIFO of in-flight uops in program order, dequeued at commit
+// from the head and rolled back from the tail on a squash.
+type ROB struct {
+	buf  []*Uop
+	head int
+	n    int
+}
+
+// NewROB builds a reorder buffer with the given capacity.
+func NewROB(capacity int) *ROB {
+	return &ROB{buf: make([]*Uop, capacity)}
+}
+
+// Len returns the number of occupied entries.
+func (r *ROB) Len() int { return r.n }
+
+// Capacity returns the entry count.
+func (r *ROB) Capacity() int { return len(r.buf) }
+
+// Full reports whether no entries remain.
+func (r *ROB) Full() bool { return r.n == len(r.buf) }
+
+// Push appends u at the tail at cycle now.
+func (r *ROB) Push(u *Uop, now uint64) {
+	if r.Full() {
+		panic("pipeline: ROB push when full")
+	}
+	u.EnterROB = now
+	u.ROBIdx = (r.head + r.n) % len(r.buf)
+	r.buf[u.ROBIdx] = u
+	r.n++
+}
+
+// Head returns the oldest uop without removing it, or nil when empty.
+func (r *ROB) Head() *Uop {
+	if r.n == 0 {
+		return nil
+	}
+	return r.buf[r.head]
+}
+
+// PopHead removes and returns the oldest uop, closing its ROB residency at
+// cycle now.
+func (r *ROB) PopHead(now uint64) *Uop {
+	u := r.Head()
+	if u == nil {
+		panic("pipeline: ROB pop when empty")
+	}
+	u.ROBCycles += now - u.EnterROB
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return u
+}
+
+// Tail returns the youngest uop, or nil when empty.
+func (r *ROB) Tail() *Uop {
+	if r.n == 0 {
+		return nil
+	}
+	return r.buf[(r.head+r.n-1)%len(r.buf)]
+}
+
+// PopTail removes and returns the youngest uop (squash rollback), closing
+// its ROB residency at cycle now.
+func (r *ROB) PopTail(now uint64) *Uop {
+	u := r.Tail()
+	if u == nil {
+		panic("pipeline: ROB tail pop when empty")
+	}
+	u.ROBCycles += now - u.EnterROB
+	r.buf[(r.head+r.n-1)%len(r.buf)] = nil
+	r.n--
+	return u
+}
+
+// At returns the i-th oldest uop (0 = head).
+func (r *ROB) At(i int) *Uop {
+	if i < 0 || i >= r.n {
+		panic("pipeline: ROB index out of range")
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}

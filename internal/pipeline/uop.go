@@ -1,0 +1,106 @@
+// Package pipeline implements the microarchitecture structures of the
+// simulated SMT machine — instruction queue, per-thread reorder buffers and
+// load/store queues, the shared physical register file with renaming, and
+// the function-unit pools — each instrumented for ACE/un-ACE residency
+// accounting.
+package pipeline
+
+import (
+	"smtavf/internal/avf"
+	"smtavf/internal/isa"
+)
+
+// Uop is one in-flight dynamic instruction. Residency entry cycles are
+// logged as the uop moves through structures; when its fate is known
+// (commit or squash) the accumulated intervals are classified and added to
+// the AVF tracker.
+type Uop struct {
+	isa.Instruction
+	TID  int
+	GSeq uint64 // global fetch order, for age-based selection
+
+	// Speculation state.
+	WrongPath  bool // fetched down a mispredicted path; will be squashed
+	PredTaken  bool
+	PredTarget uint64
+	Mispred    bool // fetch-time prediction disagreed with the oracle outcome
+
+	// Rename state.
+	PhysSrc1, PhysSrc2 int
+	PhysDest           int // -1 when the uop writes no register
+	OldPhysDest        int // previous mapping of the architectural dest
+
+	// Pipeline state.
+	InIQ       bool
+	Issued     bool
+	Executed   bool   // finished execution / memory access; result available
+	FrontReady uint64 // cycle the uop clears the front-end pipe (dispatchable)
+	ReadyAt    uint64
+	ROBIdx     int
+	LSQIdx     int  // -1 for non-memory uops
+	FlushLoad  bool // the L2-missing load that triggered a FLUSH squash
+	Squashed   bool // removed by a pipeline squash; never commits
+
+	// Outstanding-miss bookkeeping for fetch policies: set when this load
+	// incremented the thread's counters, so squash can decrement them.
+	CountedL1, CountedL2 bool
+	PredL1, PredL2       bool // predicted to miss at fetch (PDG / STALLP)
+
+	// Memory state.
+	DL1Kind   int  // 0 hit, 1 L1 miss, 2 L2 miss (valid once executed)
+	Forwarded bool // load satisfied by store-to-load forwarding
+
+	// Residency log: cycle of entry into each structure, and accumulated
+	// cycles once the uop leaves it.
+	EnterIQ, IQCycles      uint64
+	EnterROB, ROBCycles    uint64
+	EnterLSQ, LSQTagCycles uint64
+	DataAt, LSQDataCycles  uint64 // LSQ data array: value arrival → dequeue
+	IssuedAt, FUCycles     uint64 // function-unit occupancy window
+}
+
+// ACE reports whether the uop's state was Architecturally required for
+// Correct Execution: it committed (not squashed), it is not a NOP, and its
+// result is consumed (not dynamically dead). Squash fate is passed by the
+// caller because the uop itself cannot know it.
+func (u *Uop) ACE(squashed bool) bool {
+	return !squashed && !u.WrongPath && u.Class != isa.NOP && !u.Dead
+}
+
+// Bits is the per-entry bit widths used for AVF numerators and
+// denominators. The absolute values scale both numerator and denominator
+// of a structure's AVF identically, so AVF is insensitive to them; they
+// matter only when structures are compared bit-for-bit.
+type Bits struct {
+	IQEntry      uint64 // opcode, two source tags, dest tag, immediate, flags
+	ROBEntry     uint64 // PC, dest, exception/complete state
+	LSQTagEntry  uint64 // address + control
+	LSQDataEntry uint64 // 64-bit datum
+	RegEntry     uint64 // 64-bit register
+	FUUnit       uint64 // datapath latches of one function unit
+}
+
+// DefaultBits returns the bit widths used throughout the paper
+// reproduction.
+func DefaultBits() Bits {
+	return Bits{
+		IQEntry:      80,
+		ROBEntry:     76,
+		LSQTagEntry:  52,
+		LSQDataEntry: 64,
+		RegEntry:     64,
+		FUUnit:       256,
+	}
+}
+
+// Classify adds the uop's accumulated residencies to the tracker with the
+// given fate. It must be called exactly once per uop, at commit or squash
+// time.
+func (u *Uop) Classify(trk *avf.Tracker, bits Bits, squashed bool) {
+	ace := u.ACE(squashed)
+	trk.AddInterval(avf.IQ, u.TID, bits.IQEntry, u.EnterIQ, u.EnterIQ+u.IQCycles, ace)
+	trk.AddInterval(avf.ROB, u.TID, bits.ROBEntry, u.EnterROB, u.EnterROB+u.ROBCycles, ace)
+	trk.AddInterval(avf.LSQTag, u.TID, bits.LSQTagEntry, u.EnterLSQ, u.EnterLSQ+u.LSQTagCycles, ace)
+	trk.AddInterval(avf.LSQData, u.TID, bits.LSQDataEntry, u.DataAt, u.DataAt+u.LSQDataCycles, ace)
+	trk.AddInterval(avf.FU, u.TID, bits.FUUnit, u.IssuedAt, u.IssuedAt+u.FUCycles, ace)
+}

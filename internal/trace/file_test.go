@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	gen := NewSynthetic(testProfile(), 5)
+	ins := Record(gen, 5000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, "test", ins); err != nil {
+		t.Fatal(err)
+	}
+	name, got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "test" {
+		t.Fatalf("name %q", name)
+	}
+	if len(got) != len(ins) {
+		t.Fatalf("%d records, want %d", len(got), len(ins))
+	}
+	for i := range ins {
+		if got[i] != ins[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got[i], ins[i])
+		}
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadTrace(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated record section.
+	gen := NewSynthetic(testProfile(), 5)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, "x", Record(gen, 10)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, _, err := ReadTrace(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestTraceNameLength(t *testing.T) {
+	var buf bytes.Buffer
+	long := strings.Repeat("x", 256)
+	if err := WriteTrace(&buf, long, nil); err == nil {
+		t.Fatal("over-long name accepted")
+	}
+}
+
+func TestReplayLoopsWithContinuousSeq(t *testing.T) {
+	gen := NewSynthetic(testProfile(), 7)
+	ins := Record(gen, 100)
+	r, err := NewReplay("loop", ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len %d", r.Len())
+	}
+	for i := uint64(0); i < 350; i++ {
+		in := r.Next()
+		if in.Seq != i {
+			t.Fatalf("replay seq %d at position %d", in.Seq, i)
+		}
+		// Laps repeat the same PCs.
+		if in.PC != ins[i%100].PC {
+			t.Fatalf("lap %d diverged at %d", i/100, i%100)
+		}
+	}
+}
+
+func TestReplayEmptyRejected(t *testing.T) {
+	if _, err := NewReplay("x", nil); err == nil {
+		t.Fatal("empty replay accepted")
+	}
+}
+
+func TestLoadTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bzip2.trc")
+	gen := NewSynthetic(testProfile(), 9)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(f, "bzip2", Record(gen, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "bzip2" || r.Len() != 200 {
+		t.Fatalf("loaded %q/%d", r.Name(), r.Len())
+	}
+	if _, err := LoadTraceFile(filepath.Join(dir, "missing.trc")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

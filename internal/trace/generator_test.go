@@ -1,0 +1,303 @@
+package trace
+
+import (
+	"testing"
+
+	"smtavf/internal/isa"
+)
+
+func testProfile() Profile {
+	return Profile{
+		Name: "test", LoadFrac: 0.25, StoreFrac: 0.10, BranchFrac: 0.12,
+		NopFrac: 0.03, FPFrac: 0.3, MulFrac: 0.05, DivFrac: 0.01,
+		DeadFrac: 0.08, WorkingSet: 64 << 10, StrideFrac: 0.7,
+		BranchPredictability: 0.9, CallFrac: 0.05, DepDist: 4,
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewSynthetic(testProfile(), 7)
+	b := NewSynthetic(testProfile(), 7)
+	for i := 0; i < 5000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	a := NewSynthetic(testProfile(), 1)
+	b := NewSynthetic(testProfile(), 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("different seeds produced %d/1000 identical instructions", same)
+	}
+}
+
+func TestSequenceNumbers(t *testing.T) {
+	g := NewSynthetic(testProfile(), 3)
+	for i := uint64(0); i < 10000; i++ {
+		if in := g.Next(); in.Seq != i {
+			t.Fatalf("instruction %d has Seq %d", i, in.Seq)
+		}
+	}
+}
+
+func TestInstructionMix(t *testing.T) {
+	p := testProfile()
+	g := NewSynthetic(p, 11)
+	const n = 200000
+	counts := make(map[isa.Class]int)
+	for i := 0; i < n; i++ {
+		counts[g.Next().Class]++
+	}
+	frac := func(cs ...isa.Class) float64 {
+		tot := 0
+		for _, c := range cs {
+			tot += counts[c]
+		}
+		return float64(tot) / n
+	}
+	// CTIs appear as block terminators sized from BranchFrac.
+	ctis := frac(isa.Branch, isa.Call, isa.Return)
+	if ctis < 0.08 || ctis > 0.18 {
+		t.Errorf("CTI fraction %.3f, want near %.2f", ctis, p.BranchFrac)
+	}
+	// Loads/stores/NOPs are drawn per-instruction from the body mix, which
+	// excludes terminators — allow proportional slack.
+	if got := frac(isa.Load); got < 0.18 || got > 0.30 {
+		t.Errorf("load fraction %.3f, want near %.2f", got, p.LoadFrac)
+	}
+	if got := frac(isa.Store); got < 0.06 || got > 0.14 {
+		t.Errorf("store fraction %.3f, want near %.2f", got, p.StoreFrac)
+	}
+	if got := frac(isa.NOP); got < 0.01 || got > 0.06 {
+		t.Errorf("nop fraction %.3f, want near %.2f", got, p.NopFrac)
+	}
+	if counts[isa.FPALU]+counts[isa.FPMul]+counts[isa.FPDiv] == 0 {
+		t.Error("no FP instructions with FPFrac=0.3")
+	}
+}
+
+func TestPCConsistency(t *testing.T) {
+	// The same PC must always carry the same class (static code).
+	g := NewSynthetic(testProfile(), 5)
+	classAt := make(map[uint64]isa.Class)
+	for i := 0; i < 50000; i++ {
+		in := g.Next()
+		if prev, ok := classAt[in.PC]; ok {
+			// Body instructions are drawn per visit, so only check CTIs,
+			// whose kind is fixed per block terminator. Calls can degrade
+			// to branches at max depth, so only check Branch stability.
+			if prev == isa.Branch && in.Class != isa.Branch && in.Class != isa.Call && in.Class != isa.Return {
+				t.Fatalf("PC %#x changed from %v to %v", in.PC, prev, in.Class)
+			}
+			continue
+		}
+		if in.Class.IsCTI() {
+			classAt[in.PC] = in.Class
+		}
+	}
+}
+
+func TestControlFlowContinuity(t *testing.T) {
+	// Each instruction must start where the previous one said it would.
+	g := NewSynthetic(testProfile(), 9)
+	prev := g.Next()
+	for i := 1; i < 50000; i++ {
+		in := g.Next()
+		// Falling off the last block wraps to the first — the one allowed
+		// discontinuity.
+		if in.PC != prev.NextPC() && in.PC != codeBase {
+			t.Fatalf("instruction %d at %#x, want %#x (after %v taken=%v)",
+				i, in.PC, prev.NextPC(), prev.Class, prev.Taken)
+		}
+		prev = in
+	}
+}
+
+func TestDeadResultsNeverSourced(t *testing.T) {
+	g := NewSynthetic(testProfile(), 13)
+	for i := 0; i < 100000; i++ {
+		in := g.Next()
+		if in.Dead && in.Dest != isa.IntScratch && in.Dest != isa.FPScratch {
+			t.Fatalf("dead instruction writes %v", in.Dest)
+		}
+		if in.Src1 == isa.IntScratch || in.Src1 == isa.FPScratch ||
+			in.Src2 == isa.IntScratch || in.Src2 == isa.FPScratch {
+			t.Fatalf("instruction sources a scratch register: %+v", in)
+		}
+	}
+}
+
+func TestMemOperandsWellFormed(t *testing.T) {
+	p := testProfile()
+	g := NewSynthetic(p, 17)
+	for i := 0; i < 50000; i++ {
+		in := g.Next()
+		if !in.Class.IsMem() {
+			continue
+		}
+		if in.Size == 0 || in.Size > 8 {
+			t.Fatalf("memory access size %d", in.Size)
+		}
+		if in.Addr < dataBase {
+			t.Fatalf("memory address %#x below data segment", in.Addr)
+		}
+		if !in.Src1.Valid() {
+			t.Fatal("memory op without a base register")
+		}
+		if in.Class == isa.Store && !in.Src2.Valid() {
+			t.Fatal("store without a data source")
+		}
+	}
+}
+
+func TestBranchBiasRoughlyPredictable(t *testing.T) {
+	// With predictability 0.95 a last-direction predictor per PC should
+	// be right much more often than chance.
+	p := testProfile()
+	p.BranchPredictability = 0.95
+	g := NewSynthetic(p, 19)
+	last := make(map[uint64]bool)
+	correct, total := 0, 0
+	for i := 0; i < 200000; i++ {
+		in := g.Next()
+		if in.Class != isa.Branch {
+			continue
+		}
+		if prev, ok := last[in.PC]; ok {
+			total++
+			if prev == in.Taken {
+				correct++
+			}
+		}
+		last[in.PC] = in.Taken
+	}
+	if total == 0 {
+		t.Fatal("no repeated branches")
+	}
+	if rate := float64(correct) / float64(total); rate < 0.75 {
+		t.Errorf("last-direction repeat rate %.3f, want > 0.75", rate)
+	}
+}
+
+func TestCallReturnBalance(t *testing.T) {
+	p := testProfile()
+	p.CallFrac = 0.15
+	g := NewSynthetic(p, 21)
+	depth, maxDepth := 0, 0
+	for i := 0; i < 100000; i++ {
+		in := g.Next()
+		switch in.Class {
+		case isa.Call:
+			if in.Taken {
+				depth++
+			}
+		case isa.Return:
+			if in.Taken {
+				depth--
+			}
+		}
+		if depth < 0 {
+			t.Fatal("return without a matching call")
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	if maxDepth == 0 {
+		t.Error("no calls taken with CallFrac=0.15")
+	}
+	if maxDepth > maxCallDepth {
+		t.Errorf("call depth %d exceeds cap %d", maxDepth, maxCallDepth)
+	}
+}
+
+func TestWorkingSetRespected(t *testing.T) {
+	p := testProfile()
+	p.HotFrac = 0.5
+	p.HotSet = 8 << 10
+	g := NewSynthetic(p, 23)
+	hot, cold := 0, 0
+	for i := 0; i < 100000; i++ {
+		in := g.Next()
+		if !in.Class.IsMem() {
+			continue
+		}
+		switch {
+		case in.Addr >= dataBase && in.Addr < dataBase+p.HotSet:
+			hot++
+		case in.Addr >= coldBase && in.Addr < coldBase+p.WorkingSet:
+			cold++
+		default:
+			t.Fatalf("address %#x outside both regions", in.Addr)
+		}
+	}
+	if hot == 0 || cold == 0 {
+		t.Fatalf("hot=%d cold=%d: expected traffic in both regions", hot, cold)
+	}
+	ratio := float64(hot) / float64(hot+cold)
+	if ratio < 0.35 || ratio > 0.65 {
+		t.Errorf("hot fraction %.3f, want near 0.5", ratio)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := Profile{}.withDefaults()
+	if p.Name == "" || p.WorkingSet == 0 || p.Stride == 0 ||
+		p.CodeBlocks == 0 || p.MeanBlockLen == 0 || p.DepDist == 0 ||
+		p.BranchPredictability == 0 || p.PageLocal == 0 || p.LoadStoreReuse == 0 {
+		t.Fatalf("defaults missing: %+v", p)
+	}
+}
+
+func TestBranchFracSizesBlocks(t *testing.T) {
+	p := Profile{BranchFrac: 0.10}.withDefaults()
+	if p.MeanBlockLen != 9 {
+		t.Fatalf("MeanBlockLen = %d, want 9 for BranchFrac 0.10", p.MeanBlockLen)
+	}
+}
+
+func TestWrongPathGenerator(t *testing.T) {
+	w := NewWrongPath(testProfile(), 31)
+	for i := 0; i < 10000; i++ {
+		pc := uint64(0x400000 + i*4)
+		in := w.Next(pc)
+		if in.PC != pc {
+			t.Fatalf("wrong-path PC %#x, want %#x", in.PC, pc)
+		}
+		if in.Class == isa.Branch && in.Taken {
+			t.Fatal("wrong-path branches must resolve not-taken")
+		}
+		if in.Class.IsMem() && in.Addr < dataBase {
+			t.Fatalf("wrong-path address %#x below data segment", in.Addr)
+		}
+	}
+}
+
+func TestLoadStoreReuseProducesMatches(t *testing.T) {
+	p := testProfile()
+	p.LoadStoreReuse = 0.5
+	g := NewSynthetic(p, 37)
+	stores := make(map[uint64]bool)
+	reused := 0
+	for i := 0; i < 50000; i++ {
+		in := g.Next()
+		if in.Class == isa.Store {
+			stores[in.Addr] = true
+		}
+		if in.Class == isa.Load && stores[in.Addr] {
+			reused++
+		}
+	}
+	if reused < 100 {
+		t.Errorf("only %d loads hit stored addresses with reuse=0.5", reused)
+	}
+}

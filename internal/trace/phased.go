@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"smtavf/internal/isa"
+)
+
+// Phased cycles through several synthetic profiles, switching every
+// 'period' instructions — a program with time-varying behaviour (e.g. a
+// compute phase followed by a memory-walk phase). AVF phase analysis
+// (core.Config.PhaseInterval) exists to observe exactly this; the paper
+// builds on Fu et al.'s phase-behaviour study (its ref [8]).
+type Phased struct {
+	gens   []*Synthetic
+	period uint64
+	seq    uint64
+	name   string
+}
+
+var _ Generator = (*Phased)(nil)
+
+// Address-space offsets keeping each phase's code and data disjoint.
+const (
+	phasedCodeStride = 1 << 28
+	phasedDataStride = 1 << 33
+)
+
+// NewPhased builds a phased generator from the given profiles, switching
+// on instruction boundaries every period instructions.
+func NewPhased(profiles []Profile, period uint64, seed uint64) (*Phased, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("trace: phased generator needs at least one profile")
+	}
+	if period == 0 {
+		return nil, fmt.Errorf("trace: phase period must be positive")
+	}
+	p := &Phased{period: period}
+	names := make([]string, 0, len(profiles))
+	for i, prof := range profiles {
+		p.gens = append(p.gens, NewSynthetic(prof, seed+uint64(i)*0x9e37))
+		names = append(names, prof.withDefaults().Name)
+	}
+	p.name = "phased(" + strings.Join(names, "+") + ")"
+	return p, nil
+}
+
+// Name implements Generator.
+func (p *Phased) Name() string { return p.name }
+
+// Phase returns the index of the profile active at sequence number seq.
+func (p *Phased) Phase(seq uint64) int {
+	return int(seq/p.period) % len(p.gens)
+}
+
+// Next implements Generator.
+func (p *Phased) Next() isa.Instruction {
+	k := p.Phase(p.seq)
+	in := p.gens[k].Next()
+	// Relocate the phase's code and data so phases do not alias each
+	// other in the caches and predictors.
+	in.PC += uint64(k) * phasedCodeStride
+	if in.Class.IsCTI() && in.Taken {
+		in.Target += uint64(k) * phasedCodeStride
+	}
+	if in.Class.IsMem() {
+		in.Addr += uint64(k) * phasedDataStride
+	}
+	in.Seq = p.seq
+	p.seq++
+	return in
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestPhasedAlternates(t *testing.T) {
+	cpu := testProfile()
+	mem := testProfile()
+	mem.Name = "memphase"
+	mem.WorkingSet = 16 << 20
+	mem.HotFrac = 0.3
+	mem.HotSet = 8 << 10
+	p, err := NewPhased([]Profile{cpu, mem}, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "phased(test+memphase)" {
+		t.Fatalf("name %q", p.Name())
+	}
+	// Sequence numbers continuous; addresses relocate per phase.
+	memAddrsPhase0, memAddrsPhase1 := 0, 0
+	for i := uint64(0); i < 10_000; i++ {
+		in := p.Next()
+		if in.Seq != i {
+			t.Fatalf("seq %d at %d", in.Seq, i)
+		}
+		if !in.Class.IsMem() {
+			continue
+		}
+		switch p.Phase(i) {
+		case 0:
+			if in.Addr >= phasedDataStride {
+				t.Fatalf("phase-0 address %#x relocated", in.Addr)
+			}
+			memAddrsPhase0++
+		case 1:
+			if in.Addr < phasedDataStride {
+				t.Fatalf("phase-1 address %#x not relocated", in.Addr)
+			}
+			memAddrsPhase1++
+		}
+	}
+	if memAddrsPhase0 == 0 || memAddrsPhase1 == 0 {
+		t.Fatal("phases did not both run")
+	}
+}
+
+func TestPhasedValidation(t *testing.T) {
+	if _, err := NewPhased(nil, 10, 1); err == nil {
+		t.Error("empty profile list accepted")
+	}
+	if _, err := NewPhased([]Profile{testProfile()}, 0, 1); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestPhasedCTIRelocation(t *testing.T) {
+	p, err := NewPhased([]Profile{testProfile(), testProfile()}, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5_000; i++ {
+		in := p.Next()
+		if in.Class.IsCTI() && in.Taken && p.Phase(in.Seq) == 1 {
+			if in.Target < phasedCodeStride {
+				t.Fatalf("phase-1 branch target %#x not relocated", in.Target)
+			}
+		}
+		if p.Phase(in.Seq) == 1 && in.PC < phasedCodeStride {
+			t.Fatalf("phase-1 PC %#x not relocated", in.PC)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package trace produces the dynamic instruction streams consumed by the
+// simulator.
+//
+// The paper drives its simulator with SimPoint regions of SPEC CPU 2000
+// binaries. Those binaries (and an Alpha front end) are not available here,
+// so this package substitutes deterministic synthetic generators: each
+// benchmark name maps to a Profile whose knobs (instruction mix, working-set
+// size, access pattern, branch predictability, dependence distance) are
+// calibrated to reproduce the benchmark's first-order behaviour — its ILP
+// and its cache-miss profile — which are the properties the paper's AVF
+// analysis actually depends on. See DESIGN.md §4 for the substitution
+// argument.
+package trace
+
+// Profile parameterizes a synthetic benchmark. All fractions are in [0,1].
+type Profile struct {
+	// Name is the benchmark name (e.g. "mcf").
+	Name string
+	// MemBound records the paper's CPU-intensive vs memory-intensive
+	// classification (Table 2 groups).
+	MemBound bool
+
+	// Instruction mix. LoadFrac + StoreFrac + BranchFrac + NopFrac must be
+	// < 1; the remainder is compute, split between the integer and FP
+	// pipelines by FPFrac and into long-latency ops by MulFrac/DivFrac.
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64
+	NopFrac    float64
+	FPFrac     float64 // fraction of compute ops that are floating point
+	MulFrac    float64 // fraction of compute ops that are multiplies
+	DivFrac    float64 // fraction of compute ops that are divides
+
+	// DeadFrac is the fraction of result-producing instructions whose
+	// results are never consumed (dynamically dead — un-ACE state).
+	DeadFrac float64
+
+	// Data-memory behaviour. Accesses split between a small hot region
+	// (HotSet bytes, hit with probability HotFrac — the benchmark's stack,
+	// locks, and hot globals) and the cold WorkingSet. Cold accesses
+	// follow sequential streams with probability StrideFrac, otherwise
+	// they are random with page-level reuse (PageLocal).
+	WorkingSet uint64  // bytes of the cold region
+	HotSet     uint64  // bytes of the hot region (0 = no hot region)
+	HotFrac    float64 // fraction of accesses landing in the hot region
+	StrideFrac float64 // fraction of cold accesses following streams
+	Stride     uint64  // stream stride in bytes (0 means 8)
+	PageLocal  float64 // fraction of random cold accesses reusing a recent page
+
+	// LoadStoreReuse is the fraction of loads that re-read a recently
+	// stored address (spills/reloads), exercising store-to-load
+	// forwarding in the LSQ. Defaults to 0.12.
+	LoadStoreReuse float64
+
+	// Control behaviour.
+	BranchPredictability float64 // probability a branch follows its bias
+	CallFrac             float64 // fraction of CTIs that are call/return pairs
+	CodeBlocks           int     // static basic blocks (code footprint)
+	MeanBlockLen         int     // mean instructions per basic block
+
+	// Dependence structure: mean distance (in instructions) between a
+	// consumer and its producer. Small values serialize execution (low
+	// ILP); large values expose parallelism.
+	DepDist int
+}
+
+// withDefaults fills zero-valued fields with sane defaults so that tests can
+// build partial profiles.
+func (p Profile) withDefaults() Profile {
+	if p.Name == "" {
+		p.Name = "synthetic"
+	}
+	if p.WorkingSet == 0 {
+		p.WorkingSet = 32 << 10
+	}
+	if p.HotFrac > 0 && p.HotSet == 0 {
+		p.HotSet = 16 << 10
+	}
+	if p.Stride == 0 {
+		p.Stride = 8
+	}
+	if p.PageLocal == 0 {
+		p.PageLocal = 0.7
+	}
+	if p.LoadStoreReuse == 0 {
+		p.LoadStoreReuse = 0.12
+	}
+	if p.CodeBlocks == 0 {
+		p.CodeBlocks = 256
+	}
+	if p.MeanBlockLen == 0 {
+		// Branches appear only as basic-block terminators, so the dynamic
+		// branch fraction is 1/(MeanBlockLen+1); honour BranchFrac by
+		// sizing blocks accordingly.
+		if p.BranchFrac > 0 {
+			p.MeanBlockLen = int(1/p.BranchFrac) - 1
+			if p.MeanBlockLen < 2 {
+				p.MeanBlockLen = 2
+			}
+		} else {
+			p.MeanBlockLen = 8
+		}
+	}
+	if p.DepDist == 0 {
+		p.DepDist = 4
+	}
+	if p.BranchPredictability == 0 {
+		p.BranchPredictability = 0.9
+	}
+	return p
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smtavf/internal/isa"
+)
+
+// countGen emits IntALU instructions with Seq == PC/4 for easy checking.
+type countGen struct{ n uint64 }
+
+func (g *countGen) Name() string { return "count" }
+func (g *countGen) Next() isa.Instruction {
+	in := isa.Instruction{
+		Seq: g.n, PC: g.n * 4, Class: isa.IntALU,
+		Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone,
+	}
+	g.n++
+	return in
+}
+
+func TestStreamSequential(t *testing.T) {
+	s := NewStream(&countGen{})
+	for i := uint64(0); i < 100; i++ {
+		if in := s.Next(); in.Seq != i {
+			t.Fatalf("got seq %d, want %d", in.Seq, i)
+		}
+	}
+}
+
+func TestStreamPeek(t *testing.T) {
+	s := NewStream(&countGen{})
+	if s.Peek().Seq != 0 || s.Peek().Seq != 0 {
+		t.Fatal("Peek consumed the instruction")
+	}
+	if s.Next().Seq != 0 {
+		t.Fatal("Next after Peek skipped")
+	}
+	if s.Cursor() != 1 {
+		t.Fatalf("cursor %d, want 1", s.Cursor())
+	}
+}
+
+func TestStreamRewindReplays(t *testing.T) {
+	s := NewStream(&countGen{})
+	first := make([]isa.Instruction, 50)
+	for i := range first {
+		first[i] = s.Next()
+	}
+	s.Rewind(10)
+	for i := 10; i < 50; i++ {
+		if in := s.Next(); in != first[i] {
+			t.Fatalf("replayed seq %d differs", i)
+		}
+	}
+}
+
+func TestStreamReleaseShrinksBuffer(t *testing.T) {
+	s := NewStream(&countGen{})
+	for i := 0; i < 100; i++ {
+		s.Next()
+	}
+	if s.Buffered() != 100 {
+		t.Fatalf("buffered %d, want 100", s.Buffered())
+	}
+	s.Release(60)
+	if s.Buffered() != 40 {
+		t.Fatalf("buffered %d after release, want 40", s.Buffered())
+	}
+	// Rewind to the release point still works…
+	s.Rewind(60)
+	if s.Next().Seq != 60 {
+		t.Fatal("rewind to release boundary broken")
+	}
+}
+
+func TestStreamRewindBelowReleasePanics(t *testing.T) {
+	s := NewStream(&countGen{})
+	for i := 0; i < 20; i++ {
+		s.Next()
+	}
+	s.Release(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rewind below release did not panic")
+		}
+	}()
+	s.Rewind(5)
+}
+
+func TestStreamRewindForwardPanics(t *testing.T) {
+	s := NewStream(&countGen{})
+	s.Next()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("forward rewind did not panic")
+		}
+	}()
+	s.Rewind(5)
+}
+
+func TestStreamReleaseBeyondCursorPanics(t *testing.T) {
+	s := NewStream(&countGen{})
+	s.Next()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release beyond cursor did not panic")
+		}
+	}()
+	s.Release(10)
+}
+
+func TestStreamReleaseIdempotent(t *testing.T) {
+	s := NewStream(&countGen{})
+	for i := 0; i < 30; i++ {
+		s.Next()
+	}
+	s.Release(20)
+	s.Release(20)
+	s.Release(5) // below head: no-op
+	if s.Buffered() != 10 {
+		t.Fatalf("buffered %d, want 10", s.Buffered())
+	}
+}
+
+// TestStreamRandomOps drives the stream with random next/rewind/release
+// sequences against a model cursor and checks every delivered instruction
+// carries exactly the model's expected sequence number.
+func TestStreamRandomOps(t *testing.T) {
+	f := func(ops []byte) bool {
+		s := NewStream(&countGen{})
+		cursor, released := uint64(0), uint64(0)
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // next
+				if got := s.Next().Seq; got != cursor {
+					return false
+				}
+				cursor++
+			case 1: // rewind somewhere in [released, cursor]
+				span := cursor - released + 1
+				to := released + uint64(op/3)%span
+				s.Rewind(to)
+				cursor = to
+			case 2: // release up to somewhere in [released, cursor]
+				span := cursor - released + 1
+				released += uint64(op/3) % span
+				s.Release(released)
+			}
+			if s.Cursor() != cursor {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"smtavf/internal/isa"
+	"smtavf/internal/rng"
+)
+
+// WrongPath synthesizes the instructions fetched down a mispredicted path.
+// The correct-path trace cannot describe them (they were never part of the
+// program's execution), but they still occupy pipeline resources until the
+// squash — un-ACE state that the AVF model must observe. The mix loosely
+// mirrors ordinary code; outcomes never matter because every wrong-path
+// instruction is eventually squashed.
+type WrongPath struct {
+	rnd *rng.Source
+	p   Profile
+}
+
+// NewWrongPath builds a wrong-path synthesizer whose mix follows p.
+func NewWrongPath(p Profile, seed uint64) *WrongPath {
+	return &WrongPath{rnd: rng.New(seed ^ 0xdead), p: p.withDefaults()}
+}
+
+// Next returns a wrong-path instruction at pc.
+func (w *WrongPath) Next(pc uint64) isa.Instruction {
+	in := isa.Instruction{
+		PC:   pc,
+		Src1: isa.RegID(w.rnd.Intn(isa.NumIntRegs)),
+		Src2: isa.RegNone,
+		Dest: isa.RegNone,
+	}
+	r := w.rnd.Float64()
+	p := &w.p
+	switch {
+	case r < p.NopFrac:
+		in.Class = isa.NOP
+		in.Src1 = isa.RegNone
+	case r < p.NopFrac+p.LoadFrac:
+		in.Class = isa.Load
+		in.Addr = w.address()
+		in.Size = 8
+		in.Dest = isa.RegID(w.rnd.Intn(isa.NumIntRegs - 1))
+	case r < p.NopFrac+p.LoadFrac+p.StoreFrac:
+		in.Class = isa.Store
+		in.Addr = w.address()
+		in.Size = 8
+		in.Src2 = isa.RegID(w.rnd.Intn(isa.NumIntRegs - 1))
+	case r < p.NopFrac+p.LoadFrac+p.StoreFrac+p.BranchFrac:
+		// Wrong-path branches predict not-taken so the wrong path stays
+		// sequential; they resolve as not taken if they ever execute.
+		in.Class = isa.Branch
+		in.Taken = false
+	default:
+		if w.rnd.Bool(p.FPFrac) {
+			in.Class = isa.FPALU
+			in.Src1 = isa.FirstFPReg + isa.RegID(w.rnd.Intn(isa.NumFPRegs-1))
+			in.Dest = isa.FirstFPReg + isa.RegID(w.rnd.Intn(isa.NumFPRegs-1))
+		} else {
+			in.Class = isa.IntALU
+			in.Dest = isa.RegID(w.rnd.Intn(isa.NumIntRegs - 1))
+		}
+	}
+	return in
+}
+
+// address mimics the correct path's hot/cold access split so wrong-path
+// memory traffic lands in the same regions the program touches (realistic
+// pollution) rather than thrashing an otherwise-untouched address range.
+func (w *WrongPath) address() uint64 {
+	p := &w.p
+	if p.HotFrac > 0 && w.rnd.Bool(p.HotFrac) {
+		return dataBase + (w.rnd.Uint64n(p.HotSet) &^ 7)
+	}
+	return coldBase + (w.rnd.Uint64n(p.WorkingSet) &^ 7)
+}

@@ -1,0 +1,70 @@
+package workload_test
+
+import (
+	"testing"
+
+	"smtavf/internal/core"
+	"smtavf/internal/trace"
+	"smtavf/internal/workload"
+)
+
+// TestCalibration runs every benchmark standalone and pins its behaviour
+// to its paper classification: CPU-intensive benchmarks must sustain high
+// IPC with few DL1 load misses, memory-intensive ones must stall on
+// frequent misses that reach past the L2. This is the regression guard for
+// the synthetic-workload substitution (DESIGN.md §4) — if a profile tweak
+// moves a benchmark across the boundary, the paper's figures lose their
+// meaning.
+func TestCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow; skipped with -short")
+	}
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, err := workload.Profile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := core.DefaultConfig(1)
+			cfg.Warmup = 80_000 // predictors and caches reach steady state
+			proc, err := core.New(cfg, []trace.Profile{p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := proc.Run(core.Limits{TotalInstructions: 60_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := res.Thread[0]
+			ipc := res.IPC()
+			miss := ts.DL1LoadMissRate()
+			if p.MemBound {
+				if ipc > 0.6 {
+					t.Errorf("memory-bound %s runs at IPC %.2f (> 0.6)", name, ipc)
+				}
+				if miss < 0.10 {
+					t.Errorf("memory-bound %s misses DL1 only %.1f%% of loads", name, 100*miss)
+				}
+				if ts.L2LoadMisses == 0 {
+					t.Errorf("memory-bound %s never missed the L2", name)
+				}
+			} else {
+				if ipc < 1.0 {
+					t.Errorf("CPU-bound %s runs at IPC %.2f (< 1.0)", name, ipc)
+				}
+				if miss > 0.06 {
+					t.Errorf("CPU-bound %s misses DL1 on %.1f%% of loads", name, 100*miss)
+				}
+			}
+			// All benchmarks: sane branch behaviour.
+			if mr := ts.MispredictRate(); mr > 0.20 {
+				t.Errorf("%s mispredicts %.1f%% of branches", name, 100*mr)
+			}
+			if ts.Branches == 0 {
+				t.Errorf("%s executed no branches", name)
+			}
+		})
+	}
+}

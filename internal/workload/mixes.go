@@ -1,0 +1,112 @@
+package workload
+
+import "fmt"
+
+// Kind classifies a multithreaded mix by the behaviour of its threads
+// (paper Table 2): all CPU-intensive, all memory-intensive, or half/half.
+type Kind int
+
+// Mix kinds.
+const (
+	CPU Kind = iota
+	MIX
+	MEM
+)
+
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case MIX:
+		return "MIX"
+	case MEM:
+		return "MEM"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Kinds lists all mix kinds in presentation order.
+func Kinds() []Kind { return []Kind{CPU, MIX, MEM} }
+
+// Group distinguishes the paper's two workload groups per kind.
+type Group int
+
+// Workload groups. The paper builds groups A and B for 2- and 4-context
+// workloads; 8-context workloads have a single group (A) because too few
+// diverse benchmarks remain.
+const (
+	GroupA Group = iota
+	GroupB
+)
+
+func (g Group) String() string {
+	if g == GroupA {
+		return "A"
+	}
+	return "B"
+}
+
+// Mix is one multithreaded workload of Table 2.
+type Mix struct {
+	Contexts   int
+	Kind       Kind
+	Group      Group
+	Benchmarks []string
+}
+
+// Name renders the mix identity, e.g. "4ctx-MEM-A".
+func (m Mix) Name() string {
+	return fmt.Sprintf("%dctx-%s-%s", m.Contexts, m.Kind, m.Group)
+}
+
+// table2 reproduces the paper's Table 2. The 4-context group-A mixes are
+// cross-checked against the per-thread breakdowns of Figures 3 and 4
+// (bzip2/eon/gcc/perlbmk, gcc/mcf/vpr/perlbmk, mcf/equake/vpr/swim); the
+// OCR of Table 2 itself is partially garbled, so where the two disagree the
+// figures win.
+var table2 = []Mix{
+	// 2-context
+	{2, CPU, GroupA, []string{"bzip2", "eon"}},
+	{2, CPU, GroupB, []string{"facerec", "wupwise"}},
+	{2, MIX, GroupA, []string{"eon", "twolf"}},
+	{2, MIX, GroupB, []string{"wupwise", "equake"}},
+	{2, MEM, GroupA, []string{"mcf", "twolf"}},
+	{2, MEM, GroupB, []string{"equake", "vpr"}},
+	// 4-context
+	{4, CPU, GroupA, []string{"bzip2", "eon", "gcc", "perlbmk"}},
+	{4, CPU, GroupB, []string{"mesa", "facerec", "wupwise", "perlbmk"}},
+	{4, MIX, GroupA, []string{"gcc", "mcf", "vpr", "perlbmk"}},
+	{4, MIX, GroupB, []string{"mesa", "twolf", "applu", "perlbmk"}},
+	{4, MEM, GroupA, []string{"mcf", "equake", "vpr", "swim"}},
+	{4, MEM, GroupB, []string{"galgel", "twolf", "applu", "lucas"}},
+	// 8-context (single group)
+	{8, CPU, GroupA, []string{"gap", "bzip2", "facerec", "eon", "mesa", "perlbmk", "parser", "wupwise"}},
+	{8, MIX, GroupA, []string{"perlbmk", "mcf", "bzip2", "vpr", "mesa", "swim", "eon", "lucas"}},
+	{8, MEM, GroupA, []string{"mcf", "twolf", "swim", "lucas", "equake", "applu", "vpr", "mgrid"}},
+}
+
+// Mixes returns every workload mix of Table 2.
+func Mixes() []Mix {
+	out := make([]Mix, len(table2))
+	copy(out, table2)
+	return out
+}
+
+// Lookup finds the mix for a context count, kind, and group.
+func Lookup(contexts int, kind Kind, group Group) (Mix, error) {
+	for _, m := range table2 {
+		if m.Contexts == contexts && m.Kind == kind && m.Group == group {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workload: no %dctx %s group %s mix in Table 2", contexts, kind, group)
+}
+
+// Groups returns the groups available at a context count (A and B for 2 and
+// 4 contexts, A only for 8).
+func Groups(contexts int) []Group {
+	if contexts >= 8 {
+		return []Group{GroupA}
+	}
+	return []Group{GroupA, GroupB}
+}

@@ -1,0 +1,187 @@
+// Package workload defines the synthetic SPEC CPU 2000 benchmark profiles
+// and the multithreaded workload mixes of the paper's Table 2.
+//
+// Each profile substitutes for the real benchmark binary (see DESIGN.md §4):
+// the knobs are calibrated so that CPU-intensive benchmarks fit their data
+// in the L1/L2 caches and sustain high ILP, while memory-intensive
+// benchmarks exceed the 2MB L2 and stall on long-latency misses — the axis
+// along which the paper's AVF results move.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"smtavf/internal/trace"
+)
+
+const (
+	kib = 1 << 10
+	mib = 1 << 20
+)
+
+// profiles maps benchmark name to its synthetic profile. Working sets are
+// sized against the paper's hierarchy: DL1 64KB, L2 2MB.
+var profiles = map[string]trace.Profile{
+	// --- CPU-intensive (integer) ---
+	"bzip2": {
+		Name: "bzip2", LoadFrac: 0.24, StoreFrac: 0.10, BranchFrac: 0.12,
+		NopFrac: 0.02, FPFrac: 0, MulFrac: 0.02, DeadFrac: 0.08,
+		WorkingSet: 16 * kib, StrideFrac: 0.85, BranchPredictability: 0.93,
+		DepDist: 5, CodeBlocks: 192,
+	},
+	"eon": {
+		Name: "eon", LoadFrac: 0.26, StoreFrac: 0.14, BranchFrac: 0.10,
+		NopFrac: 0.02, FPFrac: 0.25, MulFrac: 0.05, DeadFrac: 0.07,
+		WorkingSet: 8 * kib, StrideFrac: 0.8, BranchPredictability: 0.95,
+		DepDist: 5, CallFrac: 0.10, CodeBlocks: 384,
+	},
+	"gcc": {
+		Name: "gcc", LoadFrac: 0.25, StoreFrac: 0.13, BranchFrac: 0.16,
+		NopFrac: 0.03, FPFrac: 0, MulFrac: 0.01, DeadFrac: 0.12,
+		WorkingSet: 20 * kib, StrideFrac: 0.6, BranchPredictability: 0.9,
+		DepDist: 4, CallFrac: 0.06, CodeBlocks: 384,
+	},
+	"perlbmk": {
+		Name: "perlbmk", LoadFrac: 0.27, StoreFrac: 0.15, BranchFrac: 0.14,
+		NopFrac: 0.02, FPFrac: 0, MulFrac: 0.02, DeadFrac: 0.09,
+		WorkingSet: 12 * kib, StrideFrac: 0.7, BranchPredictability: 0.94,
+		DepDist: 4, CallFrac: 0.08, CodeBlocks: 320,
+	},
+	"crafty": {
+		Name: "crafty", LoadFrac: 0.28, StoreFrac: 0.08, BranchFrac: 0.11,
+		NopFrac: 0.02, FPFrac: 0, MulFrac: 0.03, DeadFrac: 0.06,
+		WorkingSet: 12 * kib, StrideFrac: 0.65, BranchPredictability: 0.92,
+		DepDist: 6, CodeBlocks: 256,
+	},
+	"parser": {
+		Name: "parser", LoadFrac: 0.24, StoreFrac: 0.09, BranchFrac: 0.13,
+		NopFrac: 0.02, FPFrac: 0, MulFrac: 0.01, DeadFrac: 0.08,
+		WorkingSet: 16 * kib, StrideFrac: 0.55, BranchPredictability: 0.91,
+		DepDist: 4, CallFrac: 0.05, CodeBlocks: 320,
+	},
+	"gap": {
+		Name: "gap", LoadFrac: 0.25, StoreFrac: 0.10, BranchFrac: 0.10,
+		NopFrac: 0.02, FPFrac: 0, MulFrac: 0.06, DeadFrac: 0.07,
+		WorkingSet: 12 * kib, StrideFrac: 0.75, BranchPredictability: 0.94,
+		DepDist: 5, CodeBlocks: 256,
+	},
+	// --- CPU-intensive (floating point) ---
+	"mesa": {
+		Name: "mesa", LoadFrac: 0.23, StoreFrac: 0.12, BranchFrac: 0.08,
+		NopFrac: 0.02, FPFrac: 0.5, MulFrac: 0.10, DivFrac: 0.01,
+		DeadFrac: 0.06, WorkingSet: 12 * kib, StrideFrac: 0.85,
+		BranchPredictability: 0.96, DepDist: 6, CodeBlocks: 256,
+	},
+	"facerec": {
+		Name: "facerec", LoadFrac: 0.26, StoreFrac: 0.08, BranchFrac: 0.06,
+		NopFrac: 0.02, FPFrac: 0.55, MulFrac: 0.12, DivFrac: 0.01,
+		DeadFrac: 0.05, WorkingSet: 16 * kib, StrideFrac: 0.9,
+		BranchPredictability: 0.97, DepDist: 7, CodeBlocks: 128,
+	},
+	"wupwise": {
+		Name: "wupwise", LoadFrac: 0.24, StoreFrac: 0.10, BranchFrac: 0.05,
+		NopFrac: 0.02, FPFrac: 0.6, MulFrac: 0.15, DivFrac: 0.005,
+		DeadFrac: 0.04, WorkingSet: 16 * kib, StrideFrac: 0.92,
+		BranchPredictability: 0.98, DepDist: 8, CodeBlocks: 96,
+	},
+	"fma3d": {
+		Name: "fma3d", LoadFrac: 0.26, StoreFrac: 0.12, BranchFrac: 0.07,
+		NopFrac: 0.02, FPFrac: 0.55, MulFrac: 0.12, DivFrac: 0.01,
+		DeadFrac: 0.06, WorkingSet: 16 * kib, StrideFrac: 0.8,
+		BranchPredictability: 0.95, DepDist: 6, CodeBlocks: 256,
+	},
+	// --- Memory-intensive (integer) ---
+	"mcf": {
+		Name: "mcf", MemBound: true, LoadFrac: 0.34, StoreFrac: 0.09,
+		BranchFrac: 0.12, NopFrac: 0.02, FPFrac: 0, MulFrac: 0.01,
+		DeadFrac: 0.05, WorkingSet: 64 * mib, HotFrac: 0.55, HotSet: 24 * kib,
+		StrideFrac: 0.1, PageLocal: 0.6,
+		BranchPredictability: 0.88, DepDist: 3, CodeBlocks: 96,
+	},
+	"twolf": {
+		Name: "twolf", MemBound: true, LoadFrac: 0.28, StoreFrac: 0.08,
+		BranchFrac: 0.13, NopFrac: 0.02, FPFrac: 0.05, MulFrac: 0.03,
+		DeadFrac: 0.06, WorkingSet: 4 * mib, HotFrac: 0.6, HotSet: 24 * kib,
+		StrideFrac:           0.25,
+		BranchPredictability: 0.87, DepDist: 4, CodeBlocks: 192,
+	},
+	"vpr": {
+		Name: "vpr", MemBound: true, LoadFrac: 0.29, StoreFrac: 0.09,
+		BranchFrac: 0.12, NopFrac: 0.02, FPFrac: 0.1, MulFrac: 0.03,
+		DeadFrac: 0.06, WorkingSet: 6 * mib, HotFrac: 0.6, HotSet: 24 * kib,
+		StrideFrac:           0.3,
+		BranchPredictability: 0.89, DepDist: 4, CodeBlocks: 192,
+	},
+	// --- Memory-intensive (floating point) ---
+	"equake": {
+		Name: "equake", MemBound: true, LoadFrac: 0.31, StoreFrac: 0.08,
+		BranchFrac: 0.06, NopFrac: 0.02, FPFrac: 0.5, MulFrac: 0.12,
+		DivFrac: 0.01, DeadFrac: 0.04, WorkingSet: 16 * mib, HotFrac: 0.5,
+		HotSet: 16 * kib, StrideFrac: 0.55, BranchPredictability: 0.96, DepDist: 4,
+		CodeBlocks: 96,
+	},
+	"swim": {
+		Name: "swim", MemBound: true, LoadFrac: 0.30, StoreFrac: 0.12,
+		BranchFrac: 0.03, NopFrac: 0.02, FPFrac: 0.6, MulFrac: 0.15,
+		DeadFrac: 0.03, WorkingSet: 48 * mib, HotFrac: 0.3, HotSet: 16 * kib,
+		StrideFrac: 0.9, Stride: 16,
+		BranchPredictability: 0.99, DepDist: 8, CodeBlocks: 48,
+	},
+	"lucas": {
+		Name: "lucas", MemBound: true, LoadFrac: 0.27, StoreFrac: 0.11,
+		BranchFrac: 0.03, NopFrac: 0.02, FPFrac: 0.65, MulFrac: 0.2,
+		DeadFrac: 0.03, WorkingSet: 32 * mib, HotFrac: 0.35, HotSet: 16 * kib,
+		StrideFrac: 0.85, Stride: 32,
+		BranchPredictability: 0.99, DepDist: 7, CodeBlocks: 48,
+	},
+	"applu": {
+		Name: "applu", MemBound: true, LoadFrac: 0.29, StoreFrac: 0.11,
+		BranchFrac: 0.04, NopFrac: 0.02, FPFrac: 0.6, MulFrac: 0.15,
+		DivFrac: 0.01, DeadFrac: 0.04, WorkingSet: 40 * mib, HotFrac: 0.35,
+		HotSet: 16 * kib, StrideFrac: 0.85, Stride: 16, BranchPredictability: 0.98,
+		DepDist: 6, CodeBlocks: 64,
+	},
+	"mgrid": {
+		Name: "mgrid", MemBound: true, LoadFrac: 0.32, StoreFrac: 0.07,
+		BranchFrac: 0.02, NopFrac: 0.02, FPFrac: 0.6, MulFrac: 0.18,
+		DeadFrac: 0.03, WorkingSet: 24 * mib, HotFrac: 0.35, HotSet: 16 * kib,
+		StrideFrac: 0.9, Stride: 16,
+		BranchPredictability: 0.99, DepDist: 7, CodeBlocks: 48,
+	},
+	"galgel": {
+		Name: "galgel", MemBound: true, LoadFrac: 0.28, StoreFrac: 0.09,
+		BranchFrac: 0.05, NopFrac: 0.02, FPFrac: 0.6, MulFrac: 0.18,
+		DivFrac: 0.005, DeadFrac: 0.04, WorkingSet: 8 * mib, HotFrac: 0.45,
+		HotSet: 16 * kib, StrideFrac: 0.7, Stride: 8, BranchPredictability: 0.97,
+		DepDist: 6, CodeBlocks: 64,
+	},
+}
+
+// Profile returns the synthetic profile for benchmark name.
+func Profile(name string) (trace.Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return trace.Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return p, nil
+}
+
+// Names returns all benchmark names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(profiles))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MemBound reports the paper's CPU/MEM classification of benchmark name.
+func MemBound(name string) (bool, error) {
+	p, err := Profile(name)
+	if err != nil {
+		return false, err
+	}
+	return p.MemBound, nil
+}

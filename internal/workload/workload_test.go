@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"testing"
+
+	"smtavf/internal/trace"
+)
+
+func TestEveryMixBenchmarkHasProfile(t *testing.T) {
+	for _, m := range Mixes() {
+		for _, b := range m.Benchmarks {
+			if _, err := Profile(b); err != nil {
+				t.Errorf("mix %s references unknown benchmark %q", m.Name(), b)
+			}
+		}
+	}
+}
+
+func TestMixSizes(t *testing.T) {
+	for _, m := range Mixes() {
+		if len(m.Benchmarks) != m.Contexts {
+			t.Errorf("mix %s has %d benchmarks for %d contexts", m.Name(), len(m.Benchmarks), m.Contexts)
+		}
+	}
+}
+
+func TestMixComposition(t *testing.T) {
+	// CPU mixes hold only CPU-bound threads, MEM only memory-bound, and
+	// MIX exactly half and half (paper Table 2 construction).
+	for _, m := range Mixes() {
+		memCount := 0
+		for _, b := range m.Benchmarks {
+			mb, err := MemBound(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mb {
+				memCount++
+			}
+		}
+		switch m.Kind {
+		case CPU:
+			if memCount != 0 {
+				t.Errorf("mix %s (CPU) contains %d memory-bound threads", m.Name(), memCount)
+			}
+		case MEM:
+			if memCount != m.Contexts {
+				t.Errorf("mix %s (MEM) contains %d/%d memory-bound threads", m.Name(), memCount, m.Contexts)
+			}
+		case MIX:
+			if memCount != m.Contexts/2 {
+				t.Errorf("mix %s (MIX) contains %d/%d memory-bound threads", m.Name(), memCount, m.Contexts)
+			}
+		}
+	}
+}
+
+func TestTable2Coverage(t *testing.T) {
+	// 2 and 4 contexts have groups A and B for each kind; 8 contexts has
+	// a single group (paper §3).
+	for _, contexts := range []int{2, 4} {
+		for _, k := range Kinds() {
+			for _, g := range []Group{GroupA, GroupB} {
+				if _, err := Lookup(contexts, k, g); err != nil {
+					t.Errorf("missing %d-context %s group %s", contexts, k, g)
+				}
+			}
+		}
+	}
+	for _, k := range Kinds() {
+		if _, err := Lookup(8, k, GroupA); err != nil {
+			t.Errorf("missing 8-context %s", k)
+		}
+		if _, err := Lookup(8, k, GroupB); err == nil {
+			t.Errorf("unexpected 8-context %s group B", k)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup(3, CPU, GroupA); err == nil {
+		t.Error("lookup of 3-context mix should fail")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	if got := Groups(2); len(got) != 2 {
+		t.Errorf("Groups(2) = %v", got)
+	}
+	if got := Groups(8); len(got) != 1 || got[0] != GroupA {
+		t.Errorf("Groups(8) = %v", got)
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	if _, err := Profile("nonexistent"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+	if _, err := MemBound("nonexistent"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(profiles) {
+		t.Fatalf("Names() returned %d of %d", len(names), len(profiles))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("Names() not sorted")
+		}
+	}
+}
+
+func TestProfilesInternallyConsistent(t *testing.T) {
+	for name, p := range profiles {
+		if p.Name != name {
+			t.Errorf("profile %q has Name %q", name, p.Name)
+		}
+		if s := p.LoadFrac + p.StoreFrac + p.BranchFrac + p.NopFrac; s >= 1 {
+			t.Errorf("%s: mix fractions sum to %.2f", name, s)
+		}
+		if p.WorkingSet == 0 {
+			t.Errorf("%s: zero working set", name)
+		}
+		if p.BranchPredictability <= 0.5 || p.BranchPredictability > 1 {
+			t.Errorf("%s: implausible predictability %v", name, p.BranchPredictability)
+		}
+	}
+}
+
+func TestWorkingSetsSeparateCPUFromMEM(t *testing.T) {
+	// The CPU/MEM classification must be backed by the working sets: a
+	// memory-bound benchmark's cold region must exceed the 2MB L2.
+	const l2 = 2 << 20
+	for name, p := range profiles {
+		if p.MemBound && p.WorkingSet <= l2 {
+			t.Errorf("%s is memory-bound but its working set (%d) fits the L2", name, p.WorkingSet)
+		}
+		if !p.MemBound && p.WorkingSet > 64<<10 {
+			t.Errorf("%s is CPU-bound but its working set (%d) exceeds the DL1", name, p.WorkingSet)
+		}
+	}
+}
+
+func TestMixName(t *testing.T) {
+	m := Mix{Contexts: 4, Kind: MEM, Group: GroupA}
+	if m.Name() != "4ctx-MEM-A" {
+		t.Errorf("Name() = %q", m.Name())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if CPU.String() != "CPU" || MIX.String() != "MIX" || MEM.String() != "MEM" {
+		t.Error("kind names wrong")
+	}
+	if GroupA.String() != "A" || GroupB.String() != "B" {
+		t.Error("group names wrong")
+	}
+}
+
+func TestMixesReturnsCopy(t *testing.T) {
+	a := Mixes()
+	a[0].Contexts = 99
+	if Mixes()[0].Contexts == 99 {
+		t.Error("Mixes() exposes internal state")
+	}
+}
+
+func TestGeneratorsBuildFromProfiles(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Profile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := trace.NewSynthetic(p, 1)
+		for i := 0; i < 100; i++ {
+			g.Next()
+		}
+	}
+}

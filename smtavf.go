@@ -1,0 +1,210 @@
+// Package smtavf is a microarchitecture-level soft-error vulnerability
+// analysis framework for simultaneous multithreaded (SMT) processors — a
+// from-scratch reproduction of Zhang, Fu, Li & Fortes, "An Analysis of
+// Microarchitecture Vulnerability to Soft Errors on Simultaneous
+// Multithreaded Architectures" (ISPASS 2007).
+//
+// The package simulates a parameterizable out-of-order SMT machine
+// (8-wide, shared IQ / register pool / function units / caches, per-thread
+// ROB / LSQ / branch state) running synthetic SPEC CPU 2000 workloads, and
+// reports per-structure, per-thread Architectural Vulnerability Factors
+// alongside performance, under six instruction fetch policies.
+//
+// Quick start:
+//
+//	cfg := smtavf.DefaultConfig(4)
+//	sim, err := smtavf.NewSimulator(cfg, []string{"mcf", "equake", "vpr", "swim"})
+//	if err != nil { ... }
+//	res, err := sim.Run(100_000)
+//	fmt.Printf("IQ AVF = %.1f%%\n", 100*res.StructAVF(smtavf.IQ))
+package smtavf
+
+import (
+	"fmt"
+
+	"smtavf/internal/avf"
+	"smtavf/internal/core"
+	"smtavf/internal/fetch"
+	"smtavf/internal/inject"
+	"smtavf/internal/trace"
+	"smtavf/internal/workload"
+)
+
+// Config parameterizes the simulated machine; DefaultConfig reproduces the
+// paper's Table 1.
+type Config = core.Config
+
+// Results is the outcome of a run: cycles, per-thread commit counts, the
+// AVF report, and machine statistics.
+type Results = core.Results
+
+// Struct identifies an AVF-instrumented microarchitecture structure.
+type Struct = avf.Struct
+
+// Instrumented structures (Figures 1–8).
+const (
+	IQ      = avf.IQ
+	ROB     = avf.ROB
+	FU      = avf.FU
+	Reg     = avf.Reg
+	LSQData = avf.LSQData
+	LSQTag  = avf.LSQTag
+	DL1Data = avf.DL1Data
+	DL1Tag  = avf.DL1Tag
+	DTLB    = avf.DTLB
+	ITLB    = avf.ITLB
+)
+
+// Structs lists the instrumented structures in presentation order.
+func Structs() []Struct { return avf.Structs() }
+
+// Mix is one multithreaded workload of the paper's Table 2.
+type Mix = workload.Mix
+
+// Policy is an SMT instruction fetch policy.
+type Policy = fetch.Policy
+
+// DefaultConfig returns the paper's Table 1 machine with the given number
+// of hardware contexts and the ICOUNT fetch policy.
+func DefaultConfig(threads int) Config { return core.DefaultConfig(threads) }
+
+// Policies returns the paper's six fetch policies in presentation order.
+func Policies() []Policy { return fetch.All() }
+
+// PolicyByName returns the named fetch policy (ICOUNT, STALL, FLUSH, DG,
+// PDG, DWarn, or STALLP).
+func PolicyByName(name string) (Policy, error) {
+	p := fetch.ByName(name)
+	if p == nil {
+		return nil, fmt.Errorf("smtavf: unknown fetch policy %q", name)
+	}
+	return p, nil
+}
+
+// Benchmarks lists the available synthetic SPEC CPU 2000 benchmark names.
+func Benchmarks() []string { return workload.Names() }
+
+// Mixes lists every Table 2 workload mix.
+func Mixes() []Mix { return workload.Mixes() }
+
+// MixByName finds a Table 2 mix by its name, e.g. "4ctx-MEM-A".
+func MixByName(name string) (Mix, error) {
+	for _, m := range workload.Mixes() {
+		if m.Name() == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("smtavf: unknown mix %q (see Mixes)", name)
+}
+
+// Simulator runs one workload on one machine configuration. A Simulator is
+// single-shot: build a fresh one for each run.
+type Simulator struct {
+	proc *core.Processor
+	used bool
+}
+
+// NewSimulator builds a simulator for cfg running the named benchmarks,
+// one per hardware context (len(benchmarks) must equal cfg.Threads).
+func NewSimulator(cfg Config, benchmarks []string) (*Simulator, error) {
+	profiles := make([]trace.Profile, 0, len(benchmarks))
+	for _, b := range benchmarks {
+		p, err := workload.Profile(b)
+		if err != nil {
+			return nil, err
+		}
+		profiles = append(profiles, p)
+	}
+	proc, err := core.New(cfg, profiles)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{proc: proc}, nil
+}
+
+// NewSimulatorPhased builds a simulator whose contexts alternate among
+// several benchmark behaviours every period instructions — a workload
+// with program phases. phases[i] lists the benchmarks thread i cycles
+// through; len(phases) must equal cfg.Threads. Combine with
+// Config.PhaseInterval to watch the AVF move with the phases.
+func NewSimulatorPhased(cfg Config, phases [][]string, period uint64) (*Simulator, error) {
+	srcs := make([]core.Source, 0, len(phases))
+	for i, names := range phases {
+		profiles := make([]trace.Profile, 0, len(names))
+		for _, n := range names {
+			p, err := workload.Profile(n)
+			if err != nil {
+				return nil, err
+			}
+			profiles = append(profiles, p)
+		}
+		gen, err := trace.NewPhased(profiles, period, cfg.Seed+uint64(i)*0x9e37)
+		if err != nil {
+			return nil, err
+		}
+		srcs = append(srcs, core.Source{Gen: gen})
+	}
+	proc, err := core.NewFromSources(cfg, srcs)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{proc: proc}, nil
+}
+
+// NewSimulatorFromTraceFiles builds a simulator whose contexts replay
+// recorded instruction traces (cmd/tracegen) instead of generating
+// synthetic streams; finite recordings loop. len(paths) must equal
+// cfg.Threads.
+func NewSimulatorFromTraceFiles(cfg Config, paths []string) (*Simulator, error) {
+	srcs := make([]core.Source, 0, len(paths))
+	for _, p := range paths {
+		r, err := trace.LoadTraceFile(p)
+		if err != nil {
+			return nil, err
+		}
+		srcs = append(srcs, core.Source{Gen: r})
+	}
+	proc, err := core.NewFromSources(cfg, srcs)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{proc: proc}, nil
+}
+
+// Run simulates until total instructions have committed across all threads
+// (the paper's stop rule) and returns the results.
+func (s *Simulator) Run(total uint64) (*Results, error) {
+	return s.run(core.Limits{TotalInstructions: total})
+}
+
+// RunPerThread simulates until every thread has committed its quota — used
+// to replay each thread's SMT progress in single-thread mode (Figures 3–4).
+func (s *Simulator) RunPerThread(quotas []uint64) (*Results, error) {
+	return s.run(core.Limits{PerThread: quotas})
+}
+
+func (s *Simulator) run(lim core.Limits) (*Results, error) {
+	if s.used {
+		return nil, fmt.Errorf("smtavf: Simulator is single-shot; build a new one per run")
+	}
+	s.used = true
+	return s.proc.Run(lim)
+}
+
+// FaultCampaign is a statistical fault-injection campaign: it samples the
+// machine's state on a regular cycle grid and estimates, per structure,
+// the probability that a random particle strike corrupts the program —
+// an AVF estimate computed independently of the residency accumulators.
+type FaultCampaign = inject.Campaign
+
+// NewFaultCampaign builds a campaign for machines configured like cfg,
+// sampling every sampleEvery cycles. Attach it with
+// Simulator.InjectFaults before Run; afterwards compare
+// campaign.Estimate(s, res.Cycles) with res.StructAVF(s).
+func NewFaultCampaign(cfg Config, sampleEvery, seed uint64) (*FaultCampaign, error) {
+	return inject.NewCampaign(core.StructBits(cfg), sampleEvery, seed)
+}
+
+// InjectFaults attaches a fault-injection campaign to the simulator. Must
+// be called before Run.
+func (s *Simulator) InjectFaults(c *FaultCampaign) { s.proc.AttachSink(c) }

@@ -1,0 +1,37 @@
+package smtavf_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smtavf/internal/trace"
+	"smtavf/internal/workload"
+)
+
+// writeTestTraces records two short benchmark traces into dir and returns
+// their paths.
+func writeTestTraces(t *testing.T, dir string) []string {
+	t.Helper()
+	paths := make([]string, 0, 2)
+	for _, bench := range []string{"bzip2", "eon"} {
+		p, err := workload.Profile(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := trace.NewSynthetic(p, 1)
+		path := filepath.Join(dir, bench+".trc")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteTrace(f, bench, trace.Record(gen, 4_000)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
