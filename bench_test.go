@@ -310,3 +310,32 @@ func BenchmarkSimulatorCycles(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
 }
+
+// BenchmarkTelemetryOverhead measures the cost of the telemetry subsystem
+// on the simulator hot path. "off" runs with no collector attached — the
+// nil-receiver fast path, whose per-cycle cost is a handful of nil checks
+// and must stay within 5% of BenchmarkSimulatorCycles. "on" attaches a
+// collector with default 10k-cycle windows feeding the in-memory ring,
+// showing what a live -telemetry/-debug-addr run pays.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, attach bool) {
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			sim, err := smtavf.NewSimulator(smtavf.DefaultConfig(4), ablationMix)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if attach {
+				sim.SetTelemetry(smtavf.NewTelemetry(smtavf.TelemetryOptions{}))
+			}
+			res, err := sim.Run(uint64(benchBase) * 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += res.Cycles
+		}
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}

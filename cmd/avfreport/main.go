@@ -17,17 +17,33 @@ import (
 	"time"
 
 	"smtavf/internal/experiments"
+	"smtavf/internal/telemetry"
 )
 
 func main() {
 	var (
-		base   = flag.Uint64("base", 50_000, "instruction budget of a 2-context run (4/8 contexts use 2x/4x)")
-		seed   = flag.Uint64("seed", 1, "simulation seed")
-		figure = flag.String("figure", "all", "which figure to produce: all, table1, table2, 1..8, ext, or sens (comma-separated)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		chart  = flag.Bool("chart", false, "render tables as horizontal bar charts")
+		base     = flag.Uint64("base", 50_000, "instruction budget of a 2-context run (4/8 contexts use 2x/4x)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		figure   = flag.String("figure", "all", "which figure to produce: all, table1, table2, 1..8, ext, or sens (comma-separated)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		chart    = flag.Bool("chart", false, "render tables as horizontal bar charts")
+		logLevel = flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
+		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avfreport:", err)
+		os.Exit(1)
+	}
+	logger := telemetry.NewLogger(os.Stderr, level, *logJSON)
+	logger.Info("run manifest",
+		"program", "avfreport",
+		"base", *base,
+		"seed", *seed,
+		"figures", *figure,
+	)
 
 	r := experiments.NewRunner(experiments.Options{Base: *base, Seed: *seed})
 	want := map[string]bool{}
@@ -52,6 +68,7 @@ func main() {
 	start := time.Now()
 	if all {
 		// Fill the run cache with all cores before assembling figures.
+		preStart := time.Now()
 		if err := r.Preload(experiments.AllSpecs()); err != nil {
 			fmt.Fprintf(os.Stderr, "avfreport: preload: %v\n", err)
 			os.Exit(1)
@@ -60,6 +77,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "avfreport: preload singles: %v\n", err)
 			os.Exit(1)
 		}
+		logger.Info("preload complete", "elapsed", time.Since(preStart).Round(time.Millisecond).String())
 	}
 	if all || want["table1"] {
 		fmt.Println(experiments.Table1())
@@ -98,13 +116,21 @@ func main() {
 		if !want[f.name] && !(all && !f.extra) {
 			continue
 		}
+		figStart := time.Now()
 		ts, err := f.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "avfreport: figure %s: %v\n", f.name, err)
 			os.Exit(1)
 		}
+		logger.Info("figure complete",
+			"figure", f.name,
+			"tables", len(ts),
+			"elapsed", time.Since(figStart).Round(time.Millisecond).String(),
+		)
 		emit(ts...)
 	}
-	fmt.Fprintf(os.Stderr, "avfreport: done in %s (base budget %s)\n",
-		time.Since(start).Round(time.Millisecond), strconv.FormatUint(*base, 10))
+	logger.Info("done",
+		"elapsed", time.Since(start).Round(time.Millisecond).String(),
+		"base", strconv.FormatUint(*base, 10),
+	)
 }

@@ -7,30 +7,50 @@
 //
 //	avfsweep -mix 4ctx-MIX-A -policies ICOUNT,STALL,FLUSH -param iq -values 48,96,192
 //	avfsweep -bench gcc,mcf -policies ICOUNT -param regs -values 256,448,640
+//	avfsweep -mix 4ctx-MIX-A -policies ICOUNT,FLUSH -telemetry-dir series/ -debug-addr :6060
+//
+// Long sweeps run unattended: -telemetry-dir records one cycle-windowed
+// JSONL time-series per sweep point, -debug-addr serves live progress
+// (/telemetry, /debug/pprof/) for whichever point is currently running,
+// and structured per-point progress logs go to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"smtavf"
+	"smtavf/internal/telemetry"
 )
 
 func main() {
 	var (
-		mixName  = flag.String("mix", "", "Table 2 mix name")
-		benches  = flag.String("bench", "", "comma-separated benchmarks (alternative to -mix)")
-		policies = flag.String("policies", "ICOUNT", "comma-separated fetch policies")
-		param    = flag.String("param", "none", "structural parameter to sweep: none, iq, rob, lsq, regs, fetchq")
-		values   = flag.String("values", "", "comma-separated parameter values")
-		instrs   = flag.Uint64("instructions", 100_000, "instructions per run")
-		warmup   = flag.Uint64("warmup", 50_000, "warmup instructions per run")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
+		mixName   = flag.String("mix", "", "Table 2 mix name")
+		benches   = flag.String("bench", "", "comma-separated benchmarks (alternative to -mix)")
+		policies  = flag.String("policies", "ICOUNT", "comma-separated fetch policies")
+		param     = flag.String("param", "none", "structural parameter to sweep: none, iq, rob, lsq, regs, fetchq")
+		values    = flag.String("values", "", "comma-separated parameter values")
+		instrs    = flag.Uint64("instructions", 100_000, "instructions per run")
+		warmup    = flag.Uint64("warmup", 50_000, "warmup instructions per run")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		telDir    = flag.String("telemetry-dir", "", "record one cycle-windowed JSONL series per sweep point into this directory")
+		telWindow = flag.Uint64("telemetry-window", telemetry.DefaultWindowCycles, "telemetry sampling window in cycles")
+		debugAddr = flag.String("debug-addr", "", "serve live /telemetry and /debug/pprof for the running point (e.g. :6060)")
+		logLevel  = flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger := telemetry.NewLogger(os.Stderr, level, *logJSON)
 
 	var names []string
 	switch {
@@ -60,6 +80,22 @@ func main() {
 		fatal(fmt.Errorf("-param %s needs -values", *param))
 	}
 
+	if *telDir != "" {
+		if err := os.MkdirAll(*telDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	pols := strings.Split(*policies, ",")
+	telemetry.RunManifest(logger, "avfsweep", smtavf.DefaultConfig(len(names)), *seed, names,
+		"policies", *policies,
+		"param", *param,
+		"values", *values,
+		"instructions", *instrs,
+		"warmup", *warmup,
+		"points", len(pols)*len(vals),
+	)
+
 	// CSV header.
 	fmt.Printf("policy,%s,ipc", *param)
 	for _, s := range smtavf.Structs() {
@@ -67,12 +103,22 @@ func main() {
 	}
 	fmt.Println()
 
-	for _, pol := range strings.Split(*policies, ",") {
+	var dbg *telemetry.DebugServer
+	defer func() {
+		if dbg != nil {
+			dbg.Close()
+		}
+	}()
+	sweepStart := time.Now()
+	point := 0
+	for _, pol := range pols {
+		pol = strings.TrimSpace(pol)
 		for _, v := range vals {
+			point++
 			cfg := smtavf.DefaultConfig(len(names))
 			cfg.Seed = *seed
 			cfg.Warmup = *warmup
-			if err := cfg.SetPolicy(strings.TrimSpace(pol)); err != nil {
+			if err := cfg.SetPolicy(pol); err != nil {
 				fatal(err)
 			}
 			if err := apply(&cfg, *param, v); err != nil {
@@ -82,10 +128,51 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+
+			// One fresh collector (and series file) per sweep point; the
+			// debug server follows the point currently running.
+			var col *smtavf.Telemetry
+			if *telDir != "" || *debugAddr != "" {
+				col = smtavf.NewTelemetry(smtavf.TelemetryOptions{WindowCycles: *telWindow})
+				if *telDir != "" {
+					exp, err := telemetry.Create(filepath.Join(*telDir, pointName(pol, *param, v)))
+					if err != nil {
+						fatal(err)
+					}
+					col.AddExporter(exp)
+				}
+				sim.SetTelemetry(col)
+				if *debugAddr != "" {
+					if dbg == nil {
+						dbg, err = telemetry.ServeDebug(*debugAddr, col, logger)
+						if err != nil {
+							fatal(err)
+						}
+					} else {
+						dbg.SetCollector(col)
+					}
+				}
+			}
+
+			start := time.Now()
 			res, err := sim.Run(*instrs)
 			if err != nil {
 				fatal(fmt.Errorf("%s %s=%d: %w", pol, *param, v, err))
 			}
+			if cerr := col.Close(); cerr != nil {
+				fatal(fmt.Errorf("telemetry: %w", cerr))
+			}
+			logger.Info("sweep point",
+				"point", point,
+				"of", len(pols)*len(vals),
+				"policy", res.Policy,
+				"param", *param,
+				"value", v,
+				"ipc", fmt.Sprintf("%.4f", res.IPC()),
+				"cycles", res.Cycles,
+				"windows", col.Windows(),
+				"elapsed", time.Since(start).Round(time.Millisecond).String(),
+			)
 			fmt.Printf("%s,%d,%.4f", res.Policy, v, res.IPC())
 			for _, s := range smtavf.Structs() {
 				fmt.Printf(",%.4f", res.StructAVF(s))
@@ -93,6 +180,18 @@ func main() {
 			fmt.Println()
 		}
 	}
+	logger.Info("sweep complete",
+		"points", point,
+		"elapsed", time.Since(sweepStart).Round(time.Millisecond).String(),
+	)
+}
+
+// pointName is the telemetry series filename of one sweep point.
+func pointName(policy, param string, v int) string {
+	if param == "none" {
+		return policy + ".jsonl"
+	}
+	return fmt.Sprintf("%s_%s%d.jsonl", policy, param, v)
 }
 
 // apply sets the swept structural parameter.

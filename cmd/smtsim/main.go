@@ -5,6 +5,13 @@
 //
 //	smtsim -mix 4ctx-MEM-A -policy FLUSH -instructions 100000
 //	smtsim -bench mcf,twolf -policy ICOUNT -instructions 50000
+//	smtsim -mix 4ctx-MIX-A -telemetry run.jsonl -telemetry-window 10000
+//	smtsim -mix 4ctx-MIX-A -instructions 10000000 -debug-addr :6060
+//
+// With -telemetry the run emits a cycle-windowed time-series (JSONL, or
+// CSV if the path ends in .csv); with -debug-addr a live HTTP server
+// exposes /telemetry, /debug/vars, and /debug/pprof/ while the run is in
+// flight. Structured progress logs go to stderr (-log-level, -log-json).
 package main
 
 import (
@@ -13,26 +20,39 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"smtavf"
+	"smtavf/internal/telemetry"
 )
 
 func main() {
 	var (
-		mixName = flag.String("mix", "", "Table 2 mix name, e.g. 4ctx-MEM-A")
-		benches = flag.String("bench", "", "comma-separated benchmark names (alternative to -mix)")
-		traces  = flag.String("trace", "", "comma-separated trace files recorded by tracegen (alternative to -mix/-bench)")
-		policy  = flag.String("policy", "ICOUNT", "fetch policy: ICOUNT, STALL, FLUSH, DG, PDG, DWarn, STALLP")
-		instrs  = flag.Uint64("instructions", 100_000, "total instructions to simulate")
-		warmup  = flag.Uint64("warmup", 0, "instructions committed before measurement begins")
-		phases  = flag.Uint64("phases", 0, "sample per-interval IPC/AVF every N cycles (0 = off)")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		list    = flag.Bool("list", false, "list available mixes and benchmarks, then exit")
-		cfgPath = flag.String("config", "", "JSON machine configuration to load (overrides defaults; Threads is set from the workload)")
-		dumpCfg = flag.Bool("dumpconfig", false, "print the effective machine configuration as JSON and exit")
-		asJSON  = flag.Bool("json", false, "emit the full results as JSON")
+		mixName   = flag.String("mix", "", "Table 2 mix name, e.g. 4ctx-MEM-A")
+		benches   = flag.String("bench", "", "comma-separated benchmark names (alternative to -mix)")
+		traces    = flag.String("trace", "", "comma-separated trace files recorded by tracegen (alternative to -mix/-bench)")
+		policy    = flag.String("policy", "ICOUNT", "fetch policy: ICOUNT, STALL, FLUSH, DG, PDG, DWarn, STALLP")
+		instrs    = flag.Uint64("instructions", 100_000, "total instructions to simulate")
+		warmup    = flag.Uint64("warmup", 0, "instructions committed before measurement begins")
+		phases    = flag.Uint64("phases", 0, "sample per-interval IPC/AVF every N cycles (0 = off)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		list      = flag.Bool("list", false, "list available mixes and benchmarks, then exit")
+		cfgPath   = flag.String("config", "", "JSON machine configuration to load (overrides defaults; Threads is set from the workload)")
+		dumpCfg   = flag.Bool("dumpconfig", false, "print the effective machine configuration as JSON and exit")
+		asJSON    = flag.Bool("json", false, "emit the full results as JSON")
+		telPath   = flag.String("telemetry", "", "write a cycle-windowed telemetry series to this file (JSONL; .csv for CSV)")
+		telWindow = flag.Uint64("telemetry-window", telemetry.DefaultWindowCycles, "telemetry sampling window in cycles")
+		debugAddr = flag.String("debug-addr", "", "serve /telemetry, /debug/vars and /debug/pprof on this address during the run (e.g. :6060)")
+		logLevel  = flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger := telemetry.NewLogger(os.Stderr, level, *logJSON)
 
 	if *list {
 		fmt.Println("Table 2 mixes:")
@@ -91,10 +111,7 @@ func main() {
 		fmt.Println(string(data))
 		return
 	}
-	var (
-		sim *smtavf.Simulator
-		err error
-	)
+	var sim *smtavf.Simulator
 	if paths != nil {
 		sim, err = smtavf.NewSimulatorFromTraceFiles(cfg, paths)
 	} else {
@@ -103,10 +120,63 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Telemetry: a collector when a series file or the debug server is
+	// requested; the built-in ring buffer backs the /telemetry endpoint.
+	var col *smtavf.Telemetry
+	if *telPath != "" || *debugAddr != "" {
+		col = smtavf.NewTelemetry(smtavf.TelemetryOptions{
+			WindowCycles: *telWindow,
+			Logger:       logger,
+		})
+		if *telPath != "" {
+			exp, err := telemetry.Create(*telPath)
+			if err != nil {
+				fatal(err)
+			}
+			col.AddExporter(exp)
+		}
+		sim.SetTelemetry(col)
+	}
+	var dbg *telemetry.DebugServer
+	if *debugAddr != "" {
+		dbg, err = telemetry.ServeDebug(*debugAddr, col, logger)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+	}
+
+	workloads := names
+	if workloads == nil {
+		workloads = paths
+	}
+	telemetry.RunManifest(logger, "smtsim", cfg, *seed, workloads,
+		"policy", *policy,
+		"instructions", *instrs,
+		"warmup", *warmup,
+		"telemetry_window", *telWindow,
+	)
+
+	start := time.Now()
 	res, err := sim.Run(*instrs)
 	if err != nil {
 		fatal(err)
 	}
+	if cerr := col.Close(); cerr != nil {
+		fatal(fmt.Errorf("telemetry: %w", cerr))
+	}
+	elapsed := time.Since(start)
+	logger.Info("run complete",
+		"cycles", res.Cycles,
+		"instructions", res.Total,
+		"ipc", fmt.Sprintf("%.4f", res.IPC()),
+		"processor_avf", fmt.Sprintf("%.4f", res.ProcessorAVF()),
+		"windows", col.Windows(),
+		"elapsed", elapsed.Round(time.Millisecond).String(),
+		"cycles_per_sec", fmt.Sprintf("%.0f", float64(res.Cycles)/elapsed.Seconds()),
+	)
+
 	if *asJSON {
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {

@@ -13,20 +13,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"smtavf/internal/telemetry"
 	"smtavf/internal/trace"
 	"smtavf/internal/workload"
 )
 
 func main() {
 	var (
-		bench = flag.String("bench", "", "benchmark to record (see smtsim -list)")
-		n     = flag.Int("n", 100_000, "instructions to record")
-		out   = flag.String("o", "", "output file (default <bench>.trc)")
-		seed  = flag.Uint64("seed", 1, "generator seed")
-		dump  = flag.String("dump", "", "print a trace file's header and first records, then exit")
+		bench    = flag.String("bench", "", "benchmark to record (see smtsim -list)")
+		n        = flag.Int("n", 100_000, "instructions to record")
+		out      = flag.String("o", "", "output file (default <bench>.trc)")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		dump     = flag.String("dump", "", "print a trace file's header and first records, then exit")
+		logLevel = flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger := telemetry.NewLogger(os.Stderr, level, false)
 
 	if *dump != "" {
 		if err := dumpTrace(*dump); err != nil {
@@ -45,6 +54,14 @@ func main() {
 	if path == "" {
 		path = *bench + ".trc"
 	}
+	logger.Info("run manifest",
+		"program", "tracegen",
+		"bench", *bench,
+		"instructions", *n,
+		"seed", *seed,
+		"output", path,
+	)
+	start := time.Now()
 	gen := trace.NewSynthetic(p, *seed)
 	ins := trace.Record(gen, *n)
 	f, err := os.Create(path)
@@ -58,6 +75,10 @@ func main() {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
+	logger.Info("trace written",
+		"instructions", len(ins),
+		"elapsed", time.Since(start).Round(time.Millisecond).String(),
+	)
 	fmt.Printf("wrote %d instructions of %s to %s\n", *n, *bench, path)
 }
 

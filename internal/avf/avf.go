@@ -154,3 +154,14 @@ func (t *Tracker) ACEBitCycles(s Struct) uint64 {
 	}
 	return num
 }
+
+// OccupiedBitCycles returns the raw occupancy numerator of structure s —
+// ACE plus un-ACE bit-cycles over all threads. Telemetry windows diff it
+// between samples to report per-interval occupancy.
+func (t *Tracker) OccupiedBitCycles(s Struct) uint64 {
+	var num uint64
+	for tid := 0; tid < t.threads; tid++ {
+		num += t.ace[s][tid] + t.unace[s][tid]
+	}
+	return num
+}

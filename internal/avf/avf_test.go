@@ -137,3 +137,61 @@ func TestOccupancyBoundsAVF(t *testing.T) {
 		t.Fatal("AVF exceeds occupancy")
 	}
 }
+
+// rebaseRecorder is a Sink that also observes rebases.
+type rebaseRecorder struct {
+	intervals int
+	rebases   []uint64
+}
+
+func (r *rebaseRecorder) Interval(s Struct, tid int, bits, start, end uint64, ace bool) {
+	r.intervals++
+}
+func (r *rebaseRecorder) Rebase(cycle uint64) { r.rebases = append(r.rebases, cycle) }
+
+func TestRebaseNotifiesObserverSink(t *testing.T) {
+	trk := NewTracker(1, bits(64))
+	rec := &rebaseRecorder{}
+	trk.SetSink(rec)
+	trk.AddInterval(IQ, 0, 4, 0, 10, true)
+	trk.Rebase(10)
+	trk.AddInterval(IQ, 0, 4, 10, 20, true)
+	if rec.intervals != 2 {
+		t.Fatalf("sink saw %d intervals, want 2", rec.intervals)
+	}
+	if len(rec.rebases) != 1 || rec.rebases[0] != 10 {
+		t.Fatalf("sink saw rebases %v, want [10]", rec.rebases)
+	}
+	// Accumulators only hold the post-rebase interval.
+	if got := trk.ACEBitCycles(IQ); got != 4*10 {
+		t.Fatalf("post-rebase ACE bit-cycles = %d, want 40", got)
+	}
+}
+
+type plainSink struct{ intervals int }
+
+func (p *plainSink) Interval(s Struct, tid int, bits, start, end uint64, ace bool) {
+	p.intervals++
+}
+
+func TestRebaseToleratesPlainSink(t *testing.T) {
+	trk := NewTracker(1, bits(64))
+	trk.SetSink(&plainSink{})
+	trk.AddInterval(IQ, 0, 4, 0, 10, true)
+	trk.Rebase(10) // must not panic on a Sink without Rebase
+	if got := trk.ACEBitCycles(IQ); got != 0 {
+		t.Fatalf("accumulators not zeroed: %d", got)
+	}
+}
+
+func TestOccupiedBitCycles(t *testing.T) {
+	trk := NewTracker(2, bits(64))
+	trk.Add(IQ, 0, 4, 10, true)
+	trk.Add(IQ, 1, 4, 5, false)
+	if got := trk.OccupiedBitCycles(IQ); got != 4*10+4*5 {
+		t.Fatalf("occupied bit-cycles = %d, want 60", got)
+	}
+	if got := trk.ACEBitCycles(IQ); got != 4*10 {
+		t.Fatalf("ACE bit-cycles = %d, want 40", got)
+	}
+}

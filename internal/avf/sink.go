@@ -34,10 +34,24 @@ func (t *Tracker) AddInterval(s Struct, tid int, bits, start, end uint64, ace bo
 	}
 }
 
+// RebaseObserver is the optional half of the sink contract: a Sink that
+// also implements it is told when the tracker rebases, so interval
+// consumers (fault-injection campaigns, telemetry windows) can drop their
+// warmup-era state instead of silently mixing it with measured intervals.
+// Sinks that never see a rebase (no warmup configured) need not implement
+// it.
+type RebaseObserver interface {
+	// Rebase reports that accumulation restarted at cycle: intervals
+	// observed before it belong to warmup and must not contribute to
+	// measured estimates.
+	Rebase(cycle uint64)
+}
+
 // Rebase zeroes the accumulators and clips all future intervals at cycle:
 // the simulator calls it at the end of a warmup period, so that AVFs cover
 // only the measurement window. Callers must thereafter compute AVFs over
-// cycles-since-rebase.
+// cycles-since-rebase. An attached Sink that implements RebaseObserver is
+// notified after the accumulators reset.
 func (t *Tracker) Rebase(cycle uint64) {
 	t.rebase = cycle
 	for s := 0; s < NumStructs; s++ {
@@ -45,5 +59,8 @@ func (t *Tracker) Rebase(cycle uint64) {
 			t.ace[s][tid] = 0
 			t.unace[s][tid] = 0
 		}
+	}
+	if o, ok := t.sink.(RebaseObserver); ok {
+		o.Rebase(cycle)
 	}
 }

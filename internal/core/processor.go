@@ -8,6 +8,7 @@ import (
 	"smtavf/internal/fetch"
 	"smtavf/internal/mem"
 	"smtavf/internal/pipeline"
+	"smtavf/internal/telemetry"
 	"smtavf/internal/trace"
 )
 
@@ -67,6 +68,17 @@ type Processor struct {
 	warmPerThread []uint64
 	warmThread    []ThreadStats
 	warmCounters  machineCounters
+
+	// Telemetry (SetTelemetry). tel is nil when disabled; the live
+	// registry handles below are nil-receiver no-ops then.
+	tel          *telemetry.Collector
+	telBase      telemetrySnap
+	telNext      uint64
+	telIndex     int
+	telCycle     *telemetry.Gauge
+	telCommitted *telemetry.Counter
+	telFlushes   *telemetry.Counter
+	telSquashed  *telemetry.Counter
 }
 
 // New builds a processor running one synthetic benchmark per context.
@@ -204,6 +216,10 @@ func (p *Processor) Run(lim Limits) (*Results, error) {
 		return nil
 	}
 
+	if p.tel != nil {
+		p.telemetryStart()
+	}
+
 	if p.cfg.Warmup > 0 {
 		if lim.PerThread != nil {
 			return nil, fmt.Errorf("core: Warmup cannot be combined with per-thread quotas")
@@ -213,6 +229,9 @@ func (p *Processor) Run(lim Limits) (*Results, error) {
 				return nil, fmt.Errorf("during warmup: %w", err)
 			}
 			p.step()
+			if p.tel != nil && p.now >= p.telNext {
+				p.telemetryRoll(false)
+			}
 		}
 		p.rebaseMeasurement()
 	}
@@ -225,10 +244,19 @@ func (p *Processor) Run(lim Limits) (*Results, error) {
 		if iv := p.cfg.PhaseInterval; iv > 0 && p.now-p.phaseCycle >= iv {
 			p.samplePhase()
 		}
+		if p.tel != nil && p.now >= p.telNext {
+			p.telemetryRoll(false)
+		}
 	}
 	p.closeAccounting()
 	if p.cfg.PhaseInterval > 0 && p.now > p.phaseCycle {
 		p.samplePhase() // close the final partial phase
+	}
+	if p.tel != nil {
+		// The final roll runs after closeAccounting so the intervals of
+		// still-in-flight state land in the last window, keeping its
+		// cumulative AVF identical to the end-of-run report.
+		p.telemetryRoll(true)
 	}
 	return p.results(), nil
 }
@@ -237,6 +265,11 @@ func (p *Processor) Run(lim Limits) (*Results, error) {
 // the microarchitectural state (caches, predictors, in-flight pipeline)
 // stays warm.
 func (p *Processor) rebaseMeasurement() {
+	if p.tel != nil {
+		// Close the partial warmup window before the accumulators reset,
+		// so no window mixes warmup-era and measured intervals.
+		p.telemetryRoll(false)
+	}
 	p.trk.Rebase(p.now)
 	p.measureStart = p.now
 	p.warmCommitted = p.totalCommitted
@@ -252,6 +285,10 @@ func (p *Processor) rebaseMeasurement() {
 	p.phaseCycle = p.now
 	p.phaseCommit = p.totalCommitted
 	p.phaseACE = [avf.NumStructs]uint64{}
+	if p.tel != nil {
+		p.tel.Rebase(p.now)
+		p.telemetryStart() // re-baseline: the tracker was just zeroed
+	}
 }
 
 // samplePhase records the IPC and per-structure AVF of the interval since
@@ -306,6 +343,7 @@ func (p *Processor) step() {
 	p.dispatch()
 	p.fetchStage()
 	p.now++
+	p.telCycle.SetUint(p.now) // nil-receiver no-op when telemetry is off
 }
 
 // Now returns the current cycle.

@@ -50,6 +50,7 @@ func (p *Processor) commit() {
 			u.Classify(p.trk, p.cfg.Bits, false)
 			t.committed++
 			p.totalCommitted++
+			p.telCommitted.Inc()
 			p.lastCommitCycle = p.now
 			t.stream.Release(u.Seq + 1)
 			budget--
@@ -206,6 +207,7 @@ func (p *Processor) issue() {
 		}
 		u.FlushLoad = true
 		t.flushes++
+		p.telFlushes.Inc()
 		p.squashThread(t, u.GSeq)
 	}
 }
@@ -536,6 +538,7 @@ func (p *Processor) squashThread(t *thread, afterGSeq uint64) {
 		u.Squashed = true
 		u.Classify(p.trk, p.cfg.Bits, true)
 		t.squashedUops++
+		p.telSquashed.Inc()
 	}
 	if haveRewind {
 		t.stream.Rewind(rewindTo)

@@ -27,9 +27,16 @@ import (
 
 // Campaign collects strike samples. Create with NewCampaign, attach via
 // Tracker.SetSink, run the simulation, then call Estimate/Outcomes.
+//
+// Campaign implements avf.RebaseObserver: when the tracker rebases at the
+// end of a warmup period, the campaign drops every sample collected so
+// far and re-anchors its grid at the rebase cycle, so the estimates cover
+// exactly the measurement window the tracker covers (pass the measured
+// cycle count — Results.Cycles — to Estimate/Occupancy/Outcomes).
 type Campaign struct {
 	every  uint64 // sample grid pitch in cycles
 	phase  uint64 // grid offset, drawn in [0, every)
+	origin uint64 // cycle the grid is anchored at (nonzero after a rebase)
 	bits   [avf.NumStructs]uint64
 	ace    [avf.NumStructs]map[uint64]uint64 // sample index -> ACE bits resident
 	occ    [avf.NumStructs]map[uint64]uint64 // sample index -> occupied bits
@@ -53,14 +60,35 @@ func NewCampaign(bits [avf.NumStructs]uint64, every uint64, seed uint64) (*Campa
 	return c, nil
 }
 
-var _ avf.Sink = (*Campaign)(nil)
+var (
+	_ avf.Sink           = (*Campaign)(nil)
+	_ avf.RebaseObserver = (*Campaign)(nil)
+)
+
+// Rebase implements avf.RebaseObserver: warmup-era samples are discarded
+// and the sample grid re-anchors at the rebase cycle, mirroring the
+// tracker's accumulator reset.
+func (c *Campaign) Rebase(cycle uint64) {
+	c.origin = cycle
+	for s := range c.ace {
+		c.ace[s] = make(map[uint64]uint64)
+		c.occ[s] = make(map[uint64]uint64)
+	}
+}
 
 // Interval implements avf.Sink: it books the interval's bits into every
-// sample cycle the interval covers.
+// sample cycle the interval covers. Cycles are re-expressed relative to
+// the grid origin (the last rebase), matching the measured cycle counts
+// the estimate queries use.
 func (c *Campaign) Interval(s avf.Struct, tid int, bits, start, end uint64, ace bool) {
+	if start < c.origin {
+		start = c.origin
+	}
 	if end <= start {
 		return
 	}
+	start -= c.origin
+	end -= c.origin
 	c.events++
 	// First sample index at or after start.
 	var idx uint64

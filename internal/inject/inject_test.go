@@ -109,3 +109,50 @@ func TestSamplesCount(t *testing.T) {
 		t.Fatalf("samples over 1000 cycles at pitch 10: %d", n)
 	}
 }
+
+func TestRebaseDropsWarmupSamples(t *testing.T) {
+	// Warmup run: heavy ACE residency before the rebase, light after.
+	// Without the rebase the estimate would blend the two eras.
+	c, err := NewCampaign(bits(), 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Interval(avf.IQ, 0, 1000, 0, 100, true) // warmup: fully ACE
+	c.Rebase(100)
+	c.Interval(avf.IQ, 0, 500, 100, 200, true) // measured: half ACE
+
+	// 100 measured cycles: every sample holds 500 of 1000 ACE bits.
+	got := c.Estimate(avf.IQ, 100)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("post-rebase estimate = %v, want 0.5", got)
+	}
+	if ob := c.Overbooked(avf.IQ); ob != 0 {
+		t.Fatalf("overbooked samples after rebase: %d", ob)
+	}
+}
+
+func TestRebaseMatchesTrackerThroughWarmup(t *testing.T) {
+	// Attach the campaign to a tracker and drive both through a warmup
+	// rebase; the two independent accountings must agree afterwards.
+	var b [avf.NumStructs]uint64
+	for i := range b {
+		b[i] = 1000
+	}
+	trk := avf.NewTracker(1, b)
+	c, err := NewCampaign(b, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trk.SetSink(c)
+
+	trk.AddInterval(avf.IQ, 0, 1000, 0, 50, true) // warmup era
+	trk.Rebase(50)
+	trk.AddInterval(avf.IQ, 0, 250, 50, 150, true) // measurement era
+
+	const measured = 100
+	want := trk.AVF(avf.IQ, measured)
+	got := c.Estimate(avf.IQ, measured)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("campaign %v vs tracker %v after rebase", got, want)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"smtavf/internal/core"
 	"smtavf/internal/fetch"
 	"smtavf/internal/inject"
+	"smtavf/internal/telemetry"
 	"smtavf/internal/trace"
 	"smtavf/internal/workload"
 )
@@ -190,6 +191,27 @@ func (s *Simulator) run(lim core.Limits) (*Results, error) {
 	s.used = true
 	return s.proc.Run(lim)
 }
+
+// Telemetry is a cycle-windowed live-metrics collector: attach one with
+// Simulator.SetTelemetry and the run emits a per-window time-series of
+// IPC, per-structure AVF, occupancy, and event counters — to JSONL/CSV
+// exporters, an in-memory ring buffer, and the optional debug HTTP
+// server. See docs/telemetry.md.
+type Telemetry = telemetry.Collector
+
+// TelemetryOptions parameterizes a Telemetry collector (window length in
+// cycles, ring size, progress logger).
+type TelemetryOptions = telemetry.Options
+
+// TelemetryWindow is one completed sampling interval of the series.
+type TelemetryWindow = telemetry.Window
+
+// NewTelemetry builds a telemetry collector (default 10k-cycle windows).
+func NewTelemetry(o TelemetryOptions) *Telemetry { return telemetry.New(o) }
+
+// SetTelemetry attaches a telemetry collector to the simulator. Must be
+// called before Run; a nil collector leaves telemetry disabled.
+func (s *Simulator) SetTelemetry(c *Telemetry) { s.proc.SetTelemetry(c) }
 
 // FaultCampaign is a statistical fault-injection campaign: it samples the
 // machine's state on a regular cycle grid and estimates, per structure,
