@@ -339,3 +339,32 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	b.Run("off", func(b *testing.B) { run(b, false) })
 	b.Run("on", func(b *testing.B) { run(b, true) })
 }
+
+// BenchmarkPipetraceOverhead measures the cost of the pipeline flight
+// recorder. "off" runs with no recorder attached — the nil-receiver fast
+// path at the commit/squash hooks, which must stay within 5% of
+// BenchmarkSimulatorCycles. "on" attaches an unbounded recorder, showing
+// what a full -pipetrace run pays (one Record per retired uop plus the
+// provenance aggregation).
+func BenchmarkPipetraceOverhead(b *testing.B) {
+	run := func(b *testing.B, attach bool) {
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			sim, err := smtavf.NewSimulator(smtavf.DefaultConfig(4), ablationMix)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if attach {
+				sim.SetPipeTrace(smtavf.NewPipeTrace(smtavf.PipeTraceOptions{}))
+			}
+			res, err := sim.Run(uint64(benchBase) * 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += res.Cycles
+		}
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}

@@ -6,6 +6,7 @@
 //	avfreport                      # everything, default budgets
 //	avfreport -figure 6 -base 20000
 //	avfreport -csv > report.csv
+//	avfreport -provenance 4ctx-MEM-A -provenance-top 10
 package main
 
 import (
@@ -25,6 +26,9 @@ func main() {
 		base     = flag.Uint64("base", 50_000, "instruction budget of a 2-context run (4/8 contexts use 2x/4x)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		figure   = flag.String("figure", "all", "which figure to produce: all, table1, table2, 1..8, ext, or sens (comma-separated)")
+		provMix  = flag.String("provenance", "", "run this Table 2 mix with the pipeline flight recorder and print its AVF provenance tables (skips the figures)")
+		provPol  = flag.String("provenance-policy", "ICOUNT", "fetch policy of the -provenance run")
+		provTop  = flag.Int("provenance-top", 10, "PC rows in the -provenance hotspot table")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		chart    = flag.Bool("chart", false, "render tables as horizontal bar charts")
 		logLevel = flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
@@ -66,6 +70,16 @@ func main() {
 	}
 
 	start := time.Now()
+	if *provMix != "" {
+		ts, err := r.Provenance(*provMix, *provPol, *provTop)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avfreport: provenance: %v\n", err)
+			os.Exit(1)
+		}
+		emit(ts...)
+		logger.Info("done", "elapsed", time.Since(start).Round(time.Millisecond).String())
+		return
+	}
 	if all {
 		// Fill the run cache with all cores before assembling figures.
 		preStart := time.Now()

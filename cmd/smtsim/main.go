@@ -12,6 +12,19 @@
 // CSV if the path ends in .csv); with -debug-addr a live HTTP server
 // exposes /telemetry, /debug/vars, and /debug/pprof/ while the run is in
 // flight. Structured progress logs go to stderr (-log-level, -log-json).
+//
+// With -pipetrace the run additionally records every uop's pipeline
+// lifecycle and writes it as a Kanata log (.kanata/.kan, opens in Konata),
+// a Chrome trace_event JSON (.json, opens in chrome://tracing or
+// Perfetto), or compact JSONL (anything else; .gz compresses):
+//
+//	smtsim -bench mcf,gcc -instructions 20000 -pipetrace run.kanata
+//	smtsim -mix 4ctx-MIX-A -pipetrace run.jsonl.gz -pipetrace-window 50000:70000
+//	smtsim -bench mcf,gcc -pipetrace-top 10
+//
+// -pipetrace-top prints the AVF provenance report: the top-N static
+// instructions by ACE bit-cycles in each pipeline structure, plus the
+// residency-by-fate breakdown.
 package main
 
 import (
@@ -23,6 +36,7 @@ import (
 	"time"
 
 	"smtavf"
+	"smtavf/internal/pipetrace"
 	"smtavf/internal/telemetry"
 )
 
@@ -42,6 +56,11 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit the full results as JSON")
 		telPath   = flag.String("telemetry", "", "write a cycle-windowed telemetry series to this file (JSONL; .csv for CSV)")
 		telWindow = flag.Uint64("telemetry-window", telemetry.DefaultWindowCycles, "telemetry sampling window in cycles")
+		ptPath    = flag.String("pipetrace", "", "record per-uop pipeline lifecycles to this file (.kanata/.kan Kanata, .json Chrome trace_event, else JSONL; .gz compresses)")
+		ptFormat  = flag.String("pipetrace-format", "", "force the -pipetrace format: kanata, chrome, or jsonl (default: by extension)")
+		ptWindow  = flag.String("pipetrace-window", "", "record only uops fetched in this cycle window, as START:END (END 0 or absent = unbounded)")
+		ptTop     = flag.Int("pipetrace-top", 0, "print the top-N per-PC AVF provenance hotspots per pipeline structure (enables recording)")
+
 		debugAddr = flag.String("debug-addr", "", "serve /telemetry, /debug/vars and /debug/pprof on this address during the run (e.g. :6060)")
 		logLevel  = flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
@@ -138,6 +157,28 @@ func main() {
 		}
 		sim.SetTelemetry(col)
 	}
+	// Pipeline flight recorder, when a trace file or provenance report is
+	// requested.
+	var rec *smtavf.PipeTrace
+	if *ptPath != "" || *ptTop > 0 {
+		opt := smtavf.PipeTraceOptions{}
+		if *ptWindow != "" {
+			var err error
+			opt.WindowStart, opt.WindowEnd, err = parseWindow(*ptWindow)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		rec = smtavf.NewPipeTrace(opt)
+		sim.SetPipeTrace(rec)
+	}
+	format := pipetrace.Format(*ptFormat)
+	switch format {
+	case "", pipetrace.FormatKanata, pipetrace.FormatChrome, pipetrace.FormatJSONL:
+	default:
+		fatal(fmt.Errorf("unknown -pipetrace-format %q (kanata, chrome, or jsonl)", *ptFormat))
+	}
+
 	var dbg *telemetry.DebugServer
 	if *debugAddr != "" {
 		dbg, err = telemetry.ServeDebug(*debugAddr, col, logger)
@@ -166,6 +207,12 @@ func main() {
 	if cerr := col.Close(); cerr != nil {
 		fatal(fmt.Errorf("telemetry: %w", cerr))
 	}
+	if rec != nil && *ptPath != "" {
+		if err := rec.WriteFile(*ptPath, format); err != nil {
+			fatal(fmt.Errorf("pipetrace: %w", err))
+		}
+		logger.Info("pipetrace written", "path", *ptPath, "records", rec.Len(), "dropped", rec.Dropped())
+	}
 	elapsed := time.Since(start)
 	logger.Info("run complete",
 		"cycles", res.Cycles,
@@ -186,6 +233,14 @@ func main() {
 		return
 	}
 	fmt.Print(res)
+	if rec != nil && *ptTop > 0 {
+		prov := rec.Provenance()
+		fmt.Println()
+		for _, s := range pipetrace.RecordStructs {
+			fmt.Print(prov.FormatHotspots(s, *ptTop))
+		}
+		fmt.Print(prov.FormatFates())
+	}
 	if *phases > 0 {
 		fmt.Println("  phases (cycle / IPC / IQ AVF / ROB AVF):")
 		for _, ph := range res.Phases {
@@ -193,6 +248,26 @@ func main() {
 				ph.Cycle, ph.IPC, 100*ph.AVF[smtavf.IQ], 100*ph.AVF[smtavf.ROB])
 		}
 	}
+}
+
+// parseWindow parses a "START:END" cycle window; END may be omitted or 0
+// for an unbounded window.
+func parseWindow(s string) (start, end uint64, err error) {
+	a, b, found := strings.Cut(s, ":")
+	if a != "" {
+		if _, err = fmt.Sscanf(a, "%d", &start); err != nil {
+			return 0, 0, fmt.Errorf("bad -pipetrace-window %q: %w", s, err)
+		}
+	}
+	if found && b != "" {
+		if _, err = fmt.Sscanf(b, "%d", &end); err != nil {
+			return 0, 0, fmt.Errorf("bad -pipetrace-window %q: %w", s, err)
+		}
+		if end != 0 && end <= start {
+			return 0, 0, fmt.Errorf("bad -pipetrace-window %q: end must exceed start", s)
+		}
+	}
+	return start, end, nil
 }
 
 func fatal(err error) {

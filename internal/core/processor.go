@@ -8,6 +8,7 @@ import (
 	"smtavf/internal/fetch"
 	"smtavf/internal/mem"
 	"smtavf/internal/pipeline"
+	"smtavf/internal/pipetrace"
 	"smtavf/internal/telemetry"
 	"smtavf/internal/trace"
 )
@@ -79,6 +80,10 @@ type Processor struct {
 	telCommitted *telemetry.Counter
 	telFlushes   *telemetry.Counter
 	telSquashed  *telemetry.Counter
+
+	// Pipeline flight recorder (SetPipeTrace). nil when detached; every
+	// Record call below is then a nil-receiver no-op.
+	rec *pipetrace.Recorder
 }
 
 // New builds a processor running one synthetic benchmark per context.
@@ -271,6 +276,7 @@ func (p *Processor) rebaseMeasurement() {
 		p.telemetryRoll(false)
 	}
 	p.trk.Rebase(p.now)
+	p.rec.Rebase(p.now)
 	p.measureStart = p.now
 	p.warmCommitted = p.totalCommitted
 	p.warmPerThread = make([]uint64, len(p.threads))
@@ -356,6 +362,15 @@ func (p *Processor) Tracker() *avf.Tracker { return p.trk }
 // injection campaign) on the AVF tracker. Call before Run.
 func (p *Processor) AttachSink(s avf.Sink) { p.trk.SetSink(s) }
 
+// SetPipeTrace attaches a pipeline flight recorder; every uop leaving the
+// machine is reported to it at the same three sites that feed the AVF
+// tracker, so the recorder's provenance totals reconcile with the
+// tracker's bit-cycle counts exactly. Call before Run; nil detaches.
+func (p *Processor) SetPipeTrace(r *pipetrace.Recorder) {
+	p.rec = r
+	r.SetBits(p.cfg.Bits)
+}
+
 // closeAccounting finalizes every open residency interval at the end of a
 // run: in-flight uops are classified with the fate they were heading for
 // (commit unless wrong-path), and the address structures close their
@@ -371,6 +386,7 @@ func (p *Processor) closeAccounting() {
 				t.lsq.PopTail(p.now)
 			}
 			u.Classify(p.trk, p.cfg.Bits, u.WrongPath)
+			p.rec.Record(u, p.now, u.WrongPath)
 		}
 	}
 	p.rf.CloseAccounting(p.now)

@@ -48,6 +48,7 @@ func (p *Processor) commit() {
 				p.rf.CommitFree(u.OldPhysDest, p.now)
 			}
 			u.Classify(p.trk, p.cfg.Bits, false)
+			p.rec.Record(u, p.now, false)
 			t.committed++
 			p.totalCommitted++
 			p.telCommitted.Inc()
@@ -360,6 +361,7 @@ func (p *Processor) fetchThread(t *thread, max int) int {
 			Instruction: in,
 			TID:         t.id,
 			GSeq:        p.gseq,
+			FetchedAt:   p.now,
 			WrongPath:   t.wrongPath,
 			FrontReady:  p.now + uint64(p.cfg.FrontEndDepth),
 			PhysDest:    -1,
@@ -515,6 +517,7 @@ func (p *Processor) squashThread(t *thread, afterGSeq uint64) {
 		}
 		note(u)
 		u.Squashed = true
+		p.rec.Record(u, p.now, true)
 		if u.PredL1 {
 			t.predL1--
 		}
@@ -537,6 +540,7 @@ func (p *Processor) squashThread(t *thread, afterGSeq uint64) {
 		note(u)
 		u.Squashed = true
 		u.Classify(p.trk, p.cfg.Bits, true)
+		p.rec.Record(u, p.now, true)
 		t.squashedUops++
 		p.telSquashed.Inc()
 	}

@@ -25,6 +25,10 @@ type Uop struct {
 	PredTarget uint64
 	Mispred    bool // fetch-time prediction disagreed with the oracle outcome
 
+	// FetchedAt is the cycle the uop entered the machine; the pipeline
+	// flight recorder keys its sampling window on it.
+	FetchedAt uint64
+
 	// Rename state.
 	PhysSrc1, PhysSrc2 int
 	PhysDest           int // -1 when the uop writes no register
@@ -93,14 +97,51 @@ func DefaultBits() Bits {
 	}
 }
 
+// Fate returns the classification reason behind ACE for the given squash
+// outcome: Fate(squashed).ACE() == ACE(squashed) always.
+func (u *Uop) Fate(squashed bool) avf.Fate {
+	switch {
+	case u.WrongPath:
+		return avf.FateWrongPath
+	case squashed:
+		return avf.FateSquashed
+	case u.Class == isa.NOP:
+		return avf.FateNOP
+	case u.Dead:
+		return avf.FateDead
+	}
+	return avf.FateCommitted
+}
+
+// Residency is one structure-occupancy interval [Start, End) of a uop,
+// carrying the per-entry bit width the interval is weighted with.
+type Residency struct {
+	Struct avf.Struct
+	Bits   uint64
+	Start  uint64
+	End    uint64
+}
+
+// Residencies returns the uop's accumulated per-structure residency
+// intervals. Classify and the pipeline flight recorder both consume this,
+// so their accounting can never diverge. Intervals with End <= Start are
+// empty (the structure was never occupied).
+func (u *Uop) Residencies(bits Bits) [5]Residency {
+	return [5]Residency{
+		{avf.IQ, bits.IQEntry, u.EnterIQ, u.EnterIQ + u.IQCycles},
+		{avf.ROB, bits.ROBEntry, u.EnterROB, u.EnterROB + u.ROBCycles},
+		{avf.LSQTag, bits.LSQTagEntry, u.EnterLSQ, u.EnterLSQ + u.LSQTagCycles},
+		{avf.LSQData, bits.LSQDataEntry, u.DataAt, u.DataAt + u.LSQDataCycles},
+		{avf.FU, bits.FUUnit, u.IssuedAt, u.IssuedAt + u.FUCycles},
+	}
+}
+
 // Classify adds the uop's accumulated residencies to the tracker with the
 // given fate. It must be called exactly once per uop, at commit or squash
 // time.
 func (u *Uop) Classify(trk *avf.Tracker, bits Bits, squashed bool) {
 	ace := u.ACE(squashed)
-	trk.AddInterval(avf.IQ, u.TID, bits.IQEntry, u.EnterIQ, u.EnterIQ+u.IQCycles, ace)
-	trk.AddInterval(avf.ROB, u.TID, bits.ROBEntry, u.EnterROB, u.EnterROB+u.ROBCycles, ace)
-	trk.AddInterval(avf.LSQTag, u.TID, bits.LSQTagEntry, u.EnterLSQ, u.EnterLSQ+u.LSQTagCycles, ace)
-	trk.AddInterval(avf.LSQData, u.TID, bits.LSQDataEntry, u.DataAt, u.DataAt+u.LSQDataCycles, ace)
-	trk.AddInterval(avf.FU, u.TID, bits.FUUnit, u.IssuedAt, u.IssuedAt+u.FUCycles, ace)
+	for _, r := range u.Residencies(bits) {
+		trk.AddInterval(r.Struct, u.TID, r.Bits, r.Start, r.End, ace)
+	}
 }

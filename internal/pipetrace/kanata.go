@@ -1,0 +1,147 @@
+package pipetrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"smtavf/internal/avf"
+)
+
+// Kanata stage labels, lane 0. The mapping from the simulator's lifecycle:
+// F covers fetch through the front-end pipe, Ds the IQ wait after
+// dispatch, Ex issue through writeback, Cm the ROB wait until retirement.
+const (
+	stageFetch    = "F"
+	stageDispatch = "Ds"
+	stageExecute  = "Ex"
+	stageComplete = "Cm"
+)
+
+// kanataEvent is one line of the trace body, scheduled at an absolute
+// cycle. Events at equal cycles keep emission order (stable sort), so each
+// uop's I/L/S lines stay in sequence.
+type kanataEvent struct {
+	cycle uint64
+	line  string
+}
+
+// WriteKanata writes records in the Kanata log format (version 0004), the
+// pipeline-viewer format of Konata and the gem5/Onikiri2 ecosystem: one
+// instruction lane per uop with stage transitions F → Ds → Ex → Cm and a
+// retire line marking commit (type 0) or squash/flush (type 1). Hovering
+// an instruction in Konata shows the uop's fate and residency detail.
+func WriteKanata(w io.Writer, recs []Record) error {
+	order := fetchOrder(recs)
+
+	// Retire ids must be assigned in retirement order.
+	retireOrder := make([]int, len(order))
+	copy(retireOrder, order)
+	sort.SliceStable(retireOrder, func(a, b int) bool {
+		ra, rb := &recs[retireOrder[a]], &recs[retireOrder[b]]
+		if ra.Retire != rb.Retire {
+			return ra.Retire < rb.Retire
+		}
+		return ra.GSeq < rb.GSeq
+	})
+	rid := make(map[int]int, len(recs))
+	for i, j := range retireOrder {
+		rid[j] = i
+	}
+
+	events := make([]kanataEvent, 0, 6*len(recs))
+	iids := map[int]int{} // per-thread instruction counter
+	for uid, j := range order {
+		r := &recs[j]
+		iid := iids[r.TID]
+		iids[r.TID]++
+		events = append(events,
+			kanataEvent{r.Fetch, fmt.Sprintf("I\t%d\t%d\t%d", uid, iid, r.TID)},
+			kanataEvent{r.Fetch, fmt.Sprintf("L\t%d\t0\t0x%x %s", uid, r.PC, r.Op)},
+			kanataEvent{r.Fetch, fmt.Sprintf("L\t%d\t1\t%s", uid, kanataDetail(r))},
+			kanataEvent{r.Fetch, fmt.Sprintf("S\t%d\t0\t%s", uid, stageFetch)},
+		)
+		if r.Dispatch >= 0 {
+			events = append(events, kanataEvent{uint64(r.Dispatch),
+				fmt.Sprintf("S\t%d\t0\t%s", uid, stageDispatch)})
+		}
+		if r.Issue >= 0 {
+			events = append(events, kanataEvent{uint64(r.Issue),
+				fmt.Sprintf("S\t%d\t0\t%s", uid, stageExecute)})
+		}
+		if r.Writeback >= 0 && uint64(r.Writeback) < r.Retire {
+			events = append(events, kanataEvent{uint64(r.Writeback),
+				fmt.Sprintf("S\t%d\t0\t%s", uid, stageComplete)})
+		}
+		kind := 0 // commit
+		if !r.Committed() {
+			kind = 1 // flush
+		}
+		events = append(events, kanataEvent{r.Retire,
+			fmt.Sprintf("R\t%d\t%d\t%d", uid, rid[j], kind)})
+	}
+	sort.SliceStable(events, func(a, b int) bool { return events[a].cycle < events[b].cycle })
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Kanata\t0004\n")
+	cur := uint64(0)
+	if len(events) > 0 {
+		cur = events[0].cycle
+	}
+	fmt.Fprintf(bw, "C=\t%d\n", cur)
+	for _, e := range events {
+		if e.cycle != cur {
+			fmt.Fprintf(bw, "C\t%d\n", e.cycle-cur)
+			cur = e.cycle
+		}
+		bw.WriteString(e.line)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// kanataDetail is the hover text of one uop: identity, fate, and every
+// non-empty residency interval.
+func kanataDetail(r *Record) string {
+	s := fmt.Sprintf("tid=%d gseq=%d seq=%d fate=%s", r.TID, r.GSeq, r.Seq, r.Fate)
+	names := [5]string{"iq", "rob", "lsq_tag", "lsq_data", "fu"}
+	for i, st := range RecordStructs {
+		if sp := r.Span(st); sp.Cycles > 0 {
+			s += fmt.Sprintf(" %s=[%d,%d)", names[i], sp.Start, sp.End())
+		}
+	}
+	return s
+}
+
+// fetchOrder returns record indices sorted by fetch cycle (GSeq breaks
+// ties), the canonical display order of both viewers.
+func fetchOrder(recs []Record) []int {
+	order := make([]int, len(recs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := &recs[order[a]], &recs[order[b]]
+		if ra.Fetch != rb.Fetch {
+			return ra.Fetch < rb.Fetch
+		}
+		return ra.GSeq < rb.GSeq
+	})
+	return order
+}
+
+// assertStructsCovered ties RecordStructs to avf.PipelineStructs at
+// compile review time: both must enumerate the same five structures.
+var _ = func() struct{} {
+	want := map[avf.Struct]bool{}
+	for _, s := range avf.PipelineStructs() {
+		want[s] = true
+	}
+	for _, s := range RecordStructs {
+		if !want[s] {
+			panic("pipetrace: RecordStructs diverged from avf.PipelineStructs")
+		}
+	}
+	return struct{}{}
+}()

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"compress/gzip"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -22,16 +23,50 @@ type Exporter interface {
 
 // Create opens a file exporter for path, picking the format from the
 // extension: ".csv" writes CSV, everything else JSONL (one JSON object
-// per window per line).
+// per window per line). A ".gz" suffix (".jsonl.gz", ".csv.gz")
+// gzip-compresses the stream — long sweeps and flight recordings are
+// large.
 func Create(path string) (Exporter, error) {
+	w, err := OpenWriter(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(strings.TrimSuffix(strings.ToLower(path), ".gz"), ".csv") {
+		return NewCSV(w), nil
+	}
+	return NewJSONL(w), nil
+}
+
+// OpenWriter creates path for writing, transparently wrapping the stream
+// in gzip compression when the name ends in ".gz". Close flushes the
+// compressor before closing the file. Shared by the telemetry exporters
+// and the pipetrace flight-recorder exports.
+func OpenWriter(path string) (io.WriteCloser, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
-	if strings.HasSuffix(strings.ToLower(path), ".csv") {
-		return NewCSV(f), nil
+	if strings.HasSuffix(strings.ToLower(path), ".gz") {
+		return &gzipWriteCloser{gz: gzip.NewWriter(f), f: f}, nil
 	}
-	return NewJSONL(f), nil
+	return f, nil
+}
+
+// gzipWriteCloser couples a gzip compressor to its backing file so a
+// single Close finishes both.
+type gzipWriteCloser struct {
+	gz *gzip.Writer
+	f  *os.File
+}
+
+func (g *gzipWriteCloser) Write(p []byte) (int, error) { return g.gz.Write(p) }
+
+func (g *gzipWriteCloser) Close() error {
+	err := g.gz.Close()
+	if cerr := g.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // JSONL writes one JSON object per window per line — the schema of
@@ -86,7 +121,7 @@ func NewCSV(w io.Writer) *CSV {
 func (e *CSV) Export(w Window) error {
 	if !e.wroteHd {
 		hd := []string{
-			"window", "warmup", "final", "start_cycle", "end_cycle",
+			"v", "window", "warmup", "final", "start_cycle", "end_cycle",
 			"committed", "ipc", "fetched", "wrong_path_fetch",
 			"mispredicts", "flushes", "squashed_uops", "dispatch_stalls",
 		}
@@ -102,6 +137,7 @@ func (e *CSV) Export(w Window) error {
 		e.wroteHd = true
 	}
 	row := []string{
+		strconv.Itoa(w.V),
 		strconv.Itoa(w.Index),
 		strconv.FormatBool(w.Warmup),
 		strconv.FormatBool(w.Final),

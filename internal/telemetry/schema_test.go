@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"compress/gzip"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestGzipExporterRoundTrip(t *testing.T) {
+	for _, name := range []string{"run.jsonl.gz", "run.csv.gz"} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), name)
+			e, err := Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				if err := e.Export(window(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			zr, err := gzip.NewReader(f)
+			if err != nil {
+				t.Fatalf("%s is not gzip: %v", name, err)
+			}
+			data, err := io.ReadAll(zr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.HasSuffix(name, ".csv.gz") {
+				rows, err := csv.NewReader(strings.NewReader(string(data))).ReadAll()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rows) != 4 { // header + 3 windows
+					t.Fatalf("got %d CSV rows, want 4", len(rows))
+				}
+			} else {
+				lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+				if len(lines) != 3 {
+					t.Fatalf("got %d JSONL lines, want 3", len(lines))
+				}
+				var w Window
+				if err := json.Unmarshal([]byte(lines[0]), &w); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestCollectorStampsSchemaVersion(t *testing.T) {
+	c := New(Options{})
+	c.Record(window(0))
+	last, ok := c.Last()
+	if !ok || last.V != SchemaVersion {
+		t.Fatalf("recorded window carries v=%d, want %d", last.V, SchemaVersion)
+	}
+}
+
+// TestCSVHeaderMatchesJSONLSchema ties the CSV column set to the Window
+// JSON tags by reflection: every scalar JSONL field appears as a CSV
+// column in the same order, the map-valued fields expand to per-structure
+// columns, and only the known slice/map fields are allowed to differ.
+func TestCSVHeaderMatchesJSONLSchema(t *testing.T) {
+	var buf strings.Builder
+	e := NewCSV(&buf)
+	if err := e.Export(window(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := rows[0]
+	colIdx := map[string]int{}
+	for i, c := range header {
+		colIdx[c] = i
+	}
+
+	// Fields the CSV deliberately omits (variable-length per-thread slice)
+	// or expands into per-structure columns.
+	omitted := map[string]bool{"thread_ipc": true, "occupancy": true}
+	expanded := map[string]bool{"avf": true, "cum_avf": true}
+
+	prev := -1
+	rt := reflect.TypeOf(Window{})
+	for i := 0; i < rt.NumField(); i++ {
+		tag := strings.Split(rt.Field(i).Tag.Get("json"), ",")[0]
+		if tag == "" || tag == "-" || omitted[tag] {
+			continue
+		}
+		if expanded[tag] {
+			for _, s := range StructNames() {
+				col := strings.ToLower(s) + "_avf"
+				if tag == "cum_avf" {
+					col = "cum_" + strings.ToLower(s) + "_avf"
+				}
+				if _, present := colIdx[col]; !present {
+					t.Errorf("JSONL map field %q: CSV misses column %q", tag, col)
+				}
+			}
+			continue
+		}
+		idx, present := colIdx[tag]
+		if !present {
+			t.Errorf("JSONL field %q has no CSV column", tag)
+			continue
+		}
+		if idx <= prev {
+			t.Errorf("CSV column %q out of JSONL field order (index %d after %d)", tag, idx, prev)
+		}
+		prev = idx
+	}
+
+	// And the reverse: every scalar CSV column maps back to a JSONL field.
+	jsonTags := map[string]bool{}
+	for i := 0; i < rt.NumField(); i++ {
+		jsonTags[strings.Split(rt.Field(i).Tag.Get("json"), ",")[0]] = true
+	}
+	for _, c := range header {
+		if strings.HasSuffix(c, "_avf") {
+			continue // expansion of the avf / cum_avf maps
+		}
+		if !jsonTags[c] {
+			t.Errorf("CSV column %q does not correspond to any JSONL field", c)
+		}
+	}
+}

@@ -31,6 +31,11 @@ import (
 	"smtavf/internal/avf"
 )
 
+// SchemaVersion is stamped into every exported Window ("v") so offline
+// consumers can detect field-set changes; bump it whenever the JSONL/CSV
+// schema changes shape.
+const SchemaVersion = 1
+
 // DefaultWindowCycles is the sampling window used when Options.WindowCycles
 // is zero: fine enough to resolve program phases, coarse enough that the
 // rollover work is invisible next to the per-cycle simulation cost.
@@ -45,6 +50,7 @@ const DefaultRingSize = 1024
 // cover the whole measurement so far. One Window marshals to one JSONL
 // object (docs/telemetry.md documents the schema).
 type Window struct {
+	V      int  `json:"v"` // schema version (SchemaVersion)
 	Index  int  `json:"window"`
 	Warmup bool `json:"warmup,omitempty"` // interval lies in the warmup period
 	Final  bool `json:"final,omitempty"`  // last window of the run (may be short)
@@ -162,6 +168,9 @@ func (c *Collector) AddExporter(e Exporter) {
 func (c *Collector) Record(w Window) {
 	if c == nil {
 		return
+	}
+	if w.V == 0 {
+		w.V = SchemaVersion
 	}
 	c.ring.push(w)
 	c.mu.Lock()

@@ -156,14 +156,14 @@ func TestCSVExporterShape(t *testing.T) {
 	if len(rows) != 3 { // header + 2 windows
 		t.Fatalf("got %d rows, want 3", len(rows))
 	}
-	wantCols := 13 + 2*len(StructNames())
+	wantCols := 14 + 2*len(StructNames())
 	for i, row := range rows {
 		if len(row) != wantCols {
 			t.Fatalf("row %d has %d columns, want %d", i, len(row), wantCols)
 		}
 	}
-	if rows[0][0] != "window" || !strings.HasSuffix(rows[0][13], "_avf") {
-		t.Fatalf("header = %v", rows[0][:14])
+	if rows[0][0] != "v" || rows[0][1] != "window" || !strings.HasSuffix(rows[0][14], "_avf") {
+		t.Fatalf("header = %v", rows[0][:15])
 	}
 }
 

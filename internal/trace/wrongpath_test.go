@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"testing"
+
+	"smtavf/internal/isa"
+)
+
+func TestWrongPathDeterministic(t *testing.T) {
+	p := Profile{Name: "wp", LoadFrac: 0.25, StoreFrac: 0.1, BranchFrac: 0.1, NopFrac: 0.05}
+	a := NewWrongPath(p, 7)
+	b := NewWrongPath(p, 7)
+	for i := 0; i < 1000; i++ {
+		pc := uint64(0x1000 + 4*i)
+		if ia, ib := a.Next(pc), b.Next(pc); ia != ib {
+			t.Fatalf("instruction %d diverged under one seed: %+v != %+v", i, ia, ib)
+		}
+	}
+	c := NewWrongPath(p, 8)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		pc := uint64(0x1000 + 4*i)
+		if a.Next(pc) == c.Next(pc) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestWrongPathInstructionShape(t *testing.T) {
+	p := Profile{Name: "wp", LoadFrac: 0.3, StoreFrac: 0.15, BranchFrac: 0.15, NopFrac: 0.05, FPFrac: 0.3,
+		WorkingSet: 32 << 10, HotSet: 16 << 10, HotFrac: 0.5}
+	w := NewWrongPath(p, 1)
+	counts := map[isa.Class]int{}
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		pc := uint64(0x4000 + 4*i)
+		in := w.Next(pc)
+		counts[in.Class]++
+		if in.PC != pc {
+			t.Fatalf("instruction PC %#x, requested %#x", in.PC, pc)
+		}
+		switch in.Class {
+		case isa.Load, isa.Store:
+			if in.Size != 8 {
+				t.Fatalf("memory op size %d, want 8", in.Size)
+			}
+			if in.Addr%8 != 0 {
+				t.Fatalf("unaligned wrong-path address %#x", in.Addr)
+			}
+		case isa.Branch:
+			// Wrong-path branches stay sequential: never taken.
+			if in.Taken {
+				t.Fatal("wrong-path branch marked taken")
+			}
+		case isa.NOP:
+			if in.Src1 != isa.RegNone {
+				t.Fatal("NOP reads a register")
+			}
+		case isa.FPALU:
+			if in.Dest < isa.FirstFPReg || in.Src1 < isa.FirstFPReg {
+				t.Fatalf("FP op uses integer registers: dest=%d src=%d", in.Dest, in.Src1)
+			}
+		case isa.IntALU:
+			if in.Dest == isa.RegNone || !in.Dest.Valid() {
+				t.Fatalf("ALU op writes invalid register %d", in.Dest)
+			}
+		default:
+			t.Fatalf("unexpected wrong-path class %s", in.Class)
+		}
+	}
+	// The mix should roughly honour the profile fractions (loose 40%
+	// relative tolerance; the stream is pseudo-random, not exact).
+	check := func(class isa.Class, frac float64) {
+		got := float64(counts[class]) / n
+		if got < 0.6*frac || got > 1.4*frac {
+			t.Errorf("%s fraction = %.3f, profile asks %.3f", class, got, frac)
+		}
+	}
+	check(isa.Load, p.LoadFrac)
+	check(isa.Store, p.StoreFrac)
+	check(isa.Branch, p.BranchFrac)
+	check(isa.NOP, p.NopFrac)
+}
+
+func TestWrongPathAddressesLandInProfileRegions(t *testing.T) {
+	p := Profile{Name: "wp", LoadFrac: 1, WorkingSet: 8 << 10, HotSet: 1 << 10, HotFrac: 0.5}
+	w := NewWrongPath(p, 3)
+	hot, cold := 0, 0
+	for i := 0; i < 5_000; i++ {
+		in := w.Next(uint64(4 * i))
+		if in.Class != isa.Load {
+			t.Fatalf("LoadFrac 1 produced %s", in.Class)
+		}
+		switch {
+		case in.Addr >= dataBase && in.Addr < dataBase+p.HotSet:
+			hot++
+		case in.Addr >= coldBase && in.Addr < coldBase+p.WorkingSet:
+			cold++
+		default:
+			t.Fatalf("address %#x outside both the hot and cold regions", in.Addr)
+		}
+	}
+	if hot == 0 || cold == 0 {
+		t.Fatalf("hot/cold split degenerate: hot=%d cold=%d", hot, cold)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"smtavf/internal/core"
 	"smtavf/internal/fetch"
 	"smtavf/internal/inject"
+	"smtavf/internal/pipetrace"
 	"smtavf/internal/telemetry"
 	"smtavf/internal/trace"
 	"smtavf/internal/workload"
@@ -212,6 +213,40 @@ func NewTelemetry(o TelemetryOptions) *Telemetry { return telemetry.New(o) }
 // SetTelemetry attaches a telemetry collector to the simulator. Must be
 // called before Run; a nil collector leaves telemetry disabled.
 func (s *Simulator) SetTelemetry(c *Telemetry) { s.proc.SetTelemetry(c) }
+
+// PipeTrace is a pipeline flight recorder: attach one with
+// Simulator.SetPipeTrace and the run records one lifecycle record per uop
+// (fetch/dispatch/issue/writeback/retire cycles, per-structure residency,
+// ACE fate), exportable as a Kanata log, a Chrome trace_event JSON, or
+// compact JSONL, and foldable into an AVF provenance report attributing
+// each structure's ACE bit-cycles to static instructions. See
+// docs/pipetrace.md.
+type PipeTrace = pipetrace.Recorder
+
+// PipeTraceOptions parameterizes a flight recorder (sampling window,
+// record cap).
+type PipeTraceOptions = pipetrace.Options
+
+// PipeTraceRecord is one recorded uop lifecycle.
+type PipeTraceRecord = pipetrace.Record
+
+// PipeTraceProvenance is the folded AVF provenance report.
+type PipeTraceProvenance = pipetrace.Provenance
+
+// Pipetrace export formats (Simulator traces load in Konata and
+// chrome://tracing / Perfetto respectively).
+const (
+	PipeTraceKanata = pipetrace.FormatKanata
+	PipeTraceChrome = pipetrace.FormatChrome
+	PipeTraceJSONL  = pipetrace.FormatJSONL
+)
+
+// NewPipeTrace builds a pipeline flight recorder.
+func NewPipeTrace(o PipeTraceOptions) *PipeTrace { return pipetrace.New(o) }
+
+// SetPipeTrace attaches a flight recorder to the simulator. Must be called
+// before Run; a nil recorder leaves tracing disabled.
+func (s *Simulator) SetPipeTrace(r *PipeTrace) { s.proc.SetPipeTrace(r) }
 
 // FaultCampaign is a statistical fault-injection campaign: it samples the
 // machine's state on a regular cycle grid and estimates, per structure,
