@@ -340,6 +340,49 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkInjectOverhead measures the cost of a fault-injection
+// campaign. "off" runs with no sink attached — the tracker's sink==nil
+// fast path — and "nil" attaches a typed-nil *Campaign, exercising the
+// nil-receiver no-op on the hot path (the pipetrace convention); both
+// must stay within 5% of BenchmarkSimulatorCycles. "on" attaches a
+// dense every-cycle campaign and also runs the post-run strike phase,
+// showing what a full -inject run pays.
+func BenchmarkInjectOverhead(b *testing.B) {
+	run := func(b *testing.B, mode string) {
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			cfg := smtavf.DefaultConfig(4)
+			sim, err := smtavf.NewSimulator(cfg, ablationMix)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var camp *smtavf.FaultCampaign
+			switch mode {
+			case "nil":
+				sim.InjectFaults(camp)
+			case "on":
+				camp, err = smtavf.NewFaultCampaign(cfg, 1, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim.InjectFaults(camp)
+			}
+			res, err := sim.Run(uint64(benchBase) * 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mode == "on" {
+				camp.RunStrikes(res.Cycles, smtavf.StopWhen(0.02, 1<<20))
+			}
+			cycles += res.Cycles
+		}
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, "off") })
+	b.Run("nil", func(b *testing.B) { run(b, "nil") })
+	b.Run("on", func(b *testing.B) { run(b, "on") })
+}
+
 // BenchmarkPipetraceOverhead measures the cost of the pipeline flight
 // recorder. "off" runs with no recorder attached — the nil-receiver fast
 // path at the commit/squash hooks, which must stay within 5% of

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"smtavf/internal/experiments"
+	"smtavf/internal/inject"
 	"smtavf/internal/telemetry"
 )
 
@@ -29,6 +30,11 @@ func main() {
 		provMix  = flag.String("provenance", "", "run this Table 2 mix with the pipeline flight recorder and print its AVF provenance tables (skips the figures)")
 		provPol  = flag.String("provenance-policy", "ICOUNT", "fetch policy of the -provenance run")
 		provTop  = flag.Int("provenance-top", 10, "PC rows in the -provenance hotspot table")
+		xvalMix  = flag.String("crossval", "", "cross-validate this Table 2 mix (or comma-separated benchmarks) against a fault-injection seed fanout and print the pooled agreement report (skips the figures)")
+		xvalPol  = flag.String("crossval-policy", "ICOUNT", "fetch policy of the -crossval runs")
+		xvalN    = flag.Int("crossval-seeds", 3, "seed fanout of the -crossval campaign (seeds seed..seed+N-1, run concurrently and pooled)")
+		xvalCI   = flag.Float64("crossval-ci", 0.01, "per-seed target 99% CI half-width of the -crossval campaign")
+		xvalOut  = flag.String("crossval-out", "", "also write the pooled -crossval report as JSONL to this file (.gz compresses)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		chart    = flag.Bool("chart", false, "render tables as horizontal bar charts")
 		logLevel = flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
@@ -70,6 +76,43 @@ func main() {
 	}
 
 	start := time.Now()
+	if *xvalMix != "" {
+		spec := experiments.CrossValSpec{
+			Policy: *xvalPol,
+			Stop:   inject.StopWhen(*xvalCI, 0),
+		}
+		if strings.Contains(*xvalMix, ",") {
+			spec.Benchmarks = strings.Split(*xvalMix, ",")
+		} else {
+			spec.Mix = *xvalMix
+		}
+		for i := 0; i < *xvalN; i++ {
+			spec.Seeds = append(spec.Seeds, *seed+uint64(i))
+		}
+		pooled, perSeed, err := r.CrossVal(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avfreport: crossval: %v\n", err)
+			os.Exit(1)
+		}
+		for _, rep := range perSeed {
+			logger.Info("crossval seed",
+				"seed", rep.Meta.Seed,
+				"cycles", rep.Meta.Cycles,
+				"stopped_early", rep.StoppedEarly,
+				"pass", rep.Pass(),
+			)
+		}
+		fmt.Print(pooled.Table())
+		if *xvalOut != "" {
+			if err := pooled.WriteFile(*xvalOut); err != nil {
+				fmt.Fprintf(os.Stderr, "avfreport: crossval-out: %v\n", err)
+				os.Exit(1)
+			}
+			logger.Info("crossval report written", "path", *xvalOut, "entries", len(pooled.Entries))
+		}
+		logger.Info("done", "elapsed", time.Since(start).Round(time.Millisecond).String())
+		return
+	}
 	if *provMix != "" {
 		ts, err := r.Provenance(*provMix, *provPol, *provTop)
 		if err != nil {

@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -38,11 +39,19 @@ func main() {
 		instrs    = flag.Uint64("instructions", 100_000, "instructions per run")
 		warmup    = flag.Uint64("warmup", 50_000, "warmup instructions per run")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
+		telPath   = flag.String("telemetry", "", "record every sweep point's cycle-windowed series into this single file (JSONL; .csv for CSV, .gz compresses)")
 		telDir    = flag.String("telemetry-dir", "", "record one cycle-windowed JSONL series per sweep point into this directory")
 		telWindow = flag.Uint64("telemetry-window", telemetry.DefaultWindowCycles, "telemetry sampling window in cycles")
 		debugAddr = flag.String("debug-addr", "", "serve live /telemetry and /debug/pprof for the running point (e.g. :6060)")
-		logLevel  = flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
-		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+
+		injOn      = flag.Bool("inject", false, "attach a fault-injection campaign to every sweep point and cross-validate each AVF report")
+		injEvery   = flag.Uint64("inject-every", 1, "campaign sample-grid pitch in cycles (1 = every cycle)")
+		injSeed    = flag.Uint64("inject-seed", 0, "campaign seed (0 = use -seed)")
+		injCI      = flag.Float64("inject-ci", 0.01, "target 99% confidence-interval half-width per structure; striking stops early once every structure is this tight")
+		injStrikes = flag.Int("inject-strikes", 1<<20, "strike cap per structure")
+		injReport  = flag.String("inject-report", "", "append every point's cross-validation report to this JSONL file (.gz compresses)")
+		logLevel   = flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
 
@@ -84,6 +93,39 @@ func main() {
 		if err := os.MkdirAll(*telDir, 0o755); err != nil {
 			fatal(err)
 		}
+	}
+	// A single shared series file spanning every point: each point's
+	// collector closes its own exporters, so the shared one is wrapped to
+	// ignore those Closes and is flushed once at the end.
+	var shared *sharedExporter
+	if *telPath != "" {
+		exp, err := telemetry.Create(*telPath)
+		if err != nil {
+			fatal(err)
+		}
+		shared = &sharedExporter{Exporter: exp}
+		defer func() {
+			if err := shared.close(); err != nil {
+				fatal(fmt.Errorf("telemetry: %w", err))
+			}
+		}()
+	}
+	// One combined cross-validation JSONL across every sweep point.
+	var reportW io.WriteCloser
+	if *injReport != "" {
+		reportW, err = telemetry.OpenWriter(*injReport)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := reportW.Close(); err != nil {
+				fatal(fmt.Errorf("inject-report: %w", err))
+			}
+		}()
+	}
+	campSeed := *injSeed
+	if campSeed == 0 {
+		campSeed = *seed
 	}
 
 	pols := strings.Split(*policies, ",")
@@ -132,8 +174,11 @@ func main() {
 			// One fresh collector (and series file) per sweep point; the
 			// debug server follows the point currently running.
 			var col *smtavf.Telemetry
-			if *telDir != "" || *debugAddr != "" {
+			if *telPath != "" || *telDir != "" || *debugAddr != "" {
 				col = smtavf.NewTelemetry(smtavf.TelemetryOptions{WindowCycles: *telWindow})
+				if shared != nil {
+					col.AddExporter(shared)
+				}
 				if *telDir != "" {
 					exp, err := telemetry.Create(filepath.Join(*telDir, pointName(pol, *param, v)))
 					if err != nil {
@@ -153,6 +198,15 @@ func main() {
 					}
 				}
 			}
+			var camp *smtavf.FaultCampaign
+			if *injOn {
+				camp, err = smtavf.NewFaultCampaign(cfg, *injEvery, campSeed)
+				if err != nil {
+					fatal(err)
+				}
+				camp.PublishTelemetry(col)
+				sim.InjectFaults(camp)
+			}
 
 			start := time.Now()
 			res, err := sim.Run(*instrs)
@@ -161,6 +215,31 @@ func main() {
 			}
 			if cerr := col.Close(); cerr != nil {
 				fatal(fmt.Errorf("telemetry: %w", cerr))
+			}
+			if camp != nil {
+				stats := camp.RunStrikes(res.Cycles, smtavf.StopWhen(*injCI, *injStrikes))
+				rep := smtavf.CrossValidate(smtavf.CrossValMeta{
+					Workload: strings.Join(names, "+"),
+					Policy:   pol,
+					Seed:     campSeed,
+					Every:    *injEvery,
+					Cycles:   res.Cycles,
+				}, res, stats)
+				logger.Info("inject crossval",
+					"point", point,
+					"policy", pol,
+					"param", *param,
+					"value", v,
+					"strikes", stats.TotalStrikes,
+					"stopped_early", stats.StoppedEarly,
+					"pass", rep.Pass(),
+					"failed", len(rep.Failed()),
+				)
+				if reportW != nil {
+					if err := rep.WriteJSONL(reportW); err != nil {
+						fatal(fmt.Errorf("inject-report: %w", err))
+					}
+				}
 			}
 			logger.Info("sweep point",
 				"point", point,
@@ -184,6 +263,24 @@ func main() {
 		"points", point,
 		"elapsed", time.Since(sweepStart).Round(time.Millisecond).String(),
 	)
+}
+
+// sharedExporter is one exporter living across every sweep point: each
+// point's collector Close would close its exporters, so Close is deferred
+// to the end of the sweep (close).
+type sharedExporter struct {
+	telemetry.Exporter
+	closed bool
+}
+
+func (s *sharedExporter) Close() error { return nil }
+
+func (s *sharedExporter) close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.Exporter.Close()
 }
 
 // pointName is the telemetry series filename of one sweep point.

@@ -61,6 +61,13 @@ func main() {
 		ptWindow  = flag.String("pipetrace-window", "", "record only uops fetched in this cycle window, as START:END (END 0 or absent = unbounded)")
 		ptTop     = flag.Int("pipetrace-top", 0, "print the top-N per-PC AVF provenance hotspots per pipeline structure (enables recording)")
 
+		injOn      = flag.Bool("inject", false, "attach a statistical fault-injection campaign and cross-validate the AVF report against it")
+		injEvery   = flag.Uint64("inject-every", 1, "campaign sample-grid pitch in cycles (1 = every cycle)")
+		injSeed    = flag.Uint64("inject-seed", 0, "campaign seed (0 = use -seed)")
+		injCI      = flag.Float64("inject-ci", 0.01, "target 99% confidence-interval half-width per structure; striking stops early once every structure is this tight")
+		injStrikes = flag.Int("inject-strikes", 1<<20, "strike cap per structure")
+		injReport  = flag.String("inject-report", "", "write the cross-validation report as JSONL to this file (.gz compresses)")
+
 		debugAddr = flag.String("debug-addr", "", "serve /telemetry, /debug/vars and /debug/pprof on this address during the run (e.g. :6060)")
 		logLevel  = flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
@@ -157,6 +164,21 @@ func main() {
 		}
 		sim.SetTelemetry(col)
 	}
+	// Fault-injection campaign: samples the run on a cycle grid, then the
+	// strike phase after the run cross-validates the tracker's AVF.
+	var camp *smtavf.FaultCampaign
+	campSeed := *injSeed
+	if campSeed == 0 {
+		campSeed = *seed
+	}
+	if *injOn {
+		camp, err = smtavf.NewFaultCampaign(cfg, *injEvery, campSeed)
+		if err != nil {
+			fatal(err)
+		}
+		camp.PublishTelemetry(col)
+		sim.InjectFaults(camp)
+	}
 	// Pipeline flight recorder, when a trace file or provenance report is
 	// requested.
 	var rec *smtavf.PipeTrace
@@ -213,6 +235,37 @@ func main() {
 		}
 		logger.Info("pipetrace written", "path", *ptPath, "records", rec.Len(), "dropped", rec.Dropped())
 	}
+	var (
+		injStats *smtavf.InjectStats
+		injXval  *smtavf.CrossValReport
+	)
+	if camp != nil {
+		injStats = camp.RunStrikes(res.Cycles, smtavf.StopWhen(*injCI, *injStrikes))
+		workload := *mixName
+		if workload == "" {
+			workload = strings.Join(workloads, "+")
+		}
+		injXval = smtavf.CrossValidate(smtavf.CrossValMeta{
+			Workload: workload,
+			Policy:   *policy,
+			Seed:     campSeed,
+			Every:    *injEvery,
+			Cycles:   res.Cycles,
+		}, res, injStats)
+		logger.Info("inject campaign done",
+			"strikes", injStats.TotalStrikes,
+			"rounds", injStats.Rounds,
+			"stopped_early", injStats.StoppedEarly,
+			"max_halfwidth", fmt.Sprintf("%.5f", injStats.MaxHalfWidth()),
+			"pass", injXval.Pass(),
+		)
+		if *injReport != "" {
+			if err := injXval.WriteFile(*injReport); err != nil {
+				fatal(fmt.Errorf("inject-report: %w", err))
+			}
+			logger.Info("crossval report written", "path", *injReport, "entries", len(injXval.Entries))
+		}
+	}
 	elapsed := time.Since(start)
 	logger.Info("run complete",
 		"cycles", res.Cycles,
@@ -233,6 +286,12 @@ func main() {
 		return
 	}
 	fmt.Print(res)
+	if injStats != nil {
+		fmt.Println()
+		fmt.Print(injStats.Table())
+		fmt.Println()
+		fmt.Print(injXval.Table())
+	}
 	if rec != nil && *ptTop > 0 {
 		prov := rec.Provenance()
 		fmt.Println()

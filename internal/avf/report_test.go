@@ -1,0 +1,71 @@
+package avf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSnapshotReport(t *testing.T) {
+	var bits [NumStructs]uint64
+	bits[IQ] = 100
+	bits[ROB] = 200
+	trk := NewTracker(2, bits)
+	const cycles = 50
+	// Thread 0: 20 ACE bits for the whole run on the IQ; thread 1 half
+	// that. ROB holds un-ACE state only.
+	trk.Add(IQ, 0, 20, cycles, true)
+	trk.Add(IQ, 1, 10, cycles, true)
+	trk.Add(IQ, 1, 30, cycles, false)
+	trk.Add(ROB, 0, 40, cycles, false)
+
+	r := trk.Snapshot(cycles)
+	if r.Cycles != cycles || r.Threads != 2 {
+		t.Fatalf("snapshot meta = %d cycles / %d threads", r.Cycles, r.Threads)
+	}
+	if got, want := r.AVF(IQ), 0.30; math.Abs(got-want) > 1e-12 {
+		t.Errorf("IQ AVF = %v, want %v", got, want)
+	}
+	if got := r.AVF(ROB); got != 0 {
+		t.Errorf("ROB AVF = %v, want 0 (un-ACE residency only)", got)
+	}
+	if got, want := r.Occ[IQ], 0.60; math.Abs(got-want) > 1e-12 {
+		t.Errorf("IQ occupancy = %v, want %v", got, want)
+	}
+	if got, want := r.Occ[ROB], 0.20; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ROB occupancy = %v, want %v", got, want)
+	}
+	if got, want := r.ThreadAVF(IQ, 0), 0.20; math.Abs(got-want) > 1e-12 {
+		t.Errorf("thread 0 IQ AVF = %v, want %v", got, want)
+	}
+	if got, want := r.ThreadAVF(IQ, 1), 0.10; math.Abs(got-want) > 1e-12 {
+		t.Errorf("thread 1 IQ AVF = %v, want %v", got, want)
+	}
+	// Per-thread contributions reconstruct the total.
+	for s := Struct(0); s < NumStructs; s++ {
+		sum := 0.0
+		for tid := 0; tid < r.Threads; tid++ {
+			sum += r.ThreadAVF(s, tid)
+		}
+		if math.Abs(sum-r.AVF(s)) > 1e-12 {
+			t.Errorf("%v: thread contributions sum to %v, total is %v", s, sum, r.AVF(s))
+		}
+	}
+	// The snapshot is a copy: later tracker activity must not leak in.
+	trk.Add(IQ, 0, 50, cycles, true)
+	if got := r.AVF(IQ); math.Abs(got-0.30) > 1e-12 {
+		t.Errorf("snapshot mutated after tracker update: %v", got)
+	}
+}
+
+func TestSnapshotZeroCycles(t *testing.T) {
+	var bits [NumStructs]uint64
+	bits[IQ] = 10
+	trk := NewTracker(1, bits)
+	trk.Add(IQ, 0, 5, 10, true)
+	r := trk.Snapshot(0)
+	for s := Struct(0); s < NumStructs; s++ {
+		if r.AVF(s) != 0 || r.Occ[s] != 0 {
+			t.Errorf("%v: zero-cycle snapshot should be all zeros", s)
+		}
+	}
+}

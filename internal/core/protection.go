@@ -4,7 +4,72 @@ import (
 	"sort"
 
 	"smtavf/internal/avf"
+	"smtavf/internal/inject"
 )
+
+// ProtectionMode is the error-protection scheme assumed on a structure
+// when classifying fault-injection strike outcomes: parity detects an ACE
+// hit (turning silent corruption into a detected unrecoverable error),
+// ECC corrects it.
+type ProtectionMode int
+
+// Protection schemes, weakest first.
+const (
+	ProtectNone ProtectionMode = iota
+	ProtectParity
+	ProtectECC
+)
+
+func (m ProtectionMode) String() string {
+	switch m {
+	case ProtectParity:
+		return "parity"
+	case ProtectECC:
+		return "ecc"
+	default:
+		return "none"
+	}
+}
+
+// Detection maps the scheme onto the inject package's strike taxonomy.
+func (m ProtectionMode) Detection() inject.Detection {
+	switch m {
+	case ProtectParity:
+		return inject.DetectOnly
+	case ProtectECC:
+		return inject.DetectCorrect
+	default:
+		return inject.DetectNone
+	}
+}
+
+// ProtectionModes assigns a scheme to every instrumented structure.
+type ProtectionModes [avf.NumStructs]ProtectionMode
+
+// Detections converts the per-structure schemes to the inject package's
+// Detection levels, ready for Campaign.SetProtection.
+func (p ProtectionModes) Detections() [avf.NumStructs]inject.Detection {
+	var d [avf.NumStructs]inject.Detection
+	for s := range p {
+		d[s] = p[s].Detection()
+	}
+	return d
+}
+
+// ProtectTop returns the protection assignment that applies mode to the
+// top-k structures of a protection plan — the paper's §5 "protect the
+// biggest FIT contributors first" guidance turned into a campaign
+// configuration.
+func ProtectTop(plan []ProtectionItem, k int, mode ProtectionMode) ProtectionModes {
+	var p ProtectionModes
+	for i, item := range plan {
+		if i >= k {
+			break
+		}
+		p[item.Struct] = mode
+	}
+	return p
+}
 
 // ProtectionItem ranks one structure in a protection plan.
 type ProtectionItem struct {

@@ -35,41 +35,52 @@ func AllSpecs() []MixSpec {
 	return specs
 }
 
-// Preload runs the given specs concurrently (bounded by GOMAXPROCS) and
-// fills the runner's cache, so the figure drivers afterwards assemble
-// their tables from memoized results. Each simulation is fully
-// independent — processors share no state — which is what makes this
-// safe. The first error aborts the rest.
-func (r *Runner) Preload(specs []MixSpec) error {
+// forEach runs fn(0..n-1) concurrently on a worker pool bounded by
+// GOMAXPROCS. Each job must be fully independent — simulations share no
+// state — which is what makes this safe. The first error stops the
+// worker that hit it and is returned; other workers finish their current
+// job.
+func forEach(n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(specs) {
-		workers = len(specs)
+	if workers > n {
+		workers = n
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	jobs := make(chan MixSpec)
-	errc := make(chan error, len(specs))
+	jobs := make(chan int)
+	errc := make(chan error, n)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for s := range jobs {
-				if _, err := r.Mix(s.Contexts, s.Kind, s.Group, s.Policy); err != nil {
+			for i := range jobs {
+				if err := fn(i); err != nil {
 					errc <- err
 					return
 				}
 			}
 		}()
 	}
-	for _, s := range specs {
-		jobs <- s
+	for i := 0; i < n; i++ {
+		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
 	close(errc)
 	return <-errc // nil when the channel is empty
+}
+
+// Preload runs the given specs concurrently (bounded by GOMAXPROCS) and
+// fills the runner's cache, so the figure drivers afterwards assemble
+// their tables from memoized results.
+func (r *Runner) Preload(specs []MixSpec) error {
+	return forEach(len(specs), func(i int) error {
+		s := specs[i]
+		_, err := r.Mix(s.Contexts, s.Kind, s.Group, s.Policy)
+		return err
+	})
 }
 
 // PreloadSingles concurrently runs each distinct benchmark standalone for
@@ -85,30 +96,8 @@ func (r *Runner) PreloadSingles() error {
 			}
 		}
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(names) {
-		workers = len(names)
-	}
-	jobs := make(chan string)
-	errc := make(chan error, len(names))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for b := range jobs {
-				if _, err := r.Single(b, r.opts.Base); err != nil {
-					errc <- err
-					return
-				}
-			}
-		}()
-	}
-	for _, b := range names {
-		jobs <- b
-	}
-	close(jobs)
-	wg.Wait()
-	close(errc)
-	return <-errc
+	return forEach(len(names), func(i int) error {
+		_, err := r.Single(names[i], r.opts.Base)
+		return err
+	})
 }

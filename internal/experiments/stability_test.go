@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestStabilityRejectsTooFewSeeds(t *testing.T) {
+	r := NewRunner(Options{Base: 2_000})
+	for _, n := range []int{-1, 0, 1} {
+		if _, err := r.Stability(n); err == nil {
+			t.Errorf("Stability(%d) should error", n)
+		}
+	}
+}
+
+func TestStabilityTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed simulation sweep")
+	}
+	r := NewRunner(Options{Base: 2_000, NoWarmup: true})
+	ts, err := r.Stability(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("tables = %d, want mean + spread", len(ts))
+	}
+	mean, spread := ts[0], ts[1]
+	if !strings.Contains(mean.Title, "mean") || !strings.Contains(spread.Title, "spread") {
+		t.Errorf("unexpected titles %q / %q", mean.Title, spread.Title)
+	}
+	if !mean.Percent {
+		t.Error("mean table should render as percentages")
+	}
+	someSignal := false
+	for i := range mean.Rows {
+		for j := range mean.Cols {
+			mu, rel := mean.Get(i, j), spread.Get(i, j)
+			if mu < 0 || mu > 1 {
+				t.Errorf("mean AVF %s/%s = %v out of [0,1]", mean.Rows[i], mean.Cols[j], mu)
+			}
+			if rel < 0 {
+				t.Errorf("relative spread %s/%s = %v negative", spread.Rows[i], spread.Cols[j], rel)
+			}
+			if mu > 0 {
+				someSignal = true
+			}
+		}
+	}
+	if !someSignal {
+		t.Error("every mean AVF is zero — the sweep measured nothing")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	if mu, sd := meanStd(nil); mu != 0 || sd != 0 {
+		t.Errorf("meanStd(nil) = %v, %v", mu, sd)
+	}
+	if mu, sd := meanStd([]float64{3}); mu != 3 || sd != 0 {
+		t.Errorf("meanStd({3}) = %v, %v", mu, sd)
+	}
+	mu, sd := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(mu-5) > 1e-12 || math.Abs(sd-2) > 1e-12 {
+		t.Errorf("meanStd = %v, %v, want 5, 2", mu, sd)
+	}
+}

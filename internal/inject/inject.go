@@ -16,6 +16,11 @@
 // double-counted, or leaked past the end of the run would split the
 // estimates apart). Campaign implements avf.Sink; attach it to a tracker
 // before the run.
+//
+// The statistics layer (stats.go) turns the recorded grid into a
+// confidence-bounded instrument: sequential strike sampling with a
+// Wilson-score stopping rule, a per-structure / per-thread strike-outcome
+// taxonomy, and live progress published through internal/telemetry.
 package inject
 
 import (
@@ -23,25 +28,57 @@ import (
 
 	"smtavf/internal/avf"
 	"smtavf/internal/rng"
+	"smtavf/internal/telemetry"
 )
 
+// cell is the state recorded at one sample cycle of one structure: the
+// occupied bits, the ACE bits, and the per-thread partition of the ACE
+// bits (strike outcomes are attributed to the thread that owned the
+// struck state).
+type cell struct {
+	occ uint64
+	ace uint64
+	// perThread[tid] is thread tid's share of the ACE bits; the slice
+	// grows to the highest thread id seen.
+	perThread []uint64
+}
+
 // Campaign collects strike samples. Create with NewCampaign, attach via
-// Tracker.SetSink, run the simulation, then call Estimate/Outcomes.
+// Tracker.SetSink, run the simulation, then call Estimate/Outcomes (or
+// RunStrikes for the confidence-bounded sequential experiment).
 //
 // Campaign implements avf.RebaseObserver: when the tracker rebases at the
 // end of a warmup period, the campaign drops every sample collected so
 // far and re-anchors its grid at the rebase cycle, so the estimates cover
 // exactly the measurement window the tracker covers (pass the measured
 // cycle count — Results.Cycles — to Estimate/Occupancy/Outcomes).
+//
+// A nil *Campaign is a valid detached campaign: the hot-path methods
+// (Interval, Rebase) are nil-receiver no-ops, matching the pipetrace
+// recorder convention, so call sites need no branching.
 type Campaign struct {
-	every  uint64 // sample grid pitch in cycles
-	phase  uint64 // grid offset, drawn in [0, every)
-	origin uint64 // cycle the grid is anchored at (nonzero after a rebase)
-	bits   [avf.NumStructs]uint64
-	ace    [avf.NumStructs]map[uint64]uint64 // sample index -> ACE bits resident
-	occ    [avf.NumStructs]map[uint64]uint64 // sample index -> occupied bits
-	rnd    *rng.Source
-	events uint64
+	every      uint64 // sample grid pitch in cycles
+	phase      uint64 // grid offset, drawn in [0, every)
+	origin     uint64 // cycle the grid is anchored at (nonzero after a rebase)
+	bits       [avf.NumStructs]uint64
+	cells      [avf.NumStructs]map[uint64]*cell // sample index -> resident state
+	protection [avf.NumStructs]Detection
+	rnd        *rng.Source
+	events     uint64
+
+	// Live progress handles (PublishTelemetry); nil-receiver no-ops when
+	// telemetry is not attached.
+	telEvents  *telemetry.Counter
+	telStrikes *telemetry.Gauge
+	telRounds  *telemetry.Gauge
+	telETA     *telemetry.Gauge
+	telHW      [avf.NumStructs]*telemetry.Gauge
+	telLogger  logger
+}
+
+// logger is the slog subset the campaign emits progress on.
+type logger interface {
+	Info(msg string, args ...any)
 }
 
 // NewCampaign builds a campaign sampling every 'every' cycles. bits gives
@@ -53,9 +90,8 @@ func NewCampaign(bits [avf.NumStructs]uint64, every uint64, seed uint64) (*Campa
 	}
 	c := &Campaign{every: every, bits: bits, rnd: rng.New(seed)}
 	c.phase = c.rnd.Uint64n(every)
-	for s := range c.ace {
-		c.ace[s] = make(map[uint64]uint64)
-		c.occ[s] = make(map[uint64]uint64)
+	for s := range c.cells {
+		c.cells[s] = make(map[uint64]*cell)
 	}
 	return c, nil
 }
@@ -65,14 +101,31 @@ var (
 	_ avf.RebaseObserver = (*Campaign)(nil)
 )
 
+// Phase returns the random grid offset in [0, every) drawn at construction
+// — the first value consumed from the campaign's seed (the seed-stability
+// golden test pins it).
+func (c *Campaign) Phase() uint64 { return c.phase }
+
+// SetProtection declares per-structure error protection: strikes on ACE
+// state in a protected structure are detected (parity: a detected
+// unrecoverable error) or corrected (ECC) instead of silently corrupting
+// the program. core/protection.go maps its ProtectionMode values onto
+// Detection. Call before RunStrikes; the default is unprotected.
+func (c *Campaign) SetProtection(p [avf.NumStructs]Detection) { c.protection = p }
+
+// Protection returns the per-structure detection configuration.
+func (c *Campaign) Protection() [avf.NumStructs]Detection { return c.protection }
+
 // Rebase implements avf.RebaseObserver: warmup-era samples are discarded
 // and the sample grid re-anchors at the rebase cycle, mirroring the
 // tracker's accumulator reset.
 func (c *Campaign) Rebase(cycle uint64) {
+	if c == nil {
+		return
+	}
 	c.origin = cycle
-	for s := range c.ace {
-		c.ace[s] = make(map[uint64]uint64)
-		c.occ[s] = make(map[uint64]uint64)
+	for s := range c.cells {
+		c.cells[s] = make(map[uint64]*cell)
 	}
 }
 
@@ -81,6 +134,9 @@ func (c *Campaign) Rebase(cycle uint64) {
 // the grid origin (the last rebase), matching the measured cycle counts
 // the estimate queries use.
 func (c *Campaign) Interval(s avf.Struct, tid int, bits, start, end uint64, ace bool) {
+	if c == nil {
+		return
+	}
 	if start < c.origin {
 		start = c.origin
 	}
@@ -90,16 +146,26 @@ func (c *Campaign) Interval(s avf.Struct, tid int, bits, start, end uint64, ace 
 	start -= c.origin
 	end -= c.origin
 	c.events++
+	c.telEvents.Inc() // nil-receiver no-op without telemetry
 	// First sample index at or after start.
 	var idx uint64
 	if start > c.phase {
 		idx = (start - c.phase + c.every - 1) / c.every
 	}
 	for cyc := c.phase + idx*c.every; cyc < end; cyc += c.every {
-		if ace {
-			c.ace[s][idx] += bits
+		cl := c.cells[s][idx]
+		if cl == nil {
+			cl = &cell{}
+			c.cells[s][idx] = cl
 		}
-		c.occ[s][idx] += bits
+		cl.occ += bits
+		if ace {
+			cl.ace += bits
+			for len(cl.perThread) <= tid {
+				cl.perThread = append(cl.perThread, 0)
+			}
+			cl.perThread[tid] += bits
+		}
 		idx++
 	}
 }
@@ -122,9 +188,9 @@ func (c *Campaign) Estimate(s avf.Struct, cycles uint64) float64 {
 		return 0
 	}
 	var sum uint64
-	for idx, b := range c.ace[s] {
+	for idx, cl := range c.cells[s] {
 		if idx < n {
-			sum += b
+			sum += cl.ace
 		}
 	}
 	return float64(sum) / (float64(n) * float64(c.bits[s]))
@@ -138,9 +204,9 @@ func (c *Campaign) Occupancy(s avf.Struct, cycles uint64) float64 {
 		return 0
 	}
 	var sum uint64
-	for idx, b := range c.occ[s] {
+	for idx, cl := range c.cells[s] {
 		if idx < n {
-			sum += b
+			sum += cl.occ
 		}
 	}
 	return float64(sum) / (float64(n) * float64(c.bits[s]))
@@ -151,8 +217,8 @@ func (c *Campaign) Occupancy(s avf.Struct, cycles uint64) float64 {
 // hit indicates overlapping or double-counted intervals.
 func (c *Campaign) Overbooked(s avf.Struct) int {
 	n := 0
-	for _, b := range c.occ[s] {
-		if b > c.bits[s] {
+	for _, cl := range c.cells[s] {
+		if cl.occ > c.bits[s] {
 			n++
 		}
 	}
@@ -163,20 +229,44 @@ func (c *Campaign) Overbooked(s avf.Struct) int {
 // for each strike a sample cycle and a bit are drawn uniformly, and the
 // strike corrupts the program if the bit holds ACE state. It returns the
 // number of corrupting strikes. With many strikes, corrupted/strikes
-// converges to Estimate.
+// converges to Estimate. The draw order (sample index, then bit) is part
+// of the campaign's deterministic contract — see the seed-stability
+// golden test.
 func (c *Campaign) Outcomes(s avf.Struct, cycles uint64, strikes int) (corrupted int) {
 	n := c.Samples(cycles)
 	if n == 0 || c.bits[s] == 0 {
 		return 0
 	}
 	for i := 0; i < strikes; i++ {
-		idx := c.rnd.Uint64n(n)
-		bit := c.rnd.Uint64n(c.bits[s])
-		if bit < c.ace[s][idx] {
+		if out, _ := c.strike(s, n); out.Corrupting() {
 			corrupted++
 		}
 	}
 	return corrupted
+}
+
+// strike draws one (sample cycle, bit) pair for structure s — consuming
+// exactly two rng values — and classifies the outcome, attributing ACE
+// hits to the owning thread (-1 when no thread owns the struck bit).
+func (c *Campaign) strike(s avf.Struct, samples uint64) (Outcome, int) {
+	idx := c.rnd.Uint64n(samples)
+	bit := c.rnd.Uint64n(c.bits[s])
+	cl := c.cells[s][idx]
+	if cl == nil || bit >= cl.ace {
+		return Masked, -1 // idle or un-ACE state: the strike is masked
+	}
+	tid := 0
+	for _, share := range cl.perThread {
+		if bit < share {
+			break
+		}
+		bit -= share
+		tid++
+	}
+	if tid >= len(cl.perThread) {
+		tid = len(cl.perThread) - 1 // unreachable unless shares disagree with ace
+	}
+	return c.protection[s].outcome(), tid
 }
 
 // Events returns the number of intervals observed (diagnostics).

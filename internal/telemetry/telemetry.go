@@ -151,6 +151,16 @@ func (c *Collector) WindowCycles() uint64 {
 	return c.window
 }
 
+// SlogLogger returns the structured logger the collector was built with
+// (nil for a nil or unlogged collector). Subsystems that publish progress
+// through the collector's registry use it to emit matching log lines.
+func (c *Collector) SlogLogger() *slog.Logger {
+	if c == nil {
+		return nil
+	}
+	return c.logger
+}
+
 // AddExporter attaches an exporter; every subsequently recorded window is
 // forwarded to it. Close closes it.
 func (c *Collector) AddExporter(e Exporter) {

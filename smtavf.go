@@ -24,6 +24,7 @@ import (
 
 	"smtavf/internal/avf"
 	"smtavf/internal/core"
+	"smtavf/internal/crossval"
 	"smtavf/internal/fetch"
 	"smtavf/internal/inject"
 	"smtavf/internal/pipetrace"
@@ -265,3 +266,54 @@ func NewFaultCampaign(cfg Config, sampleEvery, seed uint64) (*FaultCampaign, err
 // InjectFaults attaches a fault-injection campaign to the simulator. Must
 // be called before Run.
 func (s *Simulator) InjectFaults(c *FaultCampaign) { s.proc.AttachSink(c) }
+
+// InjectStats is the result of a sequential strike experiment: the
+// per-structure / per-thread strike-outcome taxonomy (masked, SDC, DUE,
+// corrected) with Wilson-score confidence intervals on each AVF estimate.
+// Produce one with FaultCampaign.RunStrikes after the run.
+type InjectStats = inject.Stats
+
+// InjectStop is the sequential stopping rule of a strike experiment.
+type InjectStop = inject.Stop
+
+// StopWhen builds the standard stopping rule: strike until every
+// structure's confidence-interval half-width drops below halfWidth,
+// spending at most maxStrikes strikes per structure.
+func StopWhen(halfWidth float64, maxStrikes int) InjectStop {
+	return inject.StopWhen(halfWidth, maxStrikes)
+}
+
+// ProtectionMode declares a structure's assumed error protection when
+// classifying strike outcomes (none / parity / ECC).
+type ProtectionMode = core.ProtectionMode
+
+// Protection schemes for strike-outcome classification.
+const (
+	ProtectNone   = core.ProtectNone
+	ProtectParity = core.ProtectParity
+	ProtectECC    = core.ProtectECC
+)
+
+// ProtectionModes assigns a protection scheme to every structure; pass
+// mods.Detections() to FaultCampaign.SetProtection.
+type ProtectionModes = core.ProtectionModes
+
+// CrossValReport is the per-structure agreement report between the
+// tracker's ACE-residency AVF and a campaign's strike estimate: delta,
+// z-score, and a pass/fail verdict against the Wilson CI. See
+// docs/injection.md.
+type CrossValReport = crossval.Report
+
+// CrossValMeta identifies the run a cross-validation report covers.
+type CrossValMeta = crossval.Meta
+
+// CrossValidate builds the agreement report between a finished run's
+// tracker AVFs and a completed strike experiment on the campaign that
+// observed the same run.
+func CrossValidate(meta CrossValMeta, res *Results, stats *InjectStats) *CrossValReport {
+	var tracker [avf.NumStructs]float64
+	for s := range tracker {
+		tracker[s] = res.StructAVF(avf.Struct(s))
+	}
+	return crossval.Build(meta, tracker, stats)
+}
