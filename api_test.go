@@ -1,0 +1,205 @@
+package smtavf_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"smtavf"
+)
+
+// The deprecated constructors must be indistinguishable from the Option
+// path: same machine, same streams, bit-identical Results.
+func TestNewMatchesDeprecatedConstructors(t *testing.T) {
+	runBoth := func(t *testing.T, old, new *smtavf.Simulator, err1, err2 error) {
+		t.Helper()
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		a, err := old.Run(8_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := new.Run(8_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("Option path diverges from deprecated constructor")
+		}
+	}
+
+	t.Run("benchmarks", func(t *testing.T) {
+		cfg := smtavf.DefaultConfig(2)
+		old, err1 := smtavf.NewSimulator(cfg, []string{"gcc", "mcf"})
+		new, err2 := smtavf.New(cfg, smtavf.WithBenchmarks("gcc", "mcf"))
+		runBoth(t, old, new, err1, err2)
+	})
+	t.Run("phases", func(t *testing.T) {
+		cfg := smtavf.DefaultConfig(1)
+		old, err1 := smtavf.NewSimulatorPhased(cfg, [][]string{{"eon", "twolf"}}, 2_000)
+		new, err2 := smtavf.New(cfg, smtavf.WithPhases([][]string{{"eon", "twolf"}}, 2_000))
+		runBoth(t, old, new, err1, err2)
+	})
+	t.Run("tracefiles", func(t *testing.T) {
+		paths := writeTestTraces(t, t.TempDir())
+		cfg := smtavf.DefaultConfig(2)
+		old, err1 := smtavf.NewSimulatorFromTraceFiles(cfg, paths)
+		new, err2 := smtavf.New(cfg, smtavf.WithTraceFiles(paths...))
+		runBoth(t, old, new, err1, err2)
+	})
+}
+
+func TestNewOptionErrors(t *testing.T) {
+	cfg := smtavf.DefaultConfig(2)
+	cases := []struct {
+		name string
+		opts []smtavf.Option
+		want string
+	}{
+		{"no workload", nil, "no workload"},
+		{"two workloads", []smtavf.Option{
+			smtavf.WithBenchmarks("gcc", "mcf"),
+			smtavf.WithPhases([][]string{{"eon"}, {"gcc"}}, 1_000),
+		}, "exactly one workload source"},
+		{"missing trace file", []smtavf.Option{smtavf.WithTraceFiles("x.trc", "y.trc")}, "x.trc"},
+		{"unknown benchmark", []smtavf.Option{smtavf.WithBenchmarks("bogus", "mcf")}, "bogus"},
+		{"thread mismatch", []smtavf.Option{smtavf.WithBenchmarks("gcc")}, "threads"},
+		{"zero phase period", []smtavf.Option{smtavf.WithPhases([][]string{{"eon"}, {"gcc"}}, 0)}, "period"},
+		{"zero shards", []smtavf.Option{smtavf.WithBenchmarks("gcc", "mcf"), smtavf.WithShards(0, 1)}, "shard count"},
+		{"telemetry with shards", []smtavf.Option{
+			smtavf.WithBenchmarks("gcc", "mcf"),
+			smtavf.WithShards(2, 2),
+			smtavf.WithTelemetry(smtavf.NewTelemetry(smtavf.TelemetryOptions{})),
+		}, "WithTelemetry"},
+		{"pipetrace with shards", []smtavf.Option{
+			smtavf.WithBenchmarks("gcc", "mcf"),
+			smtavf.WithShards(2, 2),
+			smtavf.WithPipeTrace(smtavf.NewPipeTrace(smtavf.PipeTraceOptions{})),
+		}, "WithPipeTrace"},
+		{"short warmup window", []smtavf.Option{
+			smtavf.WithBenchmarks("gcc", "mcf"),
+			smtavf.WithShardWarmupWindow(512),
+		}, "4096"},
+		{"nil option", []smtavf.Option{nil}, "nil Option"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := smtavf.New(cfg, tc.opts...)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// A sharded simulator commits exact counts, stays within the documented
+// AVF tolerance of the monolithic run, and records one checkpoint per
+// shard.
+func TestNewSharded(t *testing.T) {
+	cfg := smtavf.DefaultConfig(2)
+	quotas := []uint64{12_000, 12_000}
+
+	mono, err := smtavf.New(cfg, smtavf.WithBenchmarks("gcc", "mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mono.RunPerThread(quotas)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sharded, err := smtavf.New(cfg,
+		smtavf.WithBenchmarks("gcc", "mcf"),
+		smtavf.WithShards(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.RunPerThread(quotas)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got.Committed, want.Committed) || got.Total != want.Total {
+		t.Fatalf("sharded commits %v (total %d), monolithic %v (total %d)",
+			got.Committed, got.Total, want.Committed, want.Total)
+	}
+	for _, s := range smtavf.Structs() {
+		d := got.StructAVF(s) - want.StructAVF(s)
+		if d < 0 {
+			d = -d
+		}
+		if d > smtavf.ShardTolerance {
+			t.Errorf("struct %v: sharded AVF %.4f vs monolithic %.4f (|Δ| %.4f > %.3f)",
+				s, got.StructAVF(s), want.StructAVF(s), d, smtavf.ShardTolerance)
+		}
+	}
+	if cps := sharded.Checkpoints(); len(cps) != 3 {
+		t.Fatalf("%d checkpoints, want 3", len(cps))
+	}
+	if mono.Checkpoints() != nil {
+		t.Fatal("monolithic simulator reports checkpoints")
+	}
+	if _, err := sharded.Run(1_000); err == nil || !strings.Contains(err.Error(), "single-shot") {
+		t.Fatalf("second sharded Run: %v", err)
+	}
+}
+
+// Run on a sharded simulator splits the total evenly.
+func TestNewShardedRunSplitsEvenly(t *testing.T) {
+	sim, err := smtavf.New(smtavf.DefaultConfig(2),
+		smtavf.WithBenchmarks("gcc", "mcf"),
+		smtavf.WithShards(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(10_001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed[0] != 5_001 || res.Committed[1] != 5_000 {
+		t.Fatalf("committed %v, want [5001 5000]", res.Committed)
+	}
+}
+
+func TestShardedAttachPanics(t *testing.T) {
+	sim, err := smtavf.New(smtavf.DefaultConfig(2),
+		smtavf.WithBenchmarks("gcc", "mcf"),
+		smtavf.WithShards(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetTelemetry on sharded simulator did not panic")
+		}
+	}()
+	sim.SetTelemetry(smtavf.NewTelemetry(smtavf.TelemetryOptions{}))
+}
+
+// Options attach observers on the monolithic path.
+func TestNewWithObservers(t *testing.T) {
+	cfg := smtavf.DefaultConfig(1)
+	tel := smtavf.NewTelemetry(smtavf.TelemetryOptions{WindowCycles: 1_000})
+	camp, err := smtavf.NewFaultCampaign(cfg, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := smtavf.New(cfg,
+		smtavf.WithBenchmarks("gcc"),
+		smtavf.WithTelemetry(tel),
+		smtavf.WithFaultInjection(camp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(6_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.Windows() == 0 {
+		t.Error("telemetry collected no windows")
+	}
+	if camp.Samples(res.Cycles) == 0 {
+		t.Error("campaign observed no samples")
+	}
+}

@@ -12,6 +12,7 @@
 package smtavf_test
 
 import (
+	"runtime"
 	"testing"
 
 	"smtavf"
@@ -35,7 +36,7 @@ func newRunner() *experiments.Runner {
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, m := range smtavf.Mixes() {
-			sim, err := smtavf.NewSimulator(smtavf.DefaultConfig(m.Contexts), m.Benchmarks)
+			sim, err := smtavf.New(smtavf.DefaultConfig(m.Contexts), smtavf.WithBenchmarks(m.Benchmarks...))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -181,7 +182,7 @@ func runAblation(b *testing.B, threads int, benches []string, mutate func(*core.
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	sim, err := smtavf.NewSimulator(cfg, benches)
+	sim, err := smtavf.New(cfg, smtavf.WithBenchmarks(benches...))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -311,6 +312,36 @@ func BenchmarkSimulatorCycles(b *testing.B) {
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
 }
 
+// BenchmarkShardSpeedup measures the parallel speedup of the sharded
+// engine: the same 4-shard, 4-thread plan executed by a single worker vs
+// one worker per core (GOMAXPROCS). Compare the two cycles/s metrics —
+// their ratio is the speedup, which approaches min(shards, cores) on
+// multi-core machines and sits near 1.0 on a single core (functional
+// warmup re-runs each shard's prefix, so the serialized sharded run does
+// strictly more work than the monolith; docs/sharding.md quantifies it).
+func BenchmarkShardSpeedup(b *testing.B) {
+	const perThread = 20_000
+	run := func(b *testing.B, workers int) {
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			sim, err := smtavf.New(smtavf.DefaultConfig(4),
+				smtavf.WithBenchmarks(ablationMix...),
+				smtavf.WithShards(4, workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sim.RunPerThread([]uint64{perThread, perThread, perThread, perThread})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += res.Cycles
+		}
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+	}
+	b.Run("workers-1", func(b *testing.B) { run(b, 1) })
+	b.Run("workers-max", func(b *testing.B) { run(b, runtime.GOMAXPROCS(0)) })
+}
+
 // BenchmarkTelemetryOverhead measures the cost of the telemetry subsystem
 // on the simulator hot path. "off" runs with no collector attached — the
 // nil-receiver fast path, whose per-cycle cost is a handful of nil checks
@@ -321,12 +352,13 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	run := func(b *testing.B, attach bool) {
 		var cycles uint64
 		for i := 0; i < b.N; i++ {
-			sim, err := smtavf.NewSimulator(smtavf.DefaultConfig(4), ablationMix)
+			opts := []smtavf.Option{smtavf.WithBenchmarks(ablationMix...)}
+			if attach {
+				opts = append(opts, smtavf.WithTelemetry(smtavf.NewTelemetry(smtavf.TelemetryOptions{})))
+			}
+			sim, err := smtavf.New(smtavf.DefaultConfig(4), opts...)
 			if err != nil {
 				b.Fatal(err)
-			}
-			if attach {
-				sim.SetTelemetry(smtavf.NewTelemetry(smtavf.TelemetryOptions{}))
 			}
 			res, err := sim.Run(uint64(benchBase) * 2)
 			if err != nil {
@@ -352,19 +384,24 @@ func BenchmarkInjectOverhead(b *testing.B) {
 		var cycles uint64
 		for i := 0; i < b.N; i++ {
 			cfg := smtavf.DefaultConfig(4)
-			sim, err := smtavf.NewSimulator(cfg, ablationMix)
-			if err != nil {
-				b.Fatal(err)
-			}
+			opts := []smtavf.Option{smtavf.WithBenchmarks(ablationMix...)}
 			var camp *smtavf.FaultCampaign
-			switch mode {
-			case "nil":
-				sim.InjectFaults(camp)
-			case "on":
+			if mode == "on" {
+				var err error
 				camp, err = smtavf.NewFaultCampaign(cfg, 1, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
+				opts = append(opts, smtavf.WithFaultInjection(camp))
+			}
+			sim, err := smtavf.New(cfg, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mode == "nil" {
+				// The typed-nil sink exercises the nil-receiver no-op on
+				// the hot path; only the deprecated setter can install it
+				// (WithFaultInjection treats a nil campaign as absent).
 				sim.InjectFaults(camp)
 			}
 			res, err := sim.Run(uint64(benchBase) * 2)
@@ -393,12 +430,13 @@ func BenchmarkPipetraceOverhead(b *testing.B) {
 	run := func(b *testing.B, attach bool) {
 		var cycles uint64
 		for i := 0; i < b.N; i++ {
-			sim, err := smtavf.NewSimulator(smtavf.DefaultConfig(4), ablationMix)
+			opts := []smtavf.Option{smtavf.WithBenchmarks(ablationMix...)}
+			if attach {
+				opts = append(opts, smtavf.WithPipeTrace(smtavf.NewPipeTrace(smtavf.PipeTraceOptions{})))
+			}
+			sim, err := smtavf.New(smtavf.DefaultConfig(4), opts...)
 			if err != nil {
 				b.Fatal(err)
-			}
-			if attach {
-				sim.SetPipeTrace(smtavf.NewPipeTrace(smtavf.PipeTraceOptions{}))
 			}
 			res, err := sim.Run(uint64(benchBase) * 2)
 			if err != nil {

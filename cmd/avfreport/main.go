@@ -5,8 +5,13 @@
 //
 //	avfreport                      # everything, default budgets
 //	avfreport -figure 6 -base 20000
+//	avfreport -figure all -shards 4 -shard-workers 4
 //	avfreport -csv > report.csv
 //	avfreport -provenance 4ctx-MEM-A -provenance-top 10
+//
+// The -crossval stopping rule shares the -inject-ci / -inject-strikes /
+// -inject-report flags with smtsim and avfsweep (they were previously
+// spelled -crossval-ci and -crossval-out here).
 package main
 
 import (
@@ -17,45 +22,60 @@ import (
 	"strings"
 	"time"
 
+	"smtavf/internal/cliopts"
 	"smtavf/internal/experiments"
 	"smtavf/internal/inject"
-	"smtavf/internal/telemetry"
 )
 
 func main() {
 	var (
-		base     = flag.Uint64("base", 50_000, "instruction budget of a 2-context run (4/8 contexts use 2x/4x)")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		figure   = flag.String("figure", "all", "which figure to produce: all, table1, table2, 1..8, ext, or sens (comma-separated)")
-		provMix  = flag.String("provenance", "", "run this Table 2 mix with the pipeline flight recorder and print its AVF provenance tables (skips the figures)")
-		provPol  = flag.String("provenance-policy", "ICOUNT", "fetch policy of the -provenance run")
-		provTop  = flag.Int("provenance-top", 10, "PC rows in the -provenance hotspot table")
-		xvalMix  = flag.String("crossval", "", "cross-validate this Table 2 mix (or comma-separated benchmarks) against a fault-injection seed fanout and print the pooled agreement report (skips the figures)")
-		xvalPol  = flag.String("crossval-policy", "ICOUNT", "fetch policy of the -crossval runs")
-		xvalN    = flag.Int("crossval-seeds", 3, "seed fanout of the -crossval campaign (seeds seed..seed+N-1, run concurrently and pooled)")
-		xvalCI   = flag.Float64("crossval-ci", 0.01, "per-seed target 99% CI half-width of the -crossval campaign")
-		xvalOut  = flag.String("crossval-out", "", "also write the pooled -crossval report as JSONL to this file (.gz compresses)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		chart    = flag.Bool("chart", false, "render tables as horizontal bar charts")
-		logLevel = flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
-		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		base    = flag.Uint64("base", 50_000, "instruction budget of a 2-context run (4/8 contexts use 2x/4x)")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		figure  = flag.String("figure", "all", "which figure to produce: all, table1, table2, 1..8, ext, or sens (comma-separated)")
+		provMix = flag.String("provenance", "", "run this Table 2 mix with the pipeline flight recorder and print its AVF provenance tables (skips the figures)")
+		provPol = flag.String("provenance-policy", "ICOUNT", "fetch policy of the -provenance run")
+		provTop = flag.Int("provenance-top", 10, "PC rows in the -provenance hotspot table")
+		xvalMix = flag.String("crossval", "", "cross-validate this Table 2 mix (or comma-separated benchmarks) against a fault-injection seed fanout and print the pooled agreement report (skips the figures)")
+		xvalPol = flag.String("crossval-policy", "ICOUNT", "fetch policy of the -crossval runs")
+		xvalN   = flag.Int("crossval-seeds", 3, "seed fanout of the -crossval campaign (seeds seed..seed+N-1, run concurrently and pooled)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		chart   = flag.Bool("chart", false, "render tables as horizontal bar charts")
+
+		logFlags cliopts.Log
+		inj      cliopts.Inject
+		shards   cliopts.Shards
 	)
+	logFlags.Register(flag.CommandLine)
+	inj.RegisterStop(flag.CommandLine)
+	shards.Register(flag.CommandLine)
 	flag.Parse()
 
-	level, err := telemetry.ParseLevel(*logLevel)
+	logger, err := logFlags.Logger(os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avfreport:", err)
 		os.Exit(1)
 	}
-	logger := telemetry.NewLogger(os.Stderr, level, *logJSON)
+	if err := inj.Validate(); err == nil {
+		err = shards.Validate()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avfreport:", err)
+		os.Exit(1)
+	}
 	logger.Info("run manifest",
 		"program", "avfreport",
 		"base", *base,
 		"seed", *seed,
 		"figures", *figure,
+		"shards", shards.N,
 	)
 
-	r := experiments.NewRunner(experiments.Options{Base: *base, Seed: *seed})
+	r := experiments.NewRunner(experiments.Options{
+		Base:         *base,
+		Seed:         *seed,
+		Shards:       shards.N,
+		ShardWorkers: shards.Workers,
+	})
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figure, ",") {
 		want[strings.TrimSpace(f)] = true
@@ -79,7 +99,7 @@ func main() {
 	if *xvalMix != "" {
 		spec := experiments.CrossValSpec{
 			Policy: *xvalPol,
-			Stop:   inject.StopWhen(*xvalCI, 0),
+			Stop:   inject.StopWhen(inj.CI, inj.Strikes),
 		}
 		if strings.Contains(*xvalMix, ",") {
 			spec.Benchmarks = strings.Split(*xvalMix, ",")
@@ -103,12 +123,12 @@ func main() {
 			)
 		}
 		fmt.Print(pooled.Table())
-		if *xvalOut != "" {
-			if err := pooled.WriteFile(*xvalOut); err != nil {
-				fmt.Fprintf(os.Stderr, "avfreport: crossval-out: %v\n", err)
+		if inj.Report != "" {
+			if err := pooled.WriteFile(inj.Report); err != nil {
+				fmt.Fprintf(os.Stderr, "avfreport: inject-report: %v\n", err)
 				os.Exit(1)
 			}
-			logger.Info("crossval report written", "path", *xvalOut, "entries", len(pooled.Entries))
+			logger.Info("crossval report written", "path", inj.Report, "entries", len(pooled.Entries))
 		}
 		logger.Info("done", "elapsed", time.Since(start).Round(time.Millisecond).String())
 		return

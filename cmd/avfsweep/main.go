@@ -26,40 +26,49 @@ import (
 	"time"
 
 	"smtavf"
+	"smtavf/internal/cliopts"
 	"smtavf/internal/telemetry"
 )
 
 func main() {
 	var (
-		mixName   = flag.String("mix", "", "Table 2 mix name")
-		benches   = flag.String("bench", "", "comma-separated benchmarks (alternative to -mix)")
-		policies  = flag.String("policies", "ICOUNT", "comma-separated fetch policies")
-		param     = flag.String("param", "none", "structural parameter to sweep: none, iq, rob, lsq, regs, fetchq")
-		values    = flag.String("values", "", "comma-separated parameter values")
-		instrs    = flag.Uint64("instructions", 100_000, "instructions per run")
-		warmup    = flag.Uint64("warmup", 50_000, "warmup instructions per run")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		telPath   = flag.String("telemetry", "", "record every sweep point's cycle-windowed series into this single file (JSONL; .csv for CSV, .gz compresses)")
-		telDir    = flag.String("telemetry-dir", "", "record one cycle-windowed JSONL series per sweep point into this directory")
-		telWindow = flag.Uint64("telemetry-window", telemetry.DefaultWindowCycles, "telemetry sampling window in cycles")
-		debugAddr = flag.String("debug-addr", "", "serve live /telemetry and /debug/pprof for the running point (e.g. :6060)")
+		mixName  = flag.String("mix", "", "Table 2 mix name")
+		benches  = flag.String("bench", "", "comma-separated benchmarks (alternative to -mix)")
+		policies = flag.String("policies", "ICOUNT", "comma-separated fetch policies")
+		param    = flag.String("param", "none", "structural parameter to sweep: none, iq, rob, lsq, regs, fetchq")
+		values   = flag.String("values", "", "comma-separated parameter values")
+		instrs   = flag.Uint64("instructions", 100_000, "instructions per run")
+		warmup   = flag.Uint64("warmup", 50_000, "warmup instructions per run")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
 
-		injOn      = flag.Bool("inject", false, "attach a fault-injection campaign to every sweep point and cross-validate each AVF report")
-		injEvery   = flag.Uint64("inject-every", 1, "campaign sample-grid pitch in cycles (1 = every cycle)")
-		injSeed    = flag.Uint64("inject-seed", 0, "campaign seed (0 = use -seed)")
-		injCI      = flag.Float64("inject-ci", 0.01, "target 99% confidence-interval half-width per structure; striking stops early once every structure is this tight")
-		injStrikes = flag.Int("inject-strikes", 1<<20, "strike cap per structure")
-		injReport  = flag.String("inject-report", "", "append every point's cross-validation report to this JSONL file (.gz compresses)")
-		logLevel   = flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
-		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		logFlags cliopts.Log
+		tel      cliopts.Telemetry
+		inj      cliopts.Inject
+		shards   cliopts.Shards
 	)
+	logFlags.Register(flag.CommandLine)
+	tel.Register(flag.CommandLine)
+	tel.RegisterDir(flag.CommandLine)
+	inj.Register(flag.CommandLine)
+	shards.Register(flag.CommandLine)
 	flag.Parse()
 
-	level, err := telemetry.ParseLevel(*logLevel)
+	logger, err := logFlags.Logger(os.Stderr)
 	if err != nil {
 		fatal(err)
 	}
-	logger := telemetry.NewLogger(os.Stderr, level, *logJSON)
+	if err := tel.Validate(); err != nil {
+		fatal(err)
+	}
+	if err := inj.Validate(); err != nil {
+		fatal(err)
+	}
+	if err := shards.Validate(); err != nil {
+		fatal(err)
+	}
+	if shards.Sharded() && (tel.Enabled() || inj.On) {
+		fatal(fmt.Errorf("-shards is batch-only; drop -telemetry/-debug-addr/-inject"))
+	}
 
 	var names []string
 	switch {
@@ -89,8 +98,8 @@ func main() {
 		fatal(fmt.Errorf("-param %s needs -values", *param))
 	}
 
-	if *telDir != "" {
-		if err := os.MkdirAll(*telDir, 0o755); err != nil {
+	if tel.Dir != "" {
+		if err := os.MkdirAll(tel.Dir, 0o755); err != nil {
 			fatal(err)
 		}
 	}
@@ -98,8 +107,8 @@ func main() {
 	// collector closes its own exporters, so the shared one is wrapped to
 	// ignore those Closes and is flushed once at the end.
 	var shared *sharedExporter
-	if *telPath != "" {
-		exp, err := telemetry.Create(*telPath)
+	if tel.Path != "" {
+		exp, err := telemetry.Create(tel.Path)
 		if err != nil {
 			fatal(err)
 		}
@@ -112,8 +121,8 @@ func main() {
 	}
 	// One combined cross-validation JSONL across every sweep point.
 	var reportW io.WriteCloser
-	if *injReport != "" {
-		reportW, err = telemetry.OpenWriter(*injReport)
+	if inj.Report != "" {
+		reportW, err = telemetry.OpenWriter(inj.Report)
 		if err != nil {
 			fatal(err)
 		}
@@ -123,10 +132,7 @@ func main() {
 			}
 		}()
 	}
-	campSeed := *injSeed
-	if campSeed == 0 {
-		campSeed = *seed
-	}
+	campSeed := inj.CampaignSeed(*seed)
 
 	pols := strings.Split(*policies, ",")
 	telemetry.RunManifest(logger, "avfsweep", smtavf.DefaultConfig(len(names)), *seed, names,
@@ -166,46 +172,50 @@ func main() {
 			if err := apply(&cfg, *param, v); err != nil {
 				fatal(err)
 			}
-			sim, err := smtavf.NewSimulator(cfg, names)
-			if err != nil {
-				fatal(err)
+			opts := []smtavf.Option{
+				smtavf.WithBenchmarks(names...),
+				smtavf.WithShards(shards.N, shards.Workers),
 			}
 
 			// One fresh collector (and series file) per sweep point; the
 			// debug server follows the point currently running.
 			var col *smtavf.Telemetry
-			if *telPath != "" || *telDir != "" || *debugAddr != "" {
-				col = smtavf.NewTelemetry(smtavf.TelemetryOptions{WindowCycles: *telWindow})
+			if tel.Enabled() {
+				col = smtavf.NewTelemetry(smtavf.TelemetryOptions{WindowCycles: tel.Window})
 				if shared != nil {
 					col.AddExporter(shared)
 				}
-				if *telDir != "" {
-					exp, err := telemetry.Create(filepath.Join(*telDir, pointName(pol, *param, v)))
+				if tel.Dir != "" {
+					exp, err := telemetry.Create(filepath.Join(tel.Dir, pointName(pol, *param, v)))
 					if err != nil {
 						fatal(err)
 					}
 					col.AddExporter(exp)
 				}
-				sim.SetTelemetry(col)
-				if *debugAddr != "" {
-					if dbg == nil {
-						dbg, err = telemetry.ServeDebug(*debugAddr, col, logger)
-						if err != nil {
-							fatal(err)
-						}
-					} else {
-						dbg.SetCollector(col)
-					}
-				}
+				opts = append(opts, smtavf.WithTelemetry(col))
 			}
 			var camp *smtavf.FaultCampaign
-			if *injOn {
-				camp, err = smtavf.NewFaultCampaign(cfg, *injEvery, campSeed)
+			if inj.On {
+				camp, err = smtavf.NewFaultCampaign(cfg, inj.Every, campSeed)
 				if err != nil {
 					fatal(err)
 				}
 				camp.PublishTelemetry(col)
-				sim.InjectFaults(camp)
+				opts = append(opts, smtavf.WithFaultInjection(camp))
+			}
+			sim, err := smtavf.New(cfg, opts...)
+			if err != nil {
+				fatal(err)
+			}
+			if tel.DebugAddr != "" && col != nil {
+				if dbg == nil {
+					dbg, err = telemetry.ServeDebug(tel.DebugAddr, col, logger)
+					if err != nil {
+						fatal(err)
+					}
+				} else {
+					dbg.SetCollector(col)
+				}
 			}
 
 			start := time.Now()
@@ -217,12 +227,12 @@ func main() {
 				fatal(fmt.Errorf("telemetry: %w", cerr))
 			}
 			if camp != nil {
-				stats := camp.RunStrikes(res.Cycles, smtavf.StopWhen(*injCI, *injStrikes))
+				stats := camp.RunStrikes(res.Cycles, smtavf.StopWhen(inj.CI, inj.Strikes))
 				rep := smtavf.CrossValidate(smtavf.CrossValMeta{
 					Workload: strings.Join(names, "+"),
 					Policy:   pol,
 					Seed:     campSeed,
-					Every:    *injEvery,
+					Every:    inj.Every,
 					Cycles:   res.Cycles,
 				}, res, stats)
 				logger.Info("inject crossval",

@@ -7,6 +7,13 @@
 //	smtsim -bench mcf,twolf -policy ICOUNT -instructions 50000
 //	smtsim -mix 4ctx-MIX-A -telemetry run.jsonl -telemetry-window 10000
 //	smtsim -mix 4ctx-MIX-A -instructions 10000000 -debug-addr :6060
+//	smtsim -mix 4ctx-MIX-A -instructions 10000000 -shards 8 -shard-workers 4
+//
+// With -shards N the run is split into N deterministic intervals per
+// thread and simulated in parallel; committed-instruction counts stay
+// exact and per-structure AVFs agree with the monolithic run within the
+// documented tolerance (docs/sharding.md). Sharded runs are batch-only:
+// they cannot carry -telemetry, -pipetrace, or -inject observers.
 //
 // With -telemetry the run emits a cycle-windowed time-series (JSONL, or
 // CSV if the path ends in .csv); with -debug-addr a live HTTP server
@@ -36,49 +43,52 @@ import (
 	"time"
 
 	"smtavf"
+	"smtavf/internal/cliopts"
 	"smtavf/internal/pipetrace"
 	"smtavf/internal/telemetry"
 )
 
 func main() {
 	var (
-		mixName   = flag.String("mix", "", "Table 2 mix name, e.g. 4ctx-MEM-A")
-		benches   = flag.String("bench", "", "comma-separated benchmark names (alternative to -mix)")
-		traces    = flag.String("trace", "", "comma-separated trace files recorded by tracegen (alternative to -mix/-bench)")
-		policy    = flag.String("policy", "ICOUNT", "fetch policy: ICOUNT, STALL, FLUSH, DG, PDG, DWarn, STALLP")
-		instrs    = flag.Uint64("instructions", 100_000, "total instructions to simulate")
-		warmup    = flag.Uint64("warmup", 0, "instructions committed before measurement begins")
-		phases    = flag.Uint64("phases", 0, "sample per-interval IPC/AVF every N cycles (0 = off)")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		list      = flag.Bool("list", false, "list available mixes and benchmarks, then exit")
-		cfgPath   = flag.String("config", "", "JSON machine configuration to load (overrides defaults; Threads is set from the workload)")
-		dumpCfg   = flag.Bool("dumpconfig", false, "print the effective machine configuration as JSON and exit")
-		asJSON    = flag.Bool("json", false, "emit the full results as JSON")
-		telPath   = flag.String("telemetry", "", "write a cycle-windowed telemetry series to this file (JSONL; .csv for CSV)")
-		telWindow = flag.Uint64("telemetry-window", telemetry.DefaultWindowCycles, "telemetry sampling window in cycles")
-		ptPath    = flag.String("pipetrace", "", "record per-uop pipeline lifecycles to this file (.kanata/.kan Kanata, .json Chrome trace_event, else JSONL; .gz compresses)")
-		ptFormat  = flag.String("pipetrace-format", "", "force the -pipetrace format: kanata, chrome, or jsonl (default: by extension)")
-		ptWindow  = flag.String("pipetrace-window", "", "record only uops fetched in this cycle window, as START:END (END 0 or absent = unbounded)")
-		ptTop     = flag.Int("pipetrace-top", 0, "print the top-N per-PC AVF provenance hotspots per pipeline structure (enables recording)")
+		mixName = flag.String("mix", "", "Table 2 mix name, e.g. 4ctx-MEM-A")
+		benches = flag.String("bench", "", "comma-separated benchmark names (alternative to -mix)")
+		traces  = flag.String("trace", "", "comma-separated trace files recorded by tracegen (alternative to -mix/-bench)")
+		policy  = flag.String("policy", "ICOUNT", "fetch policy: ICOUNT, STALL, FLUSH, DG, PDG, DWarn, STALLP")
+		instrs  = flag.Uint64("instructions", 100_000, "total instructions to simulate")
+		warmup  = flag.Uint64("warmup", 0, "instructions committed before measurement begins")
+		phases  = flag.Uint64("phases", 0, "sample per-interval IPC/AVF every N cycles (0 = off)")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		list    = flag.Bool("list", false, "list available mixes and benchmarks, then exit")
+		cfgPath = flag.String("config", "", "JSON machine configuration to load (overrides defaults; Threads is set from the workload)")
+		dumpCfg = flag.Bool("dumpconfig", false, "print the effective machine configuration as JSON and exit")
+		asJSON  = flag.Bool("json", false, "emit the full results as JSON")
 
-		injOn      = flag.Bool("inject", false, "attach a statistical fault-injection campaign and cross-validate the AVF report against it")
-		injEvery   = flag.Uint64("inject-every", 1, "campaign sample-grid pitch in cycles (1 = every cycle)")
-		injSeed    = flag.Uint64("inject-seed", 0, "campaign seed (0 = use -seed)")
-		injCI      = flag.Float64("inject-ci", 0.01, "target 99% confidence-interval half-width per structure; striking stops early once every structure is this tight")
-		injStrikes = flag.Int("inject-strikes", 1<<20, "strike cap per structure")
-		injReport  = flag.String("inject-report", "", "write the cross-validation report as JSONL to this file (.gz compresses)")
-
-		debugAddr = flag.String("debug-addr", "", "serve /telemetry, /debug/vars and /debug/pprof on this address during the run (e.g. :6060)")
-		logLevel  = flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
-		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		logFlags cliopts.Log
+		tel      cliopts.Telemetry
+		inj      cliopts.Inject
+		pt       cliopts.PipeTrace
+		shards   cliopts.Shards
 	)
+	logFlags.Register(flag.CommandLine)
+	tel.Register(flag.CommandLine)
+	inj.Register(flag.CommandLine)
+	pt.Register(flag.CommandLine)
+	shards.Register(flag.CommandLine)
 	flag.Parse()
 
-	level, err := telemetry.ParseLevel(*logLevel)
+	logger, err := logFlags.Logger(os.Stderr)
 	if err != nil {
 		fatal(err)
 	}
-	logger := telemetry.NewLogger(os.Stderr, level, *logJSON)
+	if err := tel.Validate(); err != nil {
+		fatal(err)
+	}
+	if err := inj.Validate(); err != nil {
+		fatal(err)
+	}
+	if err := shards.Validate(); err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		fmt.Println("Table 2 mixes:")
@@ -137,73 +147,67 @@ func main() {
 		fmt.Println(string(data))
 		return
 	}
-	var sim *smtavf.Simulator
+
+	opts := []smtavf.Option{smtavf.WithShards(shards.N, shards.Workers)}
 	if paths != nil {
-		sim, err = smtavf.NewSimulatorFromTraceFiles(cfg, paths)
+		opts = append(opts, smtavf.WithTraceFiles(paths...))
 	} else {
-		sim, err = smtavf.NewSimulator(cfg, names)
-	}
-	if err != nil {
-		fatal(err)
+		opts = append(opts, smtavf.WithBenchmarks(names...))
 	}
 
 	// Telemetry: a collector when a series file or the debug server is
 	// requested; the built-in ring buffer backs the /telemetry endpoint.
 	var col *smtavf.Telemetry
-	if *telPath != "" || *debugAddr != "" {
+	if tel.Enabled() {
 		col = smtavf.NewTelemetry(smtavf.TelemetryOptions{
-			WindowCycles: *telWindow,
+			WindowCycles: tel.Window,
 			Logger:       logger,
 		})
-		if *telPath != "" {
-			exp, err := telemetry.Create(*telPath)
+		if tel.Path != "" {
+			exp, err := telemetry.Create(tel.Path)
 			if err != nil {
 				fatal(err)
 			}
 			col.AddExporter(exp)
 		}
-		sim.SetTelemetry(col)
+		opts = append(opts, smtavf.WithTelemetry(col))
 	}
 	// Fault-injection campaign: samples the run on a cycle grid, then the
 	// strike phase after the run cross-validates the tracker's AVF.
 	var camp *smtavf.FaultCampaign
-	campSeed := *injSeed
-	if campSeed == 0 {
-		campSeed = *seed
-	}
-	if *injOn {
-		camp, err = smtavf.NewFaultCampaign(cfg, *injEvery, campSeed)
+	campSeed := inj.CampaignSeed(*seed)
+	if inj.On {
+		camp, err = smtavf.NewFaultCampaign(cfg, inj.Every, campSeed)
 		if err != nil {
 			fatal(err)
 		}
 		camp.PublishTelemetry(col)
-		sim.InjectFaults(camp)
+		opts = append(opts, smtavf.WithFaultInjection(camp))
 	}
 	// Pipeline flight recorder, when a trace file or provenance report is
 	// requested.
 	var rec *smtavf.PipeTrace
-	if *ptPath != "" || *ptTop > 0 {
-		opt := smtavf.PipeTraceOptions{}
-		if *ptWindow != "" {
-			var err error
-			opt.WindowStart, opt.WindowEnd, err = parseWindow(*ptWindow)
-			if err != nil {
-				fatal(err)
-			}
+	if pt.Enabled() {
+		opt, err := pt.Options()
+		if err != nil {
+			fatal(err)
 		}
 		rec = smtavf.NewPipeTrace(opt)
-		sim.SetPipeTrace(rec)
+		opts = append(opts, smtavf.WithPipeTrace(rec))
 	}
-	format := pipetrace.Format(*ptFormat)
-	switch format {
-	case "", pipetrace.FormatKanata, pipetrace.FormatChrome, pipetrace.FormatJSONL:
-	default:
-		fatal(fmt.Errorf("unknown -pipetrace-format %q (kanata, chrome, or jsonl)", *ptFormat))
+	format, err := pt.ExportFormat()
+	if err != nil {
+		fatal(err)
+	}
+
+	sim, err := smtavf.New(cfg, opts...)
+	if err != nil {
+		fatal(err)
 	}
 
 	var dbg *telemetry.DebugServer
-	if *debugAddr != "" {
-		dbg, err = telemetry.ServeDebug(*debugAddr, col, logger)
+	if tel.DebugAddr != "" {
+		dbg, err = telemetry.ServeDebug(tel.DebugAddr, col, logger)
 		if err != nil {
 			fatal(err)
 		}
@@ -218,7 +222,8 @@ func main() {
 		"policy", *policy,
 		"instructions", *instrs,
 		"warmup", *warmup,
-		"telemetry_window", *telWindow,
+		"telemetry_window", tel.Window,
+		"shards", shards.N,
 	)
 
 	start := time.Now()
@@ -229,18 +234,18 @@ func main() {
 	if cerr := col.Close(); cerr != nil {
 		fatal(fmt.Errorf("telemetry: %w", cerr))
 	}
-	if rec != nil && *ptPath != "" {
-		if err := rec.WriteFile(*ptPath, format); err != nil {
+	if rec != nil && pt.Path != "" {
+		if err := rec.WriteFile(pt.Path, format); err != nil {
 			fatal(fmt.Errorf("pipetrace: %w", err))
 		}
-		logger.Info("pipetrace written", "path", *ptPath, "records", rec.Len(), "dropped", rec.Dropped())
+		logger.Info("pipetrace written", "path", pt.Path, "records", rec.Len(), "dropped", rec.Dropped())
 	}
 	var (
 		injStats *smtavf.InjectStats
 		injXval  *smtavf.CrossValReport
 	)
 	if camp != nil {
-		injStats = camp.RunStrikes(res.Cycles, smtavf.StopWhen(*injCI, *injStrikes))
+		injStats = camp.RunStrikes(res.Cycles, smtavf.StopWhen(inj.CI, inj.Strikes))
 		workload := *mixName
 		if workload == "" {
 			workload = strings.Join(workloads, "+")
@@ -249,7 +254,7 @@ func main() {
 			Workload: workload,
 			Policy:   *policy,
 			Seed:     campSeed,
-			Every:    *injEvery,
+			Every:    inj.Every,
 			Cycles:   res.Cycles,
 		}, res, injStats)
 		logger.Info("inject campaign done",
@@ -259,11 +264,11 @@ func main() {
 			"max_halfwidth", fmt.Sprintf("%.5f", injStats.MaxHalfWidth()),
 			"pass", injXval.Pass(),
 		)
-		if *injReport != "" {
-			if err := injXval.WriteFile(*injReport); err != nil {
+		if inj.Report != "" {
+			if err := injXval.WriteFile(inj.Report); err != nil {
 				fatal(fmt.Errorf("inject-report: %w", err))
 			}
-			logger.Info("crossval report written", "path", *injReport, "entries", len(injXval.Entries))
+			logger.Info("crossval report written", "path", inj.Report, "entries", len(injXval.Entries))
 		}
 	}
 	elapsed := time.Since(start)
@@ -273,6 +278,7 @@ func main() {
 		"ipc", fmt.Sprintf("%.4f", res.IPC()),
 		"processor_avf", fmt.Sprintf("%.4f", res.ProcessorAVF()),
 		"windows", col.Windows(),
+		"shards", shards.N,
 		"elapsed", elapsed.Round(time.Millisecond).String(),
 		"cycles_per_sec", fmt.Sprintf("%.0f", float64(res.Cycles)/elapsed.Seconds()),
 	)
@@ -292,11 +298,11 @@ func main() {
 		fmt.Println()
 		fmt.Print(injXval.Table())
 	}
-	if rec != nil && *ptTop > 0 {
+	if rec != nil && pt.Top > 0 {
 		prov := rec.Provenance()
 		fmt.Println()
 		for _, s := range pipetrace.RecordStructs {
-			fmt.Print(prov.FormatHotspots(s, *ptTop))
+			fmt.Print(prov.FormatHotspots(s, pt.Top))
 		}
 		fmt.Print(prov.FormatFates())
 	}
@@ -307,26 +313,6 @@ func main() {
 				ph.Cycle, ph.IPC, 100*ph.AVF[smtavf.IQ], 100*ph.AVF[smtavf.ROB])
 		}
 	}
-}
-
-// parseWindow parses a "START:END" cycle window; END may be omitted or 0
-// for an unbounded window.
-func parseWindow(s string) (start, end uint64, err error) {
-	a, b, found := strings.Cut(s, ":")
-	if a != "" {
-		if _, err = fmt.Sscanf(a, "%d", &start); err != nil {
-			return 0, 0, fmt.Errorf("bad -pipetrace-window %q: %w", s, err)
-		}
-	}
-	if found && b != "" {
-		if _, err = fmt.Sscanf(b, "%d", &end); err != nil {
-			return 0, 0, fmt.Errorf("bad -pipetrace-window %q: %w", s, err)
-		}
-		if end != 0 && end <= start {
-			return 0, 0, fmt.Errorf("bad -pipetrace-window %q: end must exceed start", s)
-		}
-	}
-	return start, end, nil
 }
 
 func fatal(err error) {

@@ -7,11 +7,11 @@ import (
 	"smtavf"
 )
 
-// ExampleSimulator runs the paper's baseline machine on a two-thread
-// workload and prints the vulnerability of the shared instruction queue.
-func ExampleSimulator() {
+// ExampleNew runs the paper's baseline machine on a two-thread workload
+// and prints the vulnerability of the shared instruction queue.
+func ExampleNew() {
 	cfg := smtavf.DefaultConfig(2)
-	sim, err := smtavf.NewSimulator(cfg, []string{"bzip2", "mcf"})
+	sim, err := smtavf.New(cfg, smtavf.WithBenchmarks("bzip2", "mcf"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,11 +56,12 @@ func ExampleNewFaultCampaign() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim, err := smtavf.NewSimulator(cfg, []string{"gcc"})
+	sim, err := smtavf.New(cfg,
+		smtavf.WithBenchmarks("gcc"),
+		smtavf.WithFaultInjection(camp))
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim.InjectFaults(camp)
 	res, err := sim.Run(10_000)
 	if err != nil {
 		log.Fatal(err)
@@ -74,4 +75,24 @@ func ExampleNewFaultCampaign() {
 	fmt.Println(diff < 0.01)
 	// Output:
 	// true
+}
+
+// ExampleNew_sharded splits a run into parallel deterministic intervals:
+// commit counts stay exact and per-structure AVFs agree with the
+// monolithic run within smtavf.ShardTolerance (see docs/sharding.md).
+func ExampleNew_sharded() {
+	cfg := smtavf.DefaultConfig(2)
+	sim, err := smtavf.New(cfg,
+		smtavf.WithBenchmarks("gcc", "mcf"),
+		smtavf.WithShards(4, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.RunPerThread([]uint64{20_000, 20_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Committed[0], res.Committed[1])
+	// Output:
+	// 20000 20000
 }

@@ -19,11 +19,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sim, err := smtavf.NewSimulator(cfg, []string{"gcc", "twolf"})
+	sim, err := smtavf.New(cfg,
+		smtavf.WithBenchmarks("gcc", "twolf"),
+		smtavf.WithFaultInjection(camp))
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim.InjectFaults(camp)
 
 	res, err := sim.Run(50_000)
 	if err != nil {

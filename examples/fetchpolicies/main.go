@@ -30,7 +30,7 @@ func main() {
 	for _, pol := range smtavf.Policies() {
 		cfg := smtavf.DefaultConfig(mix.Contexts)
 		cfg.Policy = pol
-		sim, err := smtavf.NewSimulator(cfg, mix.Benchmarks)
+		sim, err := smtavf.New(cfg, smtavf.WithBenchmarks(mix.Benchmarks...))
 		if err != nil {
 			log.Fatal(err)
 		}

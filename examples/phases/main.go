@@ -17,7 +17,7 @@ func main() {
 	cfg := smtavf.DefaultConfig(1)
 	cfg.PhaseInterval = 20_000 // sample IPC and AVF every 20k cycles
 
-	sim, err := smtavf.NewSimulatorPhased(cfg, [][]string{{"eon", "mcf"}}, 25_000)
+	sim, err := smtavf.New(cfg, smtavf.WithPhases([][]string{{"eon", "mcf"}}, 25_000))
 	if err != nil {
 		log.Fatal(err)
 	}

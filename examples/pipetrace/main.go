@@ -21,11 +21,6 @@ func main() {
 	// A memory-bound thread (mcf) next to a compute-bound one (gcc): the
 	// classic SMT vulnerability pairing — mcf's stalled instructions sit
 	// in the shared structures, accumulating ACE bit-cycles.
-	sim, err := smtavf.NewSimulator(cfg, []string{"mcf", "gcc"})
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	// Record only uops fetched in cycles [10k, 30k): a 20k-cycle window
 	// past the cold-start transient. Long sweeps sample the same way
 	// instead of buffering millions of records.
@@ -33,7 +28,12 @@ func main() {
 		WindowStart: 10_000,
 		WindowEnd:   30_000,
 	})
-	sim.SetPipeTrace(rec)
+	sim, err := smtavf.New(cfg,
+		smtavf.WithBenchmarks("mcf", "gcc"),
+		smtavf.WithPipeTrace(rec))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	res, err := sim.Run(120_000)
 	if err != nil {

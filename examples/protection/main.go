@@ -21,7 +21,7 @@ func main() {
 	}
 	cfg := smtavf.DefaultConfig(mix.Contexts)
 	cfg.Warmup = 50_000
-	sim, err := smtavf.NewSimulator(cfg, mix.Benchmarks)
+	sim, err := smtavf.New(cfg, smtavf.WithBenchmarks(mix.Benchmarks...))
 	if err != nil {
 		log.Fatal(err)
 	}

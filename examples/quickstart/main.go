@@ -19,7 +19,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim, err := smtavf.NewSimulator(cfg, mix.Benchmarks)
+	sim, err := smtavf.New(cfg, smtavf.WithBenchmarks(mix.Benchmarks...))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,7 +18,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	smtSim, err := smtavf.NewSimulator(smtavf.DefaultConfig(4), mix.Benchmarks)
+	smtSim, err := smtavf.New(smtavf.DefaultConfig(4), smtavf.WithBenchmarks(mix.Benchmarks...))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func main() {
 	var seqCycles, seqInstrs uint64
 	for tid, bench := range mix.Benchmarks {
 		// Replay this thread alone for its SMT progress.
-		sim, err := smtavf.NewSimulator(smtavf.DefaultConfig(1), []string{bench})
+		sim, err := smtavf.New(smtavf.DefaultConfig(1), smtavf.WithBenchmarks(bench))
 		if err != nil {
 			log.Fatal(err)
 		}

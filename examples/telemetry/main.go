@@ -18,14 +18,13 @@ func main() {
 
 	// Each thread cycles through two benchmark behaviours every 25k
 	// instructions, so the machine's vulnerability moves with the phases.
-	sim, err := smtavf.NewSimulatorPhased(cfg,
-		[][]string{{"eon", "mcf"}, {"gcc", "swim"}}, 25_000)
+	col := smtavf.NewTelemetry(smtavf.TelemetryOptions{WindowCycles: 10_000})
+	sim, err := smtavf.New(cfg,
+		smtavf.WithPhases([][]string{{"eon", "mcf"}, {"gcc", "swim"}}, 25_000),
+		smtavf.WithTelemetry(col))
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	col := smtavf.NewTelemetry(smtavf.TelemetryOptions{WindowCycles: 10_000})
-	sim.SetTelemetry(col)
 
 	res, err := sim.Run(300_000)
 	if err != nil {

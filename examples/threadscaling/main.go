@@ -26,7 +26,7 @@ func main() {
 		fmt.Printf("%8s %8s %8s %8s %8s %8s\n", "contexts", "IPC", "IQ AVF", "Reg AVF", "ROB AVF", "FU AVF")
 		for _, n := range []int{1, 2, 4, 8} {
 			cfg := smtavf.DefaultConfig(n)
-			sim, err := smtavf.NewSimulator(cfg, pool.benches[:n])
+			sim, err := smtavf.New(cfg, smtavf.WithBenchmarks(pool.benches[:n]...))
 			if err != nil {
 				log.Fatal(err)
 			}

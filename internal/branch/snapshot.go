@@ -1,0 +1,51 @@
+package branch
+
+import "smtavf/internal/digest"
+
+// Snapshot digests the predictor's pattern history table and per-thread
+// history registers. Checkpoints compare these digests to verify that two
+// deterministic warmups reconstructed the same front-end state.
+func (g *Gshare) Snapshot() uint64 {
+	h := digest.New()
+	for _, c := range g.pht {
+		h = digest.Mix(h, uint64(c))
+	}
+	for _, v := range g.hist {
+		h = digest.Mix(h, v)
+	}
+	return h
+}
+
+// Snapshot digests the BTB's tag and target arrays (LRU order included:
+// it determines future evictions and is reconstructed deterministically).
+func (b *BTB) Snapshot() uint64 {
+	h := digest.New()
+	for i := range b.tags {
+		if b.tags[i] == 0 {
+			continue
+		}
+		h = digest.Mix(h, uint64(i))
+		h = digest.Mix(h, b.tags[i])
+		h = digest.Mix(h, b.tgt[i])
+		h = digest.Mix(h, uint64(b.order[i]))
+	}
+	return h
+}
+
+// Snapshot digests the miss predictor's counter table.
+func (m *MissPredictor) Snapshot() uint64 {
+	h := digest.New()
+	for _, c := range m.ctr {
+		h = digest.Mix(h, uint64(c))
+	}
+	return h
+}
+
+// Snapshot digests the live entries of the return address stack.
+func (r *RAS) Snapshot() uint64 {
+	h := digest.Mix(digest.New(), uint64(r.n))
+	for i := 0; i < r.n; i++ {
+		h = digest.Mix(h, r.buf[(r.top-1-i+len(r.buf)*2)%len(r.buf)])
+	}
+	return h
+}

@@ -1,0 +1,219 @@
+// Package cliopts centralizes the flag groups shared by the smtavf
+// commands (smtsim, avfsweep, avfreport): structured logging, telemetry,
+// fault injection, pipeline tracing, and sharded execution. Each group is
+// a struct with one Register method binding its flags to a FlagSet and one
+// validation path, so every command spells the same option the same way
+// (the flags drifted apart when each command owned its own copies:
+// avfreport said -crossval-ci for what smtsim called -inject-ci).
+package cliopts
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+
+	"smtavf/internal/pipetrace"
+	"smtavf/internal/telemetry"
+)
+
+// Log is the structured-logging flag group (-log-level, -log-json).
+type Log struct {
+	Level string
+	JSON  bool
+}
+
+// Register binds the logging flags.
+func (l *Log) Register(fs *flag.FlagSet) {
+	fs.StringVar(&l.Level, "log-level", "info", "structured log level on stderr: debug, info, warn, error")
+	fs.BoolVar(&l.JSON, "log-json", false, "emit structured logs as JSON instead of text")
+}
+
+// Logger validates the level and builds the logger writing to w.
+func (l *Log) Logger(w io.Writer) (*slog.Logger, error) {
+	level, err := telemetry.ParseLevel(l.Level)
+	if err != nil {
+		return nil, err
+	}
+	return telemetry.NewLogger(w, level, l.JSON), nil
+}
+
+// Telemetry is the live-metrics flag group (-telemetry,
+// -telemetry-window, -debug-addr, and optionally -telemetry-dir).
+type Telemetry struct {
+	Path      string
+	Dir       string
+	Window    uint64
+	DebugAddr string
+}
+
+// Register binds the telemetry flags every command shares.
+func (t *Telemetry) Register(fs *flag.FlagSet) {
+	fs.StringVar(&t.Path, "telemetry", "", "write a cycle-windowed telemetry series to this file (JSONL; .csv for CSV, .gz compresses)")
+	fs.Uint64Var(&t.Window, "telemetry-window", telemetry.DefaultWindowCycles, "telemetry sampling window in cycles")
+	fs.StringVar(&t.DebugAddr, "debug-addr", "", "serve /telemetry, /debug/vars and /debug/pprof on this address during the run (e.g. :6060)")
+}
+
+// RegisterDir additionally binds -telemetry-dir (one series file per run),
+// for commands that execute many runs.
+func (t *Telemetry) RegisterDir(fs *flag.FlagSet) {
+	fs.StringVar(&t.Dir, "telemetry-dir", "", "record one cycle-windowed JSONL series per run into this directory")
+}
+
+// Enabled reports whether any telemetry sink was requested.
+func (t *Telemetry) Enabled() bool {
+	return t.Path != "" || t.Dir != "" || t.DebugAddr != ""
+}
+
+// Validate rejects meaningless settings.
+func (t *Telemetry) Validate() error {
+	if t.Enabled() && t.Window == 0 {
+		return fmt.Errorf("-telemetry-window must be positive")
+	}
+	return nil
+}
+
+// Inject is the fault-injection flag group (-inject, -inject-every,
+// -inject-seed, -inject-ci, -inject-strikes, -inject-report).
+type Inject struct {
+	On      bool
+	Every   uint64
+	Seed    uint64
+	CI      float64
+	Strikes int
+	Report  string
+}
+
+// Register binds the full group, for commands that own the campaign.
+func (i *Inject) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&i.On, "inject", false, "attach a statistical fault-injection campaign and cross-validate the AVF report against it")
+	fs.Uint64Var(&i.Every, "inject-every", 1, "campaign sample-grid pitch in cycles (1 = every cycle)")
+	fs.Uint64Var(&i.Seed, "inject-seed", 0, "campaign seed (0 = use -seed)")
+	i.RegisterStop(fs)
+}
+
+// RegisterStop binds only the stopping-rule and report flags, for
+// commands whose campaigns are implied by another flag (avfreport's
+// -crossval fanout).
+func (i *Inject) RegisterStop(fs *flag.FlagSet) {
+	fs.Float64Var(&i.CI, "inject-ci", 0.01, "target 99% confidence-interval half-width per structure; striking stops early once every structure is this tight")
+	fs.IntVar(&i.Strikes, "inject-strikes", 1<<20, "strike cap per structure (0 = CI-only stopping)")
+	fs.StringVar(&i.Report, "inject-report", "", "write the cross-validation report as JSONL to this file (.gz compresses)")
+}
+
+// CampaignSeed resolves the campaign seed: -inject-seed, or the run seed
+// when unset.
+func (i *Inject) CampaignSeed(runSeed uint64) uint64 {
+	if i.Seed != 0 {
+		return i.Seed
+	}
+	return runSeed
+}
+
+// Validate rejects meaningless settings.
+func (i *Inject) Validate() error {
+	if i.On && i.Every == 0 {
+		return fmt.Errorf("-inject-every must be positive")
+	}
+	if i.CI <= 0 || i.CI >= 1 {
+		return fmt.Errorf("-inject-ci must be in (0, 1), got %v", i.CI)
+	}
+	if i.Strikes < 0 {
+		return fmt.Errorf("-inject-strikes must be non-negative, got %d", i.Strikes)
+	}
+	return nil
+}
+
+// PipeTrace is the pipeline flight-recorder flag group (-pipetrace,
+// -pipetrace-format, -pipetrace-window, -pipetrace-top).
+type PipeTrace struct {
+	Path   string
+	Format string
+	Window string
+	Top    int
+}
+
+// Register binds the pipetrace flags.
+func (p *PipeTrace) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.Path, "pipetrace", "", "record per-uop pipeline lifecycles to this file (.kanata/.kan Kanata, .json Chrome trace_event, else JSONL; .gz compresses)")
+	fs.StringVar(&p.Format, "pipetrace-format", "", "force the -pipetrace format: kanata, chrome, or jsonl (default: by extension)")
+	fs.StringVar(&p.Window, "pipetrace-window", "", "record only uops fetched in this cycle window, as START:END (END 0 or absent = unbounded)")
+	fs.IntVar(&p.Top, "pipetrace-top", 0, "print the top-N per-PC AVF provenance hotspots per pipeline structure (enables recording)")
+}
+
+// Enabled reports whether recording was requested.
+func (p *PipeTrace) Enabled() bool { return p.Path != "" || p.Top > 0 }
+
+// Options validates the group and builds the recorder options.
+func (p *PipeTrace) Options() (pipetrace.Options, error) {
+	var opt pipetrace.Options
+	if p.Window != "" {
+		var err error
+		opt.WindowStart, opt.WindowEnd, err = ParseWindow(p.Window)
+		if err != nil {
+			return opt, err
+		}
+	}
+	if _, err := p.ExportFormat(); err != nil {
+		return opt, err
+	}
+	return opt, nil
+}
+
+// ExportFormat validates -pipetrace-format; empty means choose by file
+// extension.
+func (p *PipeTrace) ExportFormat() (pipetrace.Format, error) {
+	f := pipetrace.Format(p.Format)
+	switch f {
+	case "", pipetrace.FormatKanata, pipetrace.FormatChrome, pipetrace.FormatJSONL:
+		return f, nil
+	}
+	return "", fmt.Errorf("unknown -pipetrace-format %q (kanata, chrome, or jsonl)", p.Format)
+}
+
+// ParseWindow parses a "START:END" cycle window; END may be omitted or 0
+// for an unbounded window.
+func ParseWindow(s string) (start, end uint64, err error) {
+	a, b, found := strings.Cut(s, ":")
+	if a != "" {
+		if _, err = fmt.Sscanf(a, "%d", &start); err != nil {
+			return 0, 0, fmt.Errorf("bad -pipetrace-window %q: %w", s, err)
+		}
+	}
+	if found && b != "" {
+		if _, err = fmt.Sscanf(b, "%d", &end); err != nil {
+			return 0, 0, fmt.Errorf("bad -pipetrace-window %q: %w", s, err)
+		}
+		if end != 0 && end <= start {
+			return 0, 0, fmt.Errorf("bad -pipetrace-window %q: end must exceed start", s)
+		}
+	}
+	return start, end, nil
+}
+
+// Shards is the parallel-execution flag group (-shards, -shard-workers).
+type Shards struct {
+	N       int
+	Workers int
+}
+
+// Register binds the sharding flags.
+func (s *Shards) Register(fs *flag.FlagSet) {
+	fs.IntVar(&s.N, "shards", 1, "split the run into this many deterministic intervals per thread and simulate them in parallel (1 = monolithic; see docs/sharding.md)")
+	fs.IntVar(&s.Workers, "shard-workers", 0, "worker goroutines for -shards (0 = GOMAXPROCS)")
+}
+
+// Sharded reports whether a parallel run was requested.
+func (s *Shards) Sharded() bool { return s.N > 1 }
+
+// Validate rejects meaningless settings.
+func (s *Shards) Validate() error {
+	if s.N < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", s.N)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("-shard-workers must be non-negative, got %d", s.Workers)
+	}
+	return nil
+}

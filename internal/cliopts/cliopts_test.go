@@ -1,0 +1,139 @@
+package cliopts
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, register func(*flag.FlagSet), args ...string) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLog(t *testing.T) {
+	var l Log
+	parse(t, l.Register, "-log-level", "debug", "-log-json")
+	var buf bytes.Buffer
+	logger, err := l.Logger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Debug("hello")
+	if out := buf.String(); !strings.Contains(out, `"msg":"hello"`) {
+		t.Fatalf("JSON debug log missing: %q", out)
+	}
+
+	l = Log{}
+	parse(t, l.Register)
+	if _, err := (&Log{Level: "loud"}).Logger(&buf); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestTelemetry(t *testing.T) {
+	var tel Telemetry
+	parse(t, func(fs *flag.FlagSet) {
+		tel.Register(fs)
+		tel.RegisterDir(fs)
+	}, "-telemetry-dir", "series/", "-telemetry-window", "5000")
+	if !tel.Enabled() {
+		t.Fatal("telemetry-dir did not enable telemetry")
+	}
+	if err := tel.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (&Telemetry{}).Enabled() {
+		t.Fatal("empty group reports enabled")
+	}
+	if err := (&Telemetry{Path: "x.jsonl", Window: 0}).Validate(); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestInject(t *testing.T) {
+	var inj Inject
+	parse(t, inj.Register, "-inject", "-inject-every", "4", "-inject-ci", "0.02")
+	if !inj.On || inj.Every != 4 || inj.CI != 0.02 {
+		t.Fatalf("parsed %+v", inj)
+	}
+	if err := inj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.CampaignSeed(7); got != 7 {
+		t.Fatalf("unset seed resolved to %d, want run seed 7", got)
+	}
+	inj.Seed = 9
+	if got := inj.CampaignSeed(7); got != 9 {
+		t.Fatalf("explicit seed resolved to %d, want 9", got)
+	}
+	for _, bad := range []Inject{
+		{On: true, Every: 0, CI: 0.01},
+		{Every: 1, CI: 0},
+		{Every: 1, CI: 2},
+		{Every: 1, CI: 0.01, Strikes: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", bad)
+		}
+	}
+
+	// RegisterStop exposes only the stopping rule.
+	fs := flag.NewFlagSet("stop", flag.ContinueOnError)
+	var stop Inject
+	stop.RegisterStop(fs)
+	if fs.Lookup("inject") != nil || fs.Lookup("inject-ci") == nil {
+		t.Fatal("RegisterStop registered the wrong flags")
+	}
+}
+
+func TestPipeTrace(t *testing.T) {
+	var pt PipeTrace
+	parse(t, pt.Register, "-pipetrace", "run.kanata", "-pipetrace-window", "100:200")
+	if !pt.Enabled() {
+		t.Fatal("path did not enable recording")
+	}
+	opt, err := pt.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.WindowStart != 100 || opt.WindowEnd != 200 {
+		t.Fatalf("window %d:%d", opt.WindowStart, opt.WindowEnd)
+	}
+	if _, err := (&PipeTrace{Format: "bogus"}).Options(); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, _, err := ParseWindow("200:100"); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+	if start, end, err := ParseWindow("5000:"); err != nil || start != 5000 || end != 0 {
+		t.Fatalf("open window parsed as %d:%d (%v)", start, end, err)
+	}
+}
+
+func TestShards(t *testing.T) {
+	var sh Shards
+	parse(t, sh.Register, "-shards", "4", "-shard-workers", "2")
+	if !sh.Sharded() || sh.N != 4 || sh.Workers != 2 {
+		t.Fatalf("parsed %+v", sh)
+	}
+	if err := sh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var def Shards
+	parse(t, def.Register)
+	if def.Sharded() {
+		t.Fatal("default is sharded")
+	}
+	if err := (&Shards{N: 0}).Validate(); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if err := (&Shards{N: 2, Workers: -1}).Validate(); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+}

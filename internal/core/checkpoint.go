@@ -1,0 +1,48 @@
+package core
+
+import "smtavf/internal/mem"
+
+// Checkpoint is a lightweight architectural snapshot of the machine at an
+// interval boundary: the per-thread stream positions plus digests of the
+// rename maps, branch-predictor state, and cache/TLB tag arrays. Shards
+// record one after functional warmup, before detailed simulation; because
+// state is reconstructed deterministically rather than serialized and
+// restored, a checkpoint only needs to identify the boundary state — two
+// runs of the same shard plan must produce equal checkpoints, which the
+// shard tests assert.
+type Checkpoint struct {
+	Cycle     uint64   // warmup clock at capture
+	StreamSeq []uint64 // per-thread next correct-path sequence number
+
+	RenameMap  uint64   // digest over every thread's rename table
+	Gshare     []uint64 // per-thread direction-predictor digests
+	BTB        []uint64 // per-thread target-buffer digests
+	RAS        []uint64 // per-thread return-stack digests
+	L1MissPred uint64
+	L2MissPred uint64
+
+	IL1, DL1, L2 mem.Snapshot // cache tag-array snapshots
+	ITLB, DTLB   mem.Snapshot
+}
+
+// Checkpoint captures the current architectural state digests.
+func (p *Processor) Checkpoint() Checkpoint {
+	c := Checkpoint{
+		Cycle:      p.now,
+		RenameMap:  p.rf.RenameDigest(),
+		L1MissPred: p.l1MissPred.Snapshot(),
+		L2MissPred: p.l2MissPred.Snapshot(),
+		IL1:        p.il1.Snapshot(),
+		DL1:        p.dl1.Snapshot(),
+		L2:         p.l2.Snapshot(),
+		ITLB:       p.itlb.Snapshot(),
+		DTLB:       p.dtlb.Snapshot(),
+	}
+	for i, t := range p.threads {
+		c.StreamSeq = append(c.StreamSeq, t.nextCommit)
+		c.Gshare = append(c.Gshare, p.gshares[i].Snapshot())
+		c.BTB = append(c.BTB, p.btbs[i].Snapshot())
+		c.RAS = append(c.RAS, t.ras.Snapshot())
+	}
+	return c
+}

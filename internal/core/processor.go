@@ -68,7 +68,7 @@ type Processor struct {
 	warmCommitted uint64
 	warmPerThread []uint64
 	warmThread    []ThreadStats
-	warmCounters  machineCounters
+	warmCounters  MachineCounters
 
 	// Telemetry (SetTelemetry). tel is nil when disabled; the live
 	// registry handles below are nil-receiver no-ops then.
@@ -90,6 +90,19 @@ type Processor struct {
 // len(profiles) must equal cfg.Threads. Thread i's generators derive from
 // cfg.Seed and i, so runs are exactly reproducible.
 func New(cfg Config, profiles []trace.Profile) (*Processor, error) {
+	srcs, err := Sources(cfg, profiles)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromSources(cfg, srcs)
+}
+
+// Sources builds the per-thread instruction sources New derives from a
+// profile list: thread i's generators are seeded from cfg.Seed and i, so
+// any processor built from the same (cfg, profiles) pair replays the same
+// program — the property sharded runs rely on to rebuild a fresh machine
+// per interval.
+func Sources(cfg Config, profiles []trace.Profile) ([]Source, error) {
 	if len(profiles) != cfg.Threads {
 		return nil, fmt.Errorf("core: %d profiles for %d threads", len(profiles), cfg.Threads)
 	}
@@ -101,7 +114,7 @@ func New(cfg Config, profiles []trace.Profile) (*Processor, error) {
 			Wrong: trace.NewWrongPath(p, seed),
 		}
 	}
-	return NewFromSources(cfg, srcs)
+	return srcs, nil
 }
 
 // NewFromSources builds a processor from explicit instruction sources,
@@ -188,6 +201,15 @@ type Limits struct {
 	// PerThread quotas; nil or 0 entries mean unlimited. Used to replay a
 	// thread's SMT progress in a single-thread run (Figures 3 and 4).
 	PerThread []uint64
+	// PartialTail marks the run as an interval of a longer sharded run
+	// whose successor re-simulates the instructions still in flight when
+	// this interval's quota is reached. The end-of-run drain then
+	// classifies their residency un-ACE — the successor interval accounts
+	// their ACE-ness when it actually commits them — instead of the
+	// monolithic rule of classifying in-flight state with the fate it was
+	// heading for. Without this, every interval boundary double-counts a
+	// pipeline's worth of ACE residency.
+	PartialTail bool
 }
 
 // Run simulates until the limits are reached and returns the results.
@@ -253,7 +275,7 @@ func (p *Processor) Run(lim Limits) (*Results, error) {
 			p.telemetryRoll(false)
 		}
 	}
-	p.closeAccounting()
+	p.closeAccounting(lim.PartialTail)
 	if p.cfg.PhaseInterval > 0 && p.now > p.phaseCycle {
 		p.samplePhase() // close the final partial phase
 	}
@@ -374,8 +396,9 @@ func (p *Processor) SetPipeTrace(r *pipetrace.Recorder) {
 // closeAccounting finalizes every open residency interval at the end of a
 // run: in-flight uops are classified with the fate they were heading for
 // (commit unless wrong-path), and the address structures close their
-// resident entries.
-func (p *Processor) closeAccounting() {
+// resident entries. partialTail switches the in-flight classification to
+// un-ACE (see Limits.PartialTail).
+func (p *Processor) closeAccounting(partialTail bool) {
 	for _, t := range p.threads {
 		for t.rob.Len() > 0 {
 			u := t.rob.PopTail(p.now)
@@ -385,8 +408,9 @@ func (p *Processor) closeAccounting() {
 			if u.LSQIdx >= 0 {
 				t.lsq.PopTail(p.now)
 			}
-			u.Classify(p.trk, p.cfg.Bits, u.WrongPath)
-			p.rec.Record(u, p.now, u.WrongPath)
+			unACE := u.WrongPath || partialTail
+			u.Classify(p.trk, p.cfg.Bits, unACE)
+			p.rec.Record(u, p.now, unACE)
 		}
 	}
 	p.rf.CloseAccounting(p.now)

@@ -75,7 +75,8 @@ type Results struct {
 	Bits      [avf.NumStructs]uint64 // structure capacities (AVF denominators)
 	Thread    []ThreadStats
 	Machine   MachineStats
-	Phases    []Phase // nonempty only when Config.PhaseInterval is set
+	Counters  MachineCounters // raw counts behind Machine (mergeable)
+	Phases    []Phase         // nonempty only when Config.PhaseInterval is set
 }
 
 // IPC returns aggregate committed instructions per cycle.
@@ -217,6 +218,27 @@ func (p *Processor) threadStats(t *thread) ThreadStats {
 	}
 }
 
+// Plus sums two counter snapshots covering disjoint intervals of the same
+// thread (sharded-run merging). The workload name is taken from a.
+func (a ThreadStats) Plus(b ThreadStats) ThreadStats {
+	a.Committed += b.Committed
+	a.Fetched += b.Fetched
+	a.WrongPathFetch += b.WrongPathFetch
+	a.Branches += b.Branches
+	a.Mispredicts += b.Mispredicts
+	a.Flushes += b.Flushes
+	a.SquashedUops += b.SquashedUops
+	a.LoadForwards += b.LoadForwards
+	a.DL1Loads += b.DL1Loads
+	a.DL1LoadMisses += b.DL1LoadMisses
+	a.L2LoadMisses += b.L2LoadMisses
+	a.RenameStalls += b.RenameStalls
+	a.IQFullStalls += b.IQFullStalls
+	a.ROBFullStalls += b.ROBFullStalls
+	a.LSQFullStalls += b.LSQFullStalls
+	return a
+}
+
 // minus subtracts a warmup baseline from a counter snapshot.
 func (a ThreadStats) minus(b ThreadStats) ThreadStats {
 	a.Committed -= b.Committed
@@ -237,25 +259,78 @@ func (a ThreadStats) minus(b ThreadStats) ThreadStats {
 	return a
 }
 
-// machineCounters snapshots the shared-resource counters so rates can be
-// computed over the measurement window only.
-type machineCounters struct {
-	dl1A, dl1M   uint64
-	l2A, l2M     uint64
-	il1A, il1M   uint64
-	dtlbA, dtlbM uint64
-	itlbA, itlbM uint64
-	fuBusy       uint64
+// MachineCounters holds the raw shared-resource event counts behind
+// MachineStats. Results carries them (measurement window only) so runs
+// over disjoint intervals merge exactly: counts are summed and the rates
+// recomputed, instead of averaging floats.
+type MachineCounters struct {
+	DL1Accesses, DL1Misses   uint64
+	L2Accesses, L2Misses     uint64
+	IL1Accesses, IL1Misses   uint64
+	DTLBAccesses, DTLBMisses uint64
+	ITLBAccesses, ITLBMisses uint64
+	FUBusy                   uint64 // unit-cycles any function unit was busy
+	FUUnits                  uint64 // total function units (for utilization)
 }
 
-func (p *Processor) counters() machineCounters {
-	return machineCounters{
-		dl1A: p.dl1.Accesses, dl1M: p.dl1.Misses,
-		l2A: p.l2.Accesses, l2M: p.l2.Misses,
-		il1A: p.il1.Accesses, il1M: p.il1.Misses,
-		dtlbA: p.dtlb.Accesses, dtlbM: p.dtlb.Misses,
-		itlbA: p.itlb.Accesses, itlbM: p.itlb.Misses,
-		fuBusy: p.fus.BusyAll,
+func (p *Processor) counters() MachineCounters {
+	return MachineCounters{
+		DL1Accesses: p.dl1.Accesses, DL1Misses: p.dl1.Misses,
+		L2Accesses: p.l2.Accesses, L2Misses: p.l2.Misses,
+		IL1Accesses: p.il1.Accesses, IL1Misses: p.il1.Misses,
+		DTLBAccesses: p.dtlb.Accesses, DTLBMisses: p.dtlb.Misses,
+		ITLBAccesses: p.itlb.Accesses, ITLBMisses: p.itlb.Misses,
+		FUBusy: p.fus.BusyAll,
+	}
+}
+
+// Plus sums two counter snapshots covering disjoint intervals (FUUnits is
+// a capacity: it must agree, not add).
+func (a MachineCounters) Plus(b MachineCounters) MachineCounters {
+	a.DL1Accesses += b.DL1Accesses
+	a.DL1Misses += b.DL1Misses
+	a.L2Accesses += b.L2Accesses
+	a.L2Misses += b.L2Misses
+	a.IL1Accesses += b.IL1Accesses
+	a.IL1Misses += b.IL1Misses
+	a.DTLBAccesses += b.DTLBAccesses
+	a.DTLBMisses += b.DTLBMisses
+	a.ITLBAccesses += b.ITLBAccesses
+	a.ITLBMisses += b.ITLBMisses
+	a.FUBusy += b.FUBusy
+	return a
+}
+
+// minus subtracts a warmup baseline (the count-valued fields only; FUUnits
+// is a capacity, not a count).
+func (a MachineCounters) minus(b MachineCounters) MachineCounters {
+	a.DL1Accesses -= b.DL1Accesses
+	a.DL1Misses -= b.DL1Misses
+	a.L2Accesses -= b.L2Accesses
+	a.L2Misses -= b.L2Misses
+	a.IL1Accesses -= b.IL1Accesses
+	a.IL1Misses -= b.IL1Misses
+	a.DTLBAccesses -= b.DTLBAccesses
+	a.DTLBMisses -= b.DTLBMisses
+	a.ITLBAccesses -= b.ITLBAccesses
+	a.ITLBMisses -= b.ITLBMisses
+	a.FUBusy -= b.FUBusy
+	return a
+}
+
+// Stats derives the rate view over a window of cycles.
+func (c MachineCounters) Stats(cycles uint64) MachineStats {
+	fu := 0.0
+	if c.FUUnits > 0 && cycles > 0 {
+		fu = float64(c.FUBusy) / float64(c.FUUnits*cycles)
+	}
+	return MachineStats{
+		DL1MissRate:   rate(c.DL1Misses, c.DL1Accesses),
+		L2MissRate:    rate(c.L2Misses, c.L2Accesses),
+		IL1MissRate:   rate(c.IL1Misses, c.IL1Accesses),
+		DTLBMissRate:  rate(c.DTLBMisses, c.DTLBAccesses),
+		ITLBMissRate:  rate(c.ITLBMisses, c.ITLBAccesses),
+		FUUtilization: fu,
 	}
 }
 
@@ -288,21 +363,10 @@ func (p *Processor) results() *Results {
 		r.Committed[i] = ts.Committed
 		r.Thread = append(r.Thread, ts)
 	}
-	mc := p.counters()
-	w := p.warmCounters
-	units := uint64(p.fus.TotalUnits())
-	fu := 0.0
-	if units > 0 && meas > 0 {
-		fu = float64(mc.fuBusy-w.fuBusy) / float64(units*meas)
-	}
-	r.Machine = MachineStats{
-		DL1MissRate:   rate(mc.dl1M-w.dl1M, mc.dl1A-w.dl1A),
-		L2MissRate:    rate(mc.l2M-w.l2M, mc.l2A-w.l2A),
-		IL1MissRate:   rate(mc.il1M-w.il1M, mc.il1A-w.il1A),
-		DTLBMissRate:  rate(mc.dtlbM-w.dtlbM, mc.dtlbA-w.dtlbA),
-		ITLBMissRate:  rate(mc.itlbM-w.itlbM, mc.itlbA-w.itlbA),
-		FUUtilization: fu,
-	}
+	d := p.counters().minus(p.warmCounters)
+	d.FUUnits = uint64(p.fus.TotalUnits())
+	r.Counters = d
+	r.Machine = d.Stats(meas)
 	return r
 }
 

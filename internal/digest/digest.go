@@ -1,0 +1,34 @@
+// Package digest provides the order-sensitive 64-bit hash used for
+// lightweight architectural checkpoints. Shards don't serialize machine
+// state at interval boundaries — they reconstruct it deterministically by
+// functional warmup — so a checkpoint only needs to *identify* state
+// (rename maps, predictor tables, cache/TLB tag arrays) well enough to
+// compare two reconstructions. FNV-1a over the state words is cheap,
+// allocation-free, and stable across runs.
+package digest
+
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// New returns the initial hash value.
+func New() uint64 { return offset64 }
+
+// Mix folds one 64-bit word into the hash, byte by byte, FNV-1a style.
+func Mix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime64
+		v >>= 8
+	}
+	return h
+}
+
+// MixBool folds a boolean into the hash.
+func MixBool(h uint64, b bool) uint64 {
+	if b {
+		return Mix(h, 1)
+	}
+	return Mix(h, 0)
+}

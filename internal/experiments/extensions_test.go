@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"smtavf/internal/workload"
+)
+
+func TestExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extensions table runs every 4-context mix under five policies")
+	}
+	r := NewRunner(Options{Base: 1_500, Seed: 1})
+	tab, err := r.Extensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := len(workload.Kinds()) * len(extensionPolicies)
+	if len(tab.Cols) != wantCols {
+		t.Fatalf("%d columns, want %d", len(tab.Cols), wantCols)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(tab.Rows))
+	}
+	for _, pol := range extensionPolicies {
+		found := false
+		for _, c := range tab.Cols {
+			if strings.HasSuffix(c, "/"+pol) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("policy %s missing from columns %v", pol, tab.Cols)
+		}
+	}
+	for col := range tab.Cols {
+		ipc := tab.Get(0, col)
+		if ipc <= 0 || ipc > 8 {
+			t.Errorf("col %s: IPC %v out of range", tab.Cols[col], ipc)
+		}
+		for row := 1; row <= 2; row++ {
+			if a := tab.Get(row, col); a < 0 || a > 1 {
+				t.Errorf("col %s row %s: AVF %v out of range", tab.Cols[col], tab.Rows[row], a)
+			}
+		}
+		if eff := tab.Get(3, col); eff <= 0 {
+			t.Errorf("col %s: IQ IPC/AVF %v not positive", tab.Cols[col], eff)
+		}
+	}
+}

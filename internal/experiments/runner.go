@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"smtavf/internal/core"
+	"smtavf/internal/shard"
 	"smtavf/internal/trace"
 	"smtavf/internal/workload"
 )
@@ -31,6 +32,13 @@ type Options struct {
 	// Configure, if non-nil, may adjust each machine configuration before
 	// a run (used by ablation benchmarks).
 	Configure func(*core.Config)
+	// Shards splits every run into this many deterministic intervals per
+	// thread, simulated in parallel on ShardWorkers goroutines (see
+	// internal/shard). 0 or 1 runs monolithically. Sharded runs keep exact
+	// commit counts; AVFs carry the documented shard.DefaultTolerance.
+	Shards int
+	// ShardWorkers bounds the worker pool of sharded runs (0 = GOMAXPROCS).
+	ShardWorkers int
 }
 
 // withDefaults fills unset options.
@@ -130,15 +138,32 @@ func (r *Runner) runMix(contexts int, kind workload.Kind, group workload.Group, 
 		}
 		profiles = append(profiles, p)
 	}
-	proc, err := core.New(cfg, profiles)
-	if err != nil {
-		return nil, err
-	}
-	res, err := proc.Run(core.Limits{TotalInstructions: r.budget(contexts)})
+	res, err := r.run(cfg, profiles, r.budget(contexts))
 	if err != nil {
 		return nil, fmt.Errorf("mix %s under %s: %w", m.Name(), policy, err)
 	}
 	return res, nil
+}
+
+// run executes profiles under cfg until total instructions commit —
+// monolithically, or split across a shard engine when Options.Shards asks
+// for parallelism. Sharded totals are divided evenly across threads (the
+// engine's stop rule), so per-thread commits are exact either way.
+func (r *Runner) run(cfg core.Config, profiles []trace.Profile, total uint64) (*core.Results, error) {
+	if r.opts.Shards > 1 {
+		eng, err := shard.New(cfg, func() ([]core.Source, error) {
+			return core.Sources(cfg, profiles)
+		}, shard.Options{Shards: r.opts.Shards, Workers: r.opts.ShardWorkers})
+		if err != nil {
+			return nil, err
+		}
+		return eng.Run(total)
+	}
+	proc, err := core.New(cfg, profiles)
+	if err != nil {
+		return nil, err
+	}
+	return proc.Run(core.Limits{TotalInstructions: total})
 }
 
 // Single runs (or recalls) benchmark bench alone for quota instructions —
@@ -161,11 +186,7 @@ func (r *Runner) runSingle(bench string, quota uint64) (*core.Results, error) {
 	if r.opts.Configure != nil {
 		r.opts.Configure(&cfg)
 	}
-	proc, err := core.New(cfg, []trace.Profile{p})
-	if err != nil {
-		return nil, err
-	}
-	res, err := proc.Run(core.Limits{TotalInstructions: quota})
+	res, err := r.run(cfg, []trace.Profile{p}, quota)
 	if err != nil {
 		return nil, fmt.Errorf("single %s: %w", bench, err)
 	}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+
+	"smtavf/internal/shard"
+	"smtavf/internal/workload"
+)
+
+// A sharded Runner commits exact quotas and lands within the documented
+// tolerance of the monolithic Runner's AVFs.
+func TestRunnerSharded(t *testing.T) {
+	const quota = 20_000
+	mono := NewRunner(Options{Base: quota, Seed: 1, NoWarmup: true})
+	shrd := NewRunner(Options{Base: quota, Seed: 1, NoWarmup: true, Shards: 2, ShardWorkers: 2})
+
+	a, err := mono.Single("gcc", quota)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := shrd.Single("gcc", quota)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total != quota {
+		t.Fatalf("sharded run committed %d, want exactly %d", b.Total, quota)
+	}
+	if s, d := shard.MaxAVFDelta(a, b); d > shard.DefaultTolerance {
+		t.Errorf("struct %v: |ΔAVF| %.4f exceeds tolerance %.3f", s, d, shard.DefaultTolerance)
+	}
+
+	// Multi-thread mixes are not tolerance-comparable against the
+	// monolithic Runner: its TotalInstructions stop rule lets faster
+	// threads commit more, while the shard engine splits the budget
+	// evenly (the per-plan equivalence lives in internal/shard's tests).
+	// Here the sharded mix must still commit the exact budget and report
+	// sane AVFs.
+	bm, err := shrd.Mix(2, workload.MIX, workload.GroupA, "ICOUNT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.Total != quota {
+		t.Fatalf("sharded mix committed %d, want %d", bm.Total, quota)
+	}
+	if bm.Committed[0] != quota/2 || bm.Committed[1] != quota/2 {
+		t.Fatalf("sharded mix committed %v, want an even split", bm.Committed)
+	}
+	for s, a := range bm.AVF.Total {
+		if a < 0 || a > 1 {
+			t.Errorf("struct %d: AVF %v out of range", s, a)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package mem
+
+import "smtavf/internal/digest"
+
+// Snapshot is a lightweight tag-array checkpoint of a cache or TLB: the
+// live-line census plus an order-sensitive digest of every (way, tag,
+// valid, dirty) tuple. It identifies the array's architectural content at
+// an interval boundary without copying it — enough to verify that two
+// deterministic reconstructions of the same boundary agree.
+type Snapshot struct {
+	Valid int    // valid lines or entries
+	Dirty int    // dirty lines (always 0 for TLBs)
+	Hash  uint64 // digest over the tag array, index order
+}
+
+// Snapshot captures the cache's tag-array state. Timing fields (readyAt,
+// LRU rank) and AVF bookkeeping are excluded deliberately: a checkpoint
+// records architectural content, and functional warmup reconstructs
+// residency order on its own compressed clock.
+func (c *Cache) Snapshot() Snapshot {
+	var s Snapshot
+	h := digest.New()
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if !ln.valid {
+			continue
+		}
+		s.Valid++
+		if ln.dirty {
+			s.Dirty++
+		}
+		h = digest.Mix(h, uint64(i))
+		h = digest.Mix(h, ln.tag)
+		h = digest.MixBool(h, ln.dirty)
+	}
+	s.Hash = h
+	return s
+}
+
+// Snapshot captures the TLB's entry-array state.
+func (t *TLB) Snapshot() Snapshot {
+	var s Snapshot
+	h := digest.New()
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			continue
+		}
+		s.Valid++
+		h = digest.Mix(h, uint64(i))
+		h = digest.Mix(h, e.tag)
+	}
+	s.Hash = h
+	return s
+}

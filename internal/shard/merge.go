@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"smtavf/internal/avf"
+	"smtavf/internal/core"
+)
+
+// DefaultTolerance is the documented per-structure |ΔAVF| bound between a
+// monolithic run and a sharded run of the same plan, for intervals of at
+// least 5k committed instructions per thread with full-prefix functional
+// warmup (or a WarmupWindow of at least 4096). The shard-equivalence test
+// asserts it; docs/sharding.md records the measurements behind it (worst
+// observed 0.058 at 5k-instruction intervals, tightening to 0.022 at 10k
+// and 0.017 at 20k). The dominant error terms are the transient pipeline
+// state (IQ/ROB/LSQ/register residency) that refills at each boundary and
+// the wrong-path history functional warmup cannot replay.
+const DefaultTolerance = 0.08
+
+// mergeResults combines per-interval results into one report over the
+// concatenated run. Integer counters (cycles, commits, thread and machine
+// event counts, ACE bit-cycles) are summed exactly; every rate — IPC,
+// miss rates, utilization, AVF — is recomputed from the sums, so the
+// merge itself introduces no error. Phase samples keep their per-interval
+// values with cycle offsets rebased onto the merged timeline.
+func mergeResults(parts []*core.Results) *core.Results {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	first := parts[0]
+	m := &core.Results{
+		Threads:   first.Threads,
+		Policy:    first.Policy,
+		Committed: make([]uint64, len(first.Committed)),
+		Bits:      first.Bits,
+		Thread:    make([]core.ThreadStats, len(first.Thread)),
+		Counters:  core.MachineCounters{FUUnits: first.Counters.FUUnits},
+	}
+	reports := make([]avf.Report, len(parts))
+	for i, p := range parts {
+		m.Cycles += p.Cycles
+		m.Total += p.Total
+		for t := range p.Committed {
+			m.Committed[t] += p.Committed[t]
+		}
+		for t := range p.Thread {
+			if i == 0 {
+				m.Thread[t] = p.Thread[t]
+			} else {
+				m.Thread[t] = m.Thread[t].Plus(p.Thread[t])
+			}
+		}
+		m.Counters = m.Counters.Plus(p.Counters)
+		reports[i] = p.AVF
+	}
+	var offset uint64
+	for _, p := range parts {
+		for _, ph := range p.Phases {
+			ph.Cycle += offset
+			m.Phases = append(m.Phases, ph)
+		}
+		offset += p.Cycles
+	}
+	m.AVF = avf.Merge(m.Bits, reports...)
+	m.Machine = m.Counters.Stats(m.Cycles)
+	return m
+}
+
+// MaxAVFDelta returns the largest per-structure |ΔAVF| between two runs
+// and the structure where it occurs — the quantity the equivalence
+// tolerance bounds.
+func MaxAVFDelta(a, b *core.Results) (avf.Struct, float64) {
+	var worst avf.Struct
+	var max float64
+	for s := avf.Struct(0); s < avf.NumStructs; s++ {
+		d := a.AVF.Total[s] - b.AVF.Total[s]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max, worst = d, s
+		}
+	}
+	return worst, max
+}

@@ -1,0 +1,69 @@
+package shard
+
+import "fmt"
+
+// interval is one shard's slice of the run: for every thread, the number
+// of committed instructions preceding the interval (its functional-warmup
+// skip) and the number it must commit in detail.
+type interval struct {
+	start  []uint64 // per-thread committed-instruction boundary
+	length []uint64 // per-thread detailed quota
+}
+
+// splitEven distributes total over n bins, remainder to the low indices.
+func splitEven(total uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	if n == 0 {
+		return out
+	}
+	q, r := total/uint64(n), total%uint64(n)
+	for i := range out {
+		out[i] = q
+		if uint64(i) < r {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// plan cuts the per-thread quotas into shards intervals with fixed
+// uop-count boundaries: thread t's quota is split as evenly as integer
+// arithmetic allows (remainder to the early intervals), and interval j
+// starts where interval j-1 ends. The boundaries depend only on (quotas,
+// shards) — never on simulation outcomes — which is what makes the plan,
+// and therefore the whole sharded run, deterministic.
+func plan(quotas []uint64, threads, shards int) ([]interval, error) {
+	if len(quotas) != threads {
+		return nil, fmt.Errorf("shard: %d quotas for %d threads", len(quotas), threads)
+	}
+	for t, q := range quotas {
+		if q == 0 {
+			return nil, fmt.Errorf("shard: thread %d has no instruction quota", t)
+		}
+		if uint64(shards) > q {
+			// A zero-length interval cannot be expressed as a per-thread
+			// limit (0 means unlimited), and such a run gains nothing from
+			// sharding anyway.
+			return nil, fmt.Errorf("shard: %d shards exceed thread %d's quota of %d instructions", shards, t, q)
+		}
+	}
+	out := make([]interval, shards)
+	starts := make([]uint64, threads)
+	for j := range out {
+		iv := interval{
+			start:  make([]uint64, threads),
+			length: make([]uint64, threads),
+		}
+		copy(iv.start, starts)
+		for t, q := range quotas {
+			l := q / uint64(shards)
+			if uint64(j) < q%uint64(shards) {
+				l++
+			}
+			iv.length[t] = l
+			starts[t] += l
+		}
+		out[j] = iv
+	}
+	return out, nil
+}

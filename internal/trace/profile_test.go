@@ -1,0 +1,84 @@
+package trace
+
+import "testing"
+
+func TestProfileWithDefaultsFillsZeroFields(t *testing.T) {
+	p := Profile{}.withDefaults()
+	if p.Name != "synthetic" {
+		t.Errorf("Name %q", p.Name)
+	}
+	if p.WorkingSet != 32<<10 {
+		t.Errorf("WorkingSet %d", p.WorkingSet)
+	}
+	if p.Stride != 8 {
+		t.Errorf("Stride %d", p.Stride)
+	}
+	if p.PageLocal != 0.7 {
+		t.Errorf("PageLocal %v", p.PageLocal)
+	}
+	if p.LoadStoreReuse != 0.12 {
+		t.Errorf("LoadStoreReuse %v", p.LoadStoreReuse)
+	}
+	if p.CodeBlocks != 256 {
+		t.Errorf("CodeBlocks %d", p.CodeBlocks)
+	}
+	if p.MeanBlockLen != 8 {
+		t.Errorf("MeanBlockLen %d with no branches", p.MeanBlockLen)
+	}
+	if p.DepDist != 4 {
+		t.Errorf("DepDist %d", p.DepDist)
+	}
+	if p.BranchPredictability != 0.9 {
+		t.Errorf("BranchPredictability %v", p.BranchPredictability)
+	}
+	if p.HotSet != 0 {
+		t.Errorf("HotSet %d without HotFrac", p.HotSet)
+	}
+}
+
+func TestProfileWithDefaultsKeepsExplicitValues(t *testing.T) {
+	in := Profile{
+		Name:                 "custom",
+		WorkingSet:           1 << 20,
+		Stride:               64,
+		PageLocal:            0.3,
+		LoadStoreReuse:       0.5,
+		CodeBlocks:           16,
+		MeanBlockLen:         5,
+		DepDist:              12,
+		BranchPredictability: 0.99,
+	}
+	if got := in.withDefaults(); got != in {
+		t.Errorf("explicit profile rewritten:\n in %+v\nout %+v", in, got)
+	}
+}
+
+// Branches only terminate basic blocks, so MeanBlockLen is derived from
+// BranchFrac to honour the requested dynamic branch fraction.
+func TestProfileWithDefaultsBlockLenFromBranchFrac(t *testing.T) {
+	cases := []struct {
+		branchFrac float64
+		want       int
+	}{
+		{0.10, 9},
+		{0.25, 3},
+		{0.50, 2}, // 1/0.5-1 = 1, clamped to the floor of 2
+	}
+	for _, tc := range cases {
+		p := Profile{BranchFrac: tc.branchFrac}.withDefaults()
+		if p.MeanBlockLen != tc.want {
+			t.Errorf("BranchFrac %v: MeanBlockLen %d, want %d", tc.branchFrac, p.MeanBlockLen, tc.want)
+		}
+	}
+}
+
+func TestProfileWithDefaultsHotSet(t *testing.T) {
+	p := Profile{HotFrac: 0.4}.withDefaults()
+	if p.HotSet != 16<<10 {
+		t.Errorf("HotSet %d with HotFrac set, want 16KiB default", p.HotSet)
+	}
+	p = Profile{HotFrac: 0.4, HotSet: 4 << 10}.withDefaults()
+	if p.HotSet != 4<<10 {
+		t.Errorf("explicit HotSet rewritten to %d", p.HotSet)
+	}
+}

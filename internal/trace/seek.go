@@ -1,0 +1,49 @@
+package trace
+
+// Seekable is implemented by generators that can jump to an absolute
+// correct-path sequence number without producing the instructions in
+// between. Sharded runs use it to fast-forward a fresh generator past the
+// prefix an earlier shard covers: a seekable source makes that O(1), while
+// any other generator is drained instruction by instruction (see Forward).
+type Seekable interface {
+	Generator
+	// Seek positions the generator so its next Next() returns the
+	// instruction with sequence number seq. Seeking backwards is allowed.
+	Seek(seq uint64)
+}
+
+// Seek implements Seekable. A recording is positionally periodic —
+// instruction seq is ins[seq mod len] renumbered — so any sequence number
+// is reachable in O(1).
+func (r *Replay) Seek(seq uint64) {
+	r.pos = int(seq % uint64(len(r.ins)))
+	r.next = seq
+}
+
+// Clone returns an independent Replay over the same recording, rewound to
+// the start. The recording itself is shared — it is read-only — so cloning
+// a loaded trace for each shard of a parallel run costs no memory.
+func (r *Replay) Clone() *Replay {
+	return &Replay{name: r.name, ins: r.ins}
+}
+
+// Forward advances gen so that its next instruction carries sequence
+// number seq: O(1) for Seekable generators, a drain of the intervening
+// instructions otherwise. Generators already at or past seq are left
+// untouched (stateful generators cannot rewind; callers fast-forwarding a
+// fresh generator never need to).
+func Forward(gen Generator, seq uint64) {
+	if sk, ok := gen.(Seekable); ok {
+		sk.Seek(seq)
+		return
+	}
+	if seq == 0 {
+		return
+	}
+	for {
+		in := gen.Next()
+		if in.Seq+1 >= seq {
+			return
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"testing"
+
+	"smtavf/internal/isa"
+)
+
+func recordedReplay(t *testing.T, n int) *Replay {
+	t.Helper()
+	gen := NewSynthetic(Profile{Name: "seekbench"}.withDefaults(), 42)
+	r, err := NewReplay("seekbench", Record(gen, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// Seeking must land exactly where draining would have.
+func TestReplaySeekMatchesDrain(t *testing.T) {
+	const lap = 100
+	for _, seq := range []uint64{0, 1, lap - 1, lap, lap + 7, 5 * lap, 5*lap + 3} {
+		drained := recordedReplay(t, lap)
+		seeked := recordedReplay(t, lap)
+		Forward(drainOnly{drained}, seq)
+		seeked.Seek(seq)
+		for i := 0; i < 5; i++ {
+			a, b := drained.Next(), seeked.Next()
+			if a != b {
+				t.Fatalf("seek(%d): instruction %d differs: drained %+v, seeked %+v", seq, i, a, b)
+			}
+			if i == 0 && a.Seq != seq {
+				t.Fatalf("seek(%d): first instruction carries seq %d", seq, a.Seq)
+			}
+		}
+	}
+}
+
+// drainOnly hides the Seekable implementation so Forward takes the
+// generic drain path.
+type drainOnly struct{ gen Generator }
+
+func (d drainOnly) Next() isa.Instruction { return d.gen.Next() }
+func (d drainOnly) Name() string          { return d.gen.Name() }
+
+func TestForwardSeekableIsO1(t *testing.T) {
+	r := recordedReplay(t, 50)
+	Forward(r, 1<<40) // would take forever if drained
+	if in := r.Next(); in.Seq != 1<<40 {
+		t.Fatalf("after Forward, Seq = %d, want %d", in.Seq, uint64(1)<<40)
+	}
+}
+
+func TestForwardDrainsNonSeekable(t *testing.T) {
+	gen := NewSynthetic(Profile{Name: "fwd"}.withDefaults(), 7)
+	Forward(gen, 0) // must not consume anything
+	if in := gen.Next(); in.Seq != 0 {
+		t.Fatalf("Forward(0) consumed instructions: next Seq = %d", in.Seq)
+	}
+	Forward(gen, 123)
+	if in := gen.Next(); in.Seq != 123 {
+		t.Fatalf("after Forward(123), Seq = %d", in.Seq)
+	}
+}
+
+func TestStreamForward(t *testing.T) {
+	s := NewStream(recordedReplay(t, 64))
+	s.Forward(1000)
+	if s.Cursor() != 1000 {
+		t.Fatalf("cursor %d, want 1000", s.Cursor())
+	}
+	if in := s.Next(); in.Seq != 1000 {
+		t.Fatalf("Seq %d, want 1000", in.Seq)
+	}
+	// Backwards forward is a no-op.
+	s.Forward(10)
+	if in := s.Next(); in.Seq != 1001 {
+		t.Fatalf("Seq %d after no-op Forward, want 1001", in.Seq)
+	}
+	// With replay state buffered, Forward falls back to draining but
+	// still lands on the target.
+	s.Rewind(1001)
+	s.Forward(1010)
+	if in := s.Next(); in.Seq != 1010 {
+		t.Fatalf("Seq %d after buffered Forward, want 1010", in.Seq)
+	}
+	if s.Buffered() != 1 {
+		t.Fatalf("%d instructions still buffered, want 1", s.Buffered())
+	}
+}
+
+func TestStreamForwardNonSeekable(t *testing.T) {
+	s := NewStream(NewSynthetic(Profile{Name: "fwd2"}.withDefaults(), 9))
+	s.Forward(500)
+	if in := s.Next(); in.Seq != 500 {
+		t.Fatalf("Seq %d, want 500", in.Seq)
+	}
+}

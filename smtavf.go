@@ -13,10 +13,15 @@
 // Quick start:
 //
 //	cfg := smtavf.DefaultConfig(4)
-//	sim, err := smtavf.NewSimulator(cfg, []string{"mcf", "equake", "vpr", "swim"})
+//	sim, err := smtavf.New(cfg, smtavf.WithBenchmarks("mcf", "equake", "vpr", "swim"))
 //	if err != nil { ... }
 //	res, err := sim.Run(100_000)
 //	fmt.Printf("IQ AVF = %.1f%%\n", 100*res.StructAVF(smtavf.IQ))
+//
+// Long runs can be split into deterministic intervals and simulated in
+// parallel with WithShards; see docs/sharding.md for the accuracy
+// contract. docs/api.md maps the deprecated NewSimulator* constructors
+// onto New.
 package smtavf
 
 import (
@@ -28,6 +33,7 @@ import (
 	"smtavf/internal/fetch"
 	"smtavf/internal/inject"
 	"smtavf/internal/pipetrace"
+	"smtavf/internal/shard"
 	"smtavf/internal/telemetry"
 	"smtavf/internal/trace"
 	"smtavf/internal/workload"
@@ -103,94 +109,330 @@ func MixByName(name string) (Mix, error) {
 // Simulator runs one workload on one machine configuration. A Simulator is
 // single-shot: build a fresh one for each run.
 type Simulator struct {
-	proc *core.Processor
-	used bool
+	proc   *core.Processor // monolithic path (shards <= 1)
+	engine *shard.Engine   // sharded path (WithShards(n > 1, ...))
+	used   bool
+}
+
+// Checkpoint is the lightweight architectural checkpoint a sharded run
+// records at each interval boundary: stream positions plus digests of the
+// rename maps, branch-predictor state, and cache/TLB tags. Equal
+// checkpoints identify equal architectural state.
+type Checkpoint = core.Checkpoint
+
+// ShardTolerance is the documented per-structure |ΔAVF| bound between a
+// sharded run and the equivalent monolithic run, for interval lengths of at
+// least 5k instructions per thread. See docs/sharding.md for the contract
+// and the measurements behind it.
+const ShardTolerance = shard.DefaultTolerance
+
+// settings accumulates the effect of the Options passed to New.
+type settings struct {
+	cfg     Config
+	factory shard.SourceFactory // builds one fresh set of per-thread sources
+	kind    string              // which workload option supplied the factory
+	tel     *telemetry.Collector
+	rec     *pipetrace.Recorder
+	camp    *inject.Campaign
+	shards  int
+	workers int
+	window  uint64
+}
+
+func (s *settings) setSource(kind string, f shard.SourceFactory) error {
+	if s.factory != nil {
+		return fmt.Errorf("smtavf: both %s and %s given; a simulator takes exactly one workload source", s.kind, kind)
+	}
+	s.kind, s.factory = kind, f
+	return nil
+}
+
+// Option configures a Simulator built by New. Exactly one of
+// WithBenchmarks, WithPhases, or WithTraceFiles must be given.
+type Option func(*settings) error
+
+// WithBenchmarks runs the named synthetic SPEC CPU 2000 benchmarks, one
+// per hardware context (len(benchmarks) must equal cfg.Threads).
+func WithBenchmarks(benchmarks ...string) Option {
+	return func(s *settings) error {
+		profiles := make([]trace.Profile, 0, len(benchmarks))
+		for _, b := range benchmarks {
+			p, err := workload.Profile(b)
+			if err != nil {
+				return err
+			}
+			profiles = append(profiles, p)
+		}
+		cfg := s.cfg
+		return s.setSource("WithBenchmarks", func() ([]core.Source, error) {
+			return core.Sources(cfg, profiles)
+		})
+	}
+}
+
+// WithPhases makes each context alternate among several benchmark
+// behaviours every period instructions — a workload with program phases.
+// phases[i] lists the benchmarks thread i cycles through; len(phases) must
+// equal cfg.Threads. Combine with Config.PhaseInterval to watch the AVF
+// move with the phases.
+func WithPhases(phases [][]string, period uint64) Option {
+	return func(s *settings) error {
+		resolved := make([][]trace.Profile, len(phases))
+		for i, names := range phases {
+			for _, n := range names {
+				p, err := workload.Profile(n)
+				if err != nil {
+					return err
+				}
+				resolved[i] = append(resolved[i], p)
+			}
+		}
+		if period == 0 {
+			return fmt.Errorf("smtavf: phase period must be positive")
+		}
+		cfg := s.cfg
+		return s.setSource("WithPhases", func() ([]core.Source, error) {
+			srcs := make([]core.Source, 0, len(resolved))
+			for i, profiles := range resolved {
+				gen, err := trace.NewPhased(profiles, period, cfg.Seed+uint64(i)*0x9e37)
+				if err != nil {
+					return nil, err
+				}
+				srcs = append(srcs, core.Source{Gen: gen})
+			}
+			return srcs, nil
+		})
+	}
+}
+
+// WithTraceFiles replays recorded instruction traces (cmd/tracegen)
+// instead of generating synthetic streams; finite recordings loop.
+// len(paths) must equal cfg.Threads. Files are loaded once; sharded runs
+// share the recording across shards.
+func WithTraceFiles(paths ...string) Option {
+	return func(s *settings) error {
+		masters := make([]*trace.Replay, 0, len(paths))
+		for _, p := range paths {
+			r, err := trace.LoadTraceFile(p)
+			if err != nil {
+				return err
+			}
+			masters = append(masters, r)
+		}
+		return s.setSource("WithTraceFiles", func() ([]core.Source, error) {
+			srcs := make([]core.Source, 0, len(masters))
+			for _, m := range masters {
+				srcs = append(srcs, core.Source{Gen: m.Clone()})
+			}
+			return srcs, nil
+		})
+	}
+}
+
+// WithTelemetry attaches a cycle-windowed live-metrics collector to the
+// run (see Telemetry). Incompatible with WithShards(n > 1): a sharded run
+// has no single contiguous cycle timeline to sample.
+func WithTelemetry(c *Telemetry) Option {
+	return func(s *settings) error {
+		s.tel = c
+		return nil
+	}
+}
+
+// WithPipeTrace attaches a pipeline flight recorder to the run (see
+// PipeTrace). Incompatible with WithShards(n > 1).
+func WithPipeTrace(r *PipeTrace) Option {
+	return func(s *settings) error {
+		s.rec = r
+		return nil
+	}
+}
+
+// WithFaultInjection attaches a statistical fault-injection campaign to
+// the run (see FaultCampaign). Incompatible with WithShards(n > 1).
+func WithFaultInjection(c *FaultCampaign) Option {
+	return func(s *settings) error {
+		s.camp = c
+		return nil
+	}
+}
+
+// WithShards splits the run into n deterministic intervals per thread and
+// simulates them concurrently on at most workers goroutines (workers <= 0
+// means GOMAXPROCS). Each shard starts from a per-shard functional warmup
+// of the long-lived structures (caches, TLBs, branch predictors) and the
+// merged report sums the shards' raw counters, so committed-instruction
+// counts are exact and per-structure AVFs agree with the monolithic run
+// within ShardTolerance — docs/sharding.md documents the contract and its
+// interval-length requirements. n <= 1 runs monolithically.
+//
+// Sharded results are deterministic: the same cfg and workload produce
+// bit-identical Results for any worker count.
+func WithShards(n, workers int) Option {
+	return func(s *settings) error {
+		if n < 1 {
+			return fmt.Errorf("smtavf: shard count must be at least 1, got %d", n)
+		}
+		s.shards, s.workers = n, workers
+		return nil
+	}
+}
+
+// WithShardWarmupWindow bounds each shard's functional warmup to the last
+// window instructions per thread before its interval instead of the full
+// prefix — faster for deep shards, with a documented accuracy floor
+// (window must be at least 4096; see docs/sharding.md). Zero (the
+// default) warms through the full prefix.
+func WithShardWarmupWindow(window uint64) Option {
+	return func(s *settings) error {
+		if window != 0 && window < 4096 {
+			return fmt.Errorf("smtavf: shard warmup window %d below the documented floor of 4096", window)
+		}
+		s.window = window
+		return nil
+	}
+}
+
+// New builds a simulator for cfg. Exactly one workload option
+// (WithBenchmarks, WithPhases, WithTraceFiles) selects what runs;
+// the remaining options attach observers or split the run into parallel
+// shards. New replaces the NewSimulator* constructors — docs/api.md has
+// the migration table.
+func New(cfg Config, opts ...Option) (*Simulator, error) {
+	s := settings{cfg: cfg, shards: 1}
+	for _, o := range opts {
+		if o == nil {
+			return nil, fmt.Errorf("smtavf: nil Option")
+		}
+		if err := o(&s); err != nil {
+			return nil, err
+		}
+	}
+	if s.factory == nil {
+		return nil, fmt.Errorf("smtavf: no workload given; pass WithBenchmarks, WithPhases, or WithTraceFiles")
+	}
+	if s.shards > 1 {
+		switch {
+		case s.tel != nil:
+			return nil, fmt.Errorf("smtavf: WithTelemetry requires a monolithic run (WithShards(1, ...))")
+		case s.rec != nil:
+			return nil, fmt.Errorf("smtavf: WithPipeTrace requires a monolithic run (WithShards(1, ...))")
+		case s.camp != nil:
+			return nil, fmt.Errorf("smtavf: WithFaultInjection requires a monolithic run (WithShards(1, ...))")
+		}
+		// Fail construction-time errors here rather than from a worker
+		// goroutine mid-run: one throwaway set of sources validates the
+		// factory (source construction is cheap and deterministic).
+		if _, err := s.factory(); err != nil {
+			return nil, err
+		}
+		eng, err := shard.New(cfg, s.factory, shard.Options{
+			Shards:       s.shards,
+			Workers:      s.workers,
+			WarmupWindow: s.window,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Simulator{engine: eng}, nil
+	}
+	srcs, err := s.factory()
+	if err != nil {
+		return nil, err
+	}
+	proc, err := core.NewFromSources(cfg, srcs)
+	if err != nil {
+		return nil, err
+	}
+	sim := &Simulator{proc: proc}
+	if s.tel != nil {
+		proc.SetTelemetry(s.tel)
+	}
+	if s.rec != nil {
+		proc.SetPipeTrace(s.rec)
+	}
+	if s.camp != nil {
+		proc.AttachSink(s.camp)
+	}
+	return sim, nil
 }
 
 // NewSimulator builds a simulator for cfg running the named benchmarks,
 // one per hardware context (len(benchmarks) must equal cfg.Threads).
+//
+// Deprecated: Use New with WithBenchmarks; results are bit-identical.
 func NewSimulator(cfg Config, benchmarks []string) (*Simulator, error) {
-	profiles := make([]trace.Profile, 0, len(benchmarks))
-	for _, b := range benchmarks {
-		p, err := workload.Profile(b)
-		if err != nil {
-			return nil, err
-		}
-		profiles = append(profiles, p)
-	}
-	proc, err := core.New(cfg, profiles)
-	if err != nil {
-		return nil, err
-	}
-	return &Simulator{proc: proc}, nil
+	return New(cfg, WithBenchmarks(benchmarks...))
 }
 
 // NewSimulatorPhased builds a simulator whose contexts alternate among
-// several benchmark behaviours every period instructions — a workload
-// with program phases. phases[i] lists the benchmarks thread i cycles
-// through; len(phases) must equal cfg.Threads. Combine with
-// Config.PhaseInterval to watch the AVF move with the phases.
+// several benchmark behaviours every period instructions.
+//
+// Deprecated: Use New with WithPhases; results are bit-identical.
 func NewSimulatorPhased(cfg Config, phases [][]string, period uint64) (*Simulator, error) {
-	srcs := make([]core.Source, 0, len(phases))
-	for i, names := range phases {
-		profiles := make([]trace.Profile, 0, len(names))
-		for _, n := range names {
-			p, err := workload.Profile(n)
-			if err != nil {
-				return nil, err
-			}
-			profiles = append(profiles, p)
-		}
-		gen, err := trace.NewPhased(profiles, period, cfg.Seed+uint64(i)*0x9e37)
-		if err != nil {
-			return nil, err
-		}
-		srcs = append(srcs, core.Source{Gen: gen})
-	}
-	proc, err := core.NewFromSources(cfg, srcs)
-	if err != nil {
-		return nil, err
-	}
-	return &Simulator{proc: proc}, nil
+	return New(cfg, WithPhases(phases, period))
 }
 
 // NewSimulatorFromTraceFiles builds a simulator whose contexts replay
-// recorded instruction traces (cmd/tracegen) instead of generating
-// synthetic streams; finite recordings loop. len(paths) must equal
+// recorded instruction traces (cmd/tracegen); len(paths) must equal
 // cfg.Threads.
+//
+// Deprecated: Use New with WithTraceFiles; results are bit-identical.
 func NewSimulatorFromTraceFiles(cfg Config, paths []string) (*Simulator, error) {
-	srcs := make([]core.Source, 0, len(paths))
-	for _, p := range paths {
-		r, err := trace.LoadTraceFile(p)
-		if err != nil {
-			return nil, err
-		}
-		srcs = append(srcs, core.Source{Gen: r})
-	}
-	proc, err := core.NewFromSources(cfg, srcs)
-	if err != nil {
-		return nil, err
-	}
-	return &Simulator{proc: proc}, nil
+	return New(cfg, WithTraceFiles(paths...))
 }
 
 // Run simulates until total instructions have committed across all threads
 // (the paper's stop rule) and returns the results.
+//
+// On a sharded simulator the total is split evenly across threads
+// (remainder to the low-numbered contexts) and each thread runs to its
+// exact quota — the per-thread commit counts are deterministic, where the
+// monolithic stop rule lets the faster threads commit more. Use
+// RunPerThread for identical commit counts across both paths.
 func (s *Simulator) Run(total uint64) (*Results, error) {
+	if s.engine != nil {
+		if err := s.markUsed(); err != nil {
+			return nil, err
+		}
+		return s.engine.Run(total)
+	}
 	return s.run(core.Limits{TotalInstructions: total})
 }
 
 // RunPerThread simulates until every thread has committed its quota — used
 // to replay each thread's SMT progress in single-thread mode (Figures 3–4).
 func (s *Simulator) RunPerThread(quotas []uint64) (*Results, error) {
+	if s.engine != nil {
+		if err := s.markUsed(); err != nil {
+			return nil, err
+		}
+		return s.engine.RunPerThread(quotas)
+	}
 	return s.run(core.Limits{PerThread: quotas})
 }
 
-func (s *Simulator) run(lim core.Limits) (*Results, error) {
+// Checkpoints returns the interval-boundary checkpoints recorded by the
+// last sharded run, in shard order; nil for monolithic simulators.
+func (s *Simulator) Checkpoints() []Checkpoint {
+	if s.engine == nil {
+		return nil
+	}
+	return s.engine.Checkpoints()
+}
+
+func (s *Simulator) markUsed() error {
 	if s.used {
-		return nil, fmt.Errorf("smtavf: Simulator is single-shot; build a new one per run")
+		return fmt.Errorf("smtavf: Simulator is single-shot; build a new one per run")
 	}
 	s.used = true
+	return nil
+}
+
+func (s *Simulator) run(lim core.Limits) (*Results, error) {
+	if err := s.markUsed(); err != nil {
+		return nil, err
+	}
 	return s.proc.Run(lim)
 }
 
@@ -212,8 +454,10 @@ type TelemetryWindow = telemetry.Window
 func NewTelemetry(o TelemetryOptions) *Telemetry { return telemetry.New(o) }
 
 // SetTelemetry attaches a telemetry collector to the simulator. Must be
-// called before Run; a nil collector leaves telemetry disabled.
-func (s *Simulator) SetTelemetry(c *Telemetry) { s.proc.SetTelemetry(c) }
+// called before Run; a nil collector leaves telemetry disabled. Panics on
+// a sharded simulator — pass WithTelemetry to New instead, which reports
+// the incompatibility as an error.
+func (s *Simulator) SetTelemetry(c *Telemetry) { s.mono("SetTelemetry").SetTelemetry(c) }
 
 // PipeTrace is a pipeline flight recorder: attach one with
 // Simulator.SetPipeTrace and the run records one lifecycle record per uop
@@ -246,8 +490,9 @@ const (
 func NewPipeTrace(o PipeTraceOptions) *PipeTrace { return pipetrace.New(o) }
 
 // SetPipeTrace attaches a flight recorder to the simulator. Must be called
-// before Run; a nil recorder leaves tracing disabled.
-func (s *Simulator) SetPipeTrace(r *PipeTrace) { s.proc.SetPipeTrace(r) }
+// before Run; a nil recorder leaves tracing disabled. Panics on a sharded
+// simulator — pass WithPipeTrace to New instead.
+func (s *Simulator) SetPipeTrace(r *PipeTrace) { s.mono("SetPipeTrace").SetPipeTrace(r) }
 
 // FaultCampaign is a statistical fault-injection campaign: it samples the
 // machine's state on a regular cycle grid and estimates, per structure,
@@ -264,8 +509,19 @@ func NewFaultCampaign(cfg Config, sampleEvery, seed uint64) (*FaultCampaign, err
 }
 
 // InjectFaults attaches a fault-injection campaign to the simulator. Must
-// be called before Run.
-func (s *Simulator) InjectFaults(c *FaultCampaign) { s.proc.AttachSink(c) }
+// be called before Run. Panics on a sharded simulator — pass
+// WithFaultInjection to New instead.
+func (s *Simulator) InjectFaults(c *FaultCampaign) { s.mono("InjectFaults").AttachSink(c) }
+
+// mono returns the monolithic processor or panics with a pointer at the
+// Option-based alternative; the attach methods predate sharding and have
+// no error return.
+func (s *Simulator) mono(method string) *core.Processor {
+	if s.proc == nil {
+		panic(fmt.Sprintf("smtavf: %s is not supported on a sharded Simulator; use the matching With* Option", method))
+	}
+	return s.proc
+}
 
 // InjectStats is the result of a sequential strike experiment: the
 // per-structure / per-thread strike-outcome taxonomy (masked, SDC, DUE,
