@@ -1,0 +1,64 @@
+// CI bench-regression gate: re-measures BenchmarkSimulatorCycles and fails
+// when its cycles/s falls more than 10% below the figure recorded in
+// BENCH_baseline.json. Opt-in via SMTAVF_ASSERT_BENCH=1 (like the shard
+// SMTAVF_ASSERT_SPEEDUP gate) because absolute speed depends on the host.
+package smtavf_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// benchBaseline mirrors the BENCH_baseline.json schema.
+type benchBaseline struct {
+	Benchmarks []struct {
+		Name        string             `json:"name"`
+		NsPerOp     float64            `json:"ns_per_op"`
+		AllocsPerOp uint64             `json:"allocs_per_op,omitempty"`
+		Metrics     map[string]float64 `json:"metrics,omitempty"`
+	} `json:"benchmarks"`
+}
+
+// baselineCyclesPerSec reads the recorded cycles/s of the named benchmark.
+func baselineCyclesPerSec(t *testing.T, name string) float64 {
+	t.Helper()
+	data, err := os.ReadFile("BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("BENCH_baseline.json: %v", err)
+	}
+	for _, b := range base.Benchmarks {
+		if b.Name == name {
+			if cps, ok := b.Metrics["cycles/s"]; ok {
+				return cps
+			}
+			t.Fatalf("BENCH_baseline.json: %s has no cycles/s metric", name)
+		}
+	}
+	t.Fatalf("BENCH_baseline.json: no entry for %s", name)
+	return 0
+}
+
+// TestBenchRegression guards the hot-loop speed: the optimized simulator
+// must stay within 10% of the baseline cycle rate. The baseline was
+// recorded on the CI runner class; regenerate BENCH_baseline.json when the
+// machine class or the simulated microarchitecture intentionally changes.
+func TestBenchRegression(t *testing.T) {
+	if os.Getenv("SMTAVF_ASSERT_BENCH") == "" {
+		t.Skip("set SMTAVF_ASSERT_BENCH=1 to gate on BENCH_baseline.json (absolute speed is host-dependent)")
+	}
+	want := baselineCyclesPerSec(t, "BenchmarkSimulatorCycles")
+	res := testing.Benchmark(BenchmarkSimulatorCycles)
+	got, ok := res.Extra["cycles/s"]
+	if !ok {
+		t.Fatal("BenchmarkSimulatorCycles reported no cycles/s metric")
+	}
+	t.Logf("cycles/s: measured %.0f, baseline %.0f (%.2fx)", got, want, got/want)
+	if got < 0.9*want {
+		t.Errorf("cycles/s regressed >10%%: measured %.0f vs baseline %.0f", got, want)
+	}
+}

@@ -34,6 +34,7 @@ func newRunner() *experiments.Runner {
 
 // BenchmarkTable2 exercises building every Table 2 workload mix.
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, m := range smtavf.Mixes() {
 			sim, err := smtavf.New(smtavf.DefaultConfig(m.Contexts), smtavf.WithBenchmarks(m.Benchmarks...))
@@ -50,6 +51,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkFigure1 regenerates the 4-context AVF profile and reports the
 // IQ AVF of the CPU- and memory-bound columns.
 func BenchmarkFigure1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := newRunner()
 		t, err := r.Figure1()
@@ -63,6 +65,7 @@ func BenchmarkFigure1(b *testing.B) {
 
 // BenchmarkFigure2 regenerates the reliability-efficiency profile.
 func BenchmarkFigure2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := newRunner()
 		t, err := r.Figure2()
@@ -76,6 +79,7 @@ func BenchmarkFigure2(b *testing.B) {
 // BenchmarkFigure3 regenerates the SMT-vs-single-thread per-thread AVF
 // comparison and reports the mean per-thread IQ AVF reduction under SMT.
 func BenchmarkFigure3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := newRunner()
 		t, err := r.Figure3()
@@ -98,6 +102,7 @@ func BenchmarkFigure3(b *testing.B) {
 // BenchmarkFigure4 regenerates the SMT-vs-single-thread efficiency
 // comparison.
 func BenchmarkFigure4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := newRunner()
 		if _, err := r.Figure4(); err != nil {
@@ -109,6 +114,7 @@ func BenchmarkFigure4(b *testing.B) {
 // BenchmarkFigure5 regenerates the context-count sweep and reports the IQ
 // AVF growth from 2 to 8 contexts on memory-bound workloads.
 func BenchmarkFigure5(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := newRunner()
 		panels, err := r.Figure5()
@@ -125,6 +131,7 @@ func BenchmarkFigure5(b *testing.B) {
 // BenchmarkFigure6 regenerates the fetch-policy AVF panels and reports the
 // FLUSH-vs-ICOUNT IQ AVF ratio on the 4-context MEM workload.
 func BenchmarkFigure6(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := newRunner()
 		tables, err := r.Figure6()
@@ -146,6 +153,7 @@ func BenchmarkFigure6(b *testing.B) {
 // BenchmarkFigure7 regenerates the normalized IPC/AVF comparison and
 // reports FLUSH's and STALL's IQ advantage over ICOUNT.
 func BenchmarkFigure7(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := newRunner()
 		t, err := r.Figure7()
@@ -161,6 +169,7 @@ func BenchmarkFigure7(b *testing.B) {
 // BenchmarkFigure8 regenerates the fairness-aware efficiency comparison
 // and reports how FLUSH's advantage shrinks under harmonic IPC.
 func BenchmarkFigure8(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := newRunner()
 		tables, err := r.Figure8()
@@ -198,9 +207,11 @@ var ablationMix = []string{"gcc", "mcf", "vpr", "perlbmk"}
 // BenchmarkAblationRegPool sweeps the shared register-pool size: a smaller
 // pool throttles per-thread ROB utilization (the paper's §4.1 ROB effect).
 func BenchmarkAblationRegPool(b *testing.B) {
+	b.ReportAllocs()
 	for _, pool := range []int{288, 448, 640} {
 		pool := pool
 		b.Run(string(rune('0'+pool/100))+"xx", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res := runAblation(b, 4, ablationMix, func(c *core.Config) {
 					c.IntPhysRegs, c.FPPhysRegs = pool, pool
@@ -216,6 +227,7 @@ func BenchmarkAblationRegPool(b *testing.B) {
 // per-thread partitions (the paper's §5 reliability-aware resource
 // allocation proposal).
 func BenchmarkAblationIQPartition(b *testing.B) {
+	b.ReportAllocs()
 	for _, part := range []int{0, 24, 48} {
 		part := part
 		name := "shared"
@@ -223,6 +235,7 @@ func BenchmarkAblationIQPartition(b *testing.B) {
 			name = map[int]string{24: "quarter", 48: "half"}[part]
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res := runAblation(b, 4, ablationMix, func(c *core.Config) {
 					c.IQPartition = part
@@ -236,9 +249,11 @@ func BenchmarkAblationIQPartition(b *testing.B) {
 
 // BenchmarkAblationDGThreshold sweeps the DG fetch-gating threshold.
 func BenchmarkAblationDGThreshold(b *testing.B) {
+	b.ReportAllocs()
 	for _, th := range []int{0, 1, 2, 4} {
 		th := th
 		b.Run(string(rune('0'+th)), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res := runAblation(b, 4, ablationMix, func(c *core.Config) {
 					c.Policy = dgPolicy(th)
@@ -253,9 +268,11 @@ func BenchmarkAblationDGThreshold(b *testing.B) {
 // BenchmarkAblationStallPredict contrasts reactive STALL with the paper's
 // proposed L2-miss-predictive STALLP.
 func BenchmarkAblationStallPredict(b *testing.B) {
+	b.ReportAllocs()
 	for _, pol := range []string{"STALL", "STALLP"} {
 		pol := pol
 		b.Run(pol, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res := runAblation(b, 4, ablationMix, func(c *core.Config) {
 					if err := c.SetPolicy(pol); err != nil {
@@ -272,6 +289,7 @@ func BenchmarkAblationStallPredict(b *testing.B) {
 // BenchmarkSensitivity regenerates the §5 structure-size sweeps and
 // reports how much absolute ACE exposure a 6x larger IQ buys.
 func BenchmarkSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := newRunner()
 		tables, err := r.Sensitivity()
@@ -287,6 +305,7 @@ func BenchmarkSensitivity(b *testing.B) {
 // BenchmarkExtensions regenerates the §5 proposal comparison (STALLP,
 // VAware) and reports STALLP's IQ-AVF advantage over STALL on MIX.
 func BenchmarkExtensions(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := newRunner()
 		tb, err := r.Extensions()
@@ -304,6 +323,7 @@ func BenchmarkExtensions(b *testing.B) {
 // BenchmarkSimulatorCycles measures raw simulation speed: simulated cycles
 // per wall-clock second on a 4-context mixed workload.
 func BenchmarkSimulatorCycles(b *testing.B) {
+	b.ReportAllocs()
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
 		res := runAblation(b, 4, ablationMix, nil)
@@ -320,8 +340,10 @@ func BenchmarkSimulatorCycles(b *testing.B) {
 // warmup re-runs each shard's prefix, so the serialized sharded run does
 // strictly more work than the monolith; docs/sharding.md quantifies it).
 func BenchmarkShardSpeedup(b *testing.B) {
+	b.ReportAllocs()
 	const perThread = 20_000
 	run := func(b *testing.B, workers int) {
+		b.ReportAllocs()
 		var cycles uint64
 		for i := 0; i < b.N; i++ {
 			sim, err := smtavf.New(smtavf.DefaultConfig(4),
@@ -349,7 +371,9 @@ func BenchmarkShardSpeedup(b *testing.B) {
 // collector with default 10k-cycle windows feeding the in-memory ring,
 // showing what a live -telemetry/-debug-addr run pays.
 func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.ReportAllocs()
 	run := func(b *testing.B, attach bool) {
+		b.ReportAllocs()
 		var cycles uint64
 		for i := 0; i < b.N; i++ {
 			opts := []smtavf.Option{smtavf.WithBenchmarks(ablationMix...)}
@@ -380,7 +404,9 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 // dense every-cycle campaign and also runs the post-run strike phase,
 // showing what a full -inject run pays.
 func BenchmarkInjectOverhead(b *testing.B) {
+	b.ReportAllocs()
 	run := func(b *testing.B, mode string) {
+		b.ReportAllocs()
 		var cycles uint64
 		for i := 0; i < b.N; i++ {
 			cfg := smtavf.DefaultConfig(4)
@@ -427,7 +453,9 @@ func BenchmarkInjectOverhead(b *testing.B) {
 // what a full -pipetrace run pays (one Record per retired uop plus the
 // provenance aggregation).
 func BenchmarkPipetraceOverhead(b *testing.B) {
+	b.ReportAllocs()
 	run := func(b *testing.B, attach bool) {
+		b.ReportAllocs()
 		var cycles uint64
 		for i := 0; i < b.N; i++ {
 			opts := []smtavf.Option{smtavf.WithBenchmarks(ablationMix...)}

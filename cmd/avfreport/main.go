@@ -44,10 +44,12 @@ func main() {
 		logFlags cliopts.Log
 		inj      cliopts.Inject
 		shards   cliopts.Shards
+		prof     cliopts.Profile
 	)
 	logFlags.Register(flag.CommandLine)
 	inj.RegisterStop(flag.CommandLine)
 	shards.Register(flag.CommandLine)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	logger, err := logFlags.Logger(os.Stderr)
@@ -62,6 +64,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "avfreport:", err)
 		os.Exit(1)
 	}
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "avfreport:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "avfreport:", err)
+		}
+	}()
 	logger.Info("run manifest",
 		"program", "avfreport",
 		"base", *base,

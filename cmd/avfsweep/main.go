@@ -45,12 +45,14 @@ func main() {
 		tel      cliopts.Telemetry
 		inj      cliopts.Inject
 		shards   cliopts.Shards
+		prof     cliopts.Profile
 	)
 	logFlags.Register(flag.CommandLine)
 	tel.Register(flag.CommandLine)
 	tel.RegisterDir(flag.CommandLine)
 	inj.Register(flag.CommandLine)
 	shards.Register(flag.CommandLine)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	logger, err := logFlags.Logger(os.Stderr)
@@ -69,6 +71,14 @@ func main() {
 	if shards.Sharded() && (tel.Enabled() || inj.On) {
 		fatal(fmt.Errorf("-shards is batch-only; drop -telemetry/-debug-addr/-inject"))
 	}
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "avfsweep:", err)
+		}
+	}()
 
 	var names []string
 	switch {

@@ -68,12 +68,14 @@ func main() {
 		inj      cliopts.Inject
 		pt       cliopts.PipeTrace
 		shards   cliopts.Shards
+		prof     cliopts.Profile
 	)
 	logFlags.Register(flag.CommandLine)
 	tel.Register(flag.CommandLine)
 	inj.Register(flag.CommandLine)
 	pt.Register(flag.CommandLine)
 	shards.Register(flag.CommandLine)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	logger, err := logFlags.Logger(os.Stderr)
@@ -89,6 +91,14 @@ func main() {
 	if err := shards.Validate(); err != nil {
 		fatal(err)
 	}
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "smtsim:", err)
+		}
+	}()
 
 	if *list {
 		fmt.Println("Table 2 mixes:")

@@ -12,6 +12,9 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"smtavf/internal/pipetrace"
@@ -190,6 +193,66 @@ func ParseWindow(s string) (start, end uint64, err error) {
 		}
 	}
 	return start, end, nil
+}
+
+// Profile is the profiling flag group (-cpuprofile, -memprofile), shared
+// by every command so a hot-loop regression can be profiled in the field
+// without editing code (docs/performance.md).
+type Profile struct {
+	CPUPath string
+	MemPath string
+	cpuFile *os.File
+}
+
+// Register binds the profiling flags.
+func (p *Profile) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPUPath, "cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+	fs.StringVar(&p.MemPath, "memprofile", "", "write an allocation profile to this file at exit (inspect with go tool pprof)")
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Pair it with a
+// deferred Stop, which flushes both profiles.
+func (p *Profile) Start() error {
+	if p.CPUPath == "" {
+		return nil
+	}
+	f, err := os.Create(p.CPUPath)
+	if err != nil {
+		return fmt.Errorf("-cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("-cpuprofile: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop ends CPU profiling and writes the allocation profile, if either was
+// requested. Safe to call when Start did nothing.
+func (p *Profile) Stop() error {
+	var first error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			first = fmt.Errorf("-cpuprofile: %w", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.MemPath != "" {
+		f, err := os.Create(p.MemPath)
+		if err == nil {
+			runtime.GC() // settle live-heap numbers before the snapshot
+			err = pprof.Lookup("allocs").WriteTo(f, 0)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && first == nil {
+			first = fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	return first
 }
 
 // Shards is the parallel-execution flag group (-shards, -shard-workers).

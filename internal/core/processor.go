@@ -84,6 +84,15 @@ type Processor struct {
 	// Pipeline flight recorder (SetPipeTrace). nil when detached; every
 	// Record call below is then a nil-receiver no-op.
 	rec *pipetrace.Recorder
+
+	// Per-cycle scratch, reused every cycle so the steady-state loop does
+	// not allocate (docs/performance.md): fetchStates/fetchOrder feed the
+	// fetch policy, issueBuf snapshots the IQ ready set, and flushBuf
+	// collects the FLUSH-triggering loads of one issue pass.
+	fetchStates []fetch.ThreadState
+	fetchOrder  []int
+	issueBuf    []*pipeline.Uop
+	flushBuf    []*pipeline.Uop
 }
 
 // New builds a processor running one synthetic benchmark per context.
@@ -157,6 +166,7 @@ func NewFromSources(cfg Config, srcs []Source) (*Processor, error) {
 			stream: trace.NewStream(src.Gen),
 			wrong:  wrong,
 			offset: threadOffset(i),
+			fetchQ: newUopQueue(cfg.FetchQueue),
 			rob:    pipeline.NewROB(cfg.ROBSize),
 			lsq:    pipeline.NewLSQ(cfg.LSQSize),
 			ras:    branch.NewRAS(cfg.RASEntries),
@@ -165,6 +175,13 @@ func NewFromSources(cfg Config, srcs []Source) (*Processor, error) {
 		p.btbs = append(p.btbs, branch.NewBTB(cfg.BTBEntries, cfg.BTBWays))
 		p.gshares = append(p.gshares, branch.NewGshare(cfg.GshareEntries, cfg.GshareHistBits, 1))
 	}
+	// Writeback-driven wakeup: a register write that satisfies a waiting
+	// IQ entry's last operand moves it to the ready set.
+	p.rf.SetWake(p.iq.MarkReady)
+	p.fetchStates = make([]fetch.ThreadState, cfg.Threads)
+	p.fetchOrder = make([]int, 0, cfg.Threads)
+	p.issueBuf = make([]*pipeline.Uop, 0, cfg.IQSize)
+	p.flushBuf = make([]*pipeline.Uop, 0, cfg.Threads)
 	return p, nil
 }
 
@@ -404,6 +421,7 @@ func (p *Processor) closeAccounting(partialTail bool) {
 			u := t.rob.PopTail(p.now)
 			if u.InIQ {
 				p.iq.Remove(u, p.now)
+				p.rf.Unwatch(u)
 			}
 			if u.LSQIdx >= 0 {
 				t.lsq.PopTail(p.now)

@@ -54,6 +54,7 @@ func (p *Processor) commit() {
 			p.telCommitted.Inc()
 			p.lastCommitCycle = p.now
 			t.stream.Release(u.Seq + 1)
+			t.releaseUop(u) // committed: out of every structure; recycle
 			budget--
 			if t.quota > 0 && t.committed >= t.quota {
 				t.finished = true
@@ -70,6 +71,9 @@ func (p *Processor) writeback() {
 	keep := p.inflight[:0]
 	for _, u := range p.inflight {
 		if u.Squashed {
+			// The squash classified and recorded it already, but it was
+			// mid-execution then, so its release was deferred to here.
+			p.threads[u.TID].releaseUop(u)
 			continue
 		}
 		if u.ReadyAt > p.now {
@@ -118,30 +122,27 @@ func (p *Processor) resolveMissCounters(t *thread, u *pipeline.Uop) {
 // the DL1 (or forward from an older store); the FLUSH policy's squash
 // triggers here, when a load discovers an L2 miss.
 func (p *Processor) issue() {
-	cand := p.iq.Candidates(func(u *pipeline.Uop) bool {
-		if !p.rf.Ready(u.PhysSrc1) || !p.rf.Ready(u.PhysSrc2) {
-			return false
-		}
-		if u.Class == isa.Load {
-			_, wait := p.threads[u.TID].lsq.ForwardCheck(u)
-			if wait {
-				return false // older store address/data unknown
-			}
-		}
-		return true
-	})
+	// Snapshot the ready set (register operands available, oldest first):
+	// issuing removes entries from the set mid-loop, so iterate a copy in
+	// the reusable scratch buffer.
+	p.issueBuf = p.iq.AppendReady(p.issueBuf[:0])
 	budget := p.cfg.IssueWidth
-	var flushLoads []*pipeline.Uop
-	for _, u := range cand {
+	flushLoads := p.flushBuf[:0]
+	for _, u := range p.issueBuf {
 		if budget == 0 {
 			break
 		}
 		t := p.threads[u.TID]
 		forwarded := false
 		if u.Class == isa.Load {
+			// One disambiguation check per load per cycle: a wait keeps
+			// the load in the ready set without consuming issue budget.
+			// ForwardCheck only reads Executed flags and LSQ membership,
+			// neither of which changes inside this loop, so checking at
+			// selection time equals the old check-then-recheck.
 			fwd, wait := t.lsq.ForwardCheck(u)
 			if wait {
-				continue
+				continue // older store address/data unknown
 			}
 			forwarded = fwd
 			if !forwarded && !p.dl1.TryPort(p.now) {
@@ -198,6 +199,7 @@ func (p *Processor) issue() {
 		p.inflight = append(p.inflight, u)
 		budget--
 	}
+	p.flushBuf = flushLoads
 	// FLUSH: squash everything younger than the L2-missing load; the
 	// thread refetches it when the miss returns (fetch is gated by the
 	// policy while outL2 > 0). Oldest flush per thread wins.
@@ -222,8 +224,8 @@ func (p *Processor) dispatch() {
 	p.dispatchRR = (p.dispatchRR + 1) % n
 	for i := 0; i < n && budget > 0; i++ {
 		t := p.threads[(start+i)%n]
-		for budget > 0 && len(t.fetchQ) > 0 {
-			u := t.fetchQ[0]
+		for budget > 0 && t.fetchQ.len() > 0 {
+			u := t.fetchQ.front()
 			if u.FrontReady > p.now {
 				break
 			}
@@ -249,7 +251,14 @@ func (p *Processor) dispatch() {
 				t.lsq.Push(u, p.now)
 			}
 			p.iq.Insert(u, p.now)
-			t.fetchQ = t.fetchQ[1:]
+			// Register on the waiter lists of any unready operands; a uop
+			// with none is ready the moment it enters the queue (issue
+			// precedes dispatch in step(), so it still cannot issue before
+			// the next cycle — exactly the polled scheduler's behavior).
+			if p.rf.WatchSources(u) == 0 {
+				p.iq.MarkReady(u)
+			}
+			t.fetchQ.popFront()
 			budget--
 		}
 	}
@@ -262,7 +271,7 @@ func (p *Processor) fetchStage() {
 	if p.now&(vulnWindow-1) == 0 {
 		p.updateVulnFeedback()
 	}
-	states := make([]fetch.ThreadState, len(p.threads))
+	states := p.fetchStates
 	for i, t := range p.threads {
 		states[i] = fetch.ThreadState{
 			Active:        !t.done(),
@@ -274,15 +283,15 @@ func (p *Processor) fetchStage() {
 			RecentACE:     t.recentACE,
 		}
 	}
-	order := p.policy.Order(states)
+	p.fetchOrder = p.policy.Order(states, p.fetchOrder[:0])
 	budget := p.cfg.FetchWidth
 	used := 0
-	for _, tid := range order {
+	for _, tid := range p.fetchOrder {
 		if budget == 0 || used == p.cfg.MaxFetchThreads {
 			break
 		}
 		t := p.threads[tid]
-		if t.done() || p.now < t.stallUntil || len(t.fetchQ) >= p.cfg.FetchQueue {
+		if t.done() || p.now < t.stallUntil || t.fetchQ.len() >= p.cfg.FetchQueue {
 			continue
 		}
 		n := p.fetchThread(t, budget)
@@ -315,7 +324,7 @@ func (p *Processor) updateVulnFeedback() {
 // predicted-taken branch, a front-end stall, or the fetch-queue limit.
 func (p *Processor) fetchThread(t *thread, max int) int {
 	fetched := 0
-	for fetched < max && len(t.fetchQ) < p.cfg.FetchQueue {
+	for fetched < max && t.fetchQ.len() < p.cfg.FetchQueue {
 		// Address of the next instruction, in this thread's address space.
 		var pc uint64
 		if t.wrongPath {
@@ -357,7 +366,10 @@ func (p *Processor) fetchThread(t *thread, max int) int {
 				in.Target += t.offset
 			}
 		}
-		u := &pipeline.Uop{
+		// Recycle a uop from the thread's pool; the full-struct assignment
+		// zeroes every stale field before the new identity lands.
+		u := t.acquireUop()
+		*u = pipeline.Uop{
 			Instruction: in,
 			TID:         t.id,
 			GSeq:        p.gseq,
@@ -366,6 +378,7 @@ func (p *Processor) fetchThread(t *thread, max int) int {
 			FrontReady:  p.now + uint64(p.cfg.FrontEndDepth),
 			PhysDest:    -1,
 			OldPhysDest: -1,
+			IQIdx:       -1,
 			LSQIdx:      -1,
 		}
 		p.gseq++
@@ -384,7 +397,7 @@ func (p *Processor) fetchThread(t *thread, max int) int {
 			}
 		}
 
-		t.fetchQ = append(t.fetchQ, u)
+		t.fetchQ.pushBack(u)
 		t.fetched++
 		if u.WrongPath {
 			t.wrongPathFetch++
@@ -510,11 +523,12 @@ func (p *Processor) squashThread(t *thread, afterGSeq uint64) {
 			haveRewind = true
 		}
 	}
-	for len(t.fetchQ) > 0 {
-		u := t.fetchQ[len(t.fetchQ)-1]
+	for t.fetchQ.len() > 0 {
+		u := t.fetchQ.back()
 		if u.GSeq <= afterGSeq {
 			break
 		}
+		t.fetchQ.popBack()
 		note(u)
 		u.Squashed = true
 		p.rec.Record(u, p.now, true)
@@ -524,13 +538,20 @@ func (p *Processor) squashThread(t *thread, afterGSeq uint64) {
 		if u.PredL2 {
 			t.predL2--
 		}
-		t.fetchQ = t.fetchQ[:len(t.fetchQ)-1]
+		if u == t.wpBranch {
+			// The pending mispredicted branch itself was squashed (a
+			// FLUSH landed underneath it); leave wrong-path mode.
+			t.wrongPath = false
+			t.wpBranch = nil
+		}
+		t.releaseUop(u) // never dispatched: in no structure
 	}
 	// Back end: roll the ROB back from the tail.
 	for t.rob.Len() > 0 && t.rob.Tail().GSeq > afterGSeq {
 		u := t.rob.PopTail(p.now)
 		if u.InIQ {
 			p.iq.Remove(u, p.now)
+			p.rf.Unwatch(u)
 		}
 		if u.LSQIdx >= 0 {
 			t.lsq.PopTail(p.now)
@@ -543,14 +564,17 @@ func (p *Processor) squashThread(t *thread, afterGSeq uint64) {
 		p.rec.Record(u, p.now, true)
 		t.squashedUops++
 		p.telSquashed.Inc()
+		if u == t.wpBranch {
+			t.wrongPath = false
+			t.wpBranch = nil
+		}
+		if !u.Issued || u.Executed {
+			// Mid-execution uops (issued, result pending) stay on
+			// p.inflight; writeback releases them when it drops them.
+			t.releaseUop(u)
+		}
 	}
 	if haveRewind {
 		t.stream.Rewind(rewindTo)
-	}
-	if t.wpBranch != nil && t.wpBranch.GSeq > afterGSeq {
-		// The pending mispredicted branch itself was squashed (a FLUSH
-		// landed underneath it); leave wrong-path mode.
-		t.wrongPath = false
-		t.wpBranch = nil
 	}
 }

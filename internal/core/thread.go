@@ -21,6 +21,47 @@ func threadOffset(tid int) uint64 {
 	return uint64(tid)*threadSpacing + uint64(tid)*threadStagger
 }
 
+// uopQueue is a fixed-capacity ring deque holding the front-end fetch
+// queue. A plain slice re-sliced from the front (fetchQ = fetchQ[1:])
+// walks its backing array forward and forces a fresh allocation every few
+// dispatch groups; the ring reuses one array for the whole run.
+type uopQueue struct {
+	buf  []*pipeline.Uop
+	head int
+	n    int
+}
+
+func newUopQueue(capacity int) uopQueue {
+	return uopQueue{buf: make([]*pipeline.Uop, capacity)}
+}
+
+func (q *uopQueue) len() int             { return q.n }
+func (q *uopQueue) front() *pipeline.Uop { return q.buf[q.head] }
+func (q *uopQueue) back() *pipeline.Uop  { return q.buf[(q.head+q.n-1)%len(q.buf)] }
+func (q *uopQueue) pushBack(u *pipeline.Uop) {
+	if q.n == len(q.buf) {
+		panic("core: fetch queue overflow")
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = u
+	q.n++
+}
+
+func (q *uopQueue) popFront() *pipeline.Uop {
+	u := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return u
+}
+
+func (q *uopQueue) popBack() *pipeline.Uop {
+	i := (q.head + q.n - 1) % len(q.buf)
+	u := q.buf[i]
+	q.buf[i] = nil
+	q.n--
+	return u
+}
+
 // thread is one hardware context.
 type thread struct {
 	id      int
@@ -35,9 +76,15 @@ type thread struct {
 	ras *branch.RAS
 
 	// Fetch state.
-	fetchQ        []*pipeline.Uop // fetched, in the front-end pipe
-	stallUntil    uint64          // IL1/ITLB miss or redirect penalty
-	lastFetchLine uint64          // last IL1 line touched (access per line)
+	fetchQ        uopQueue // fetched, in the front-end pipe
+	stallUntil    uint64   // IL1/ITLB miss or redirect penalty
+	lastFetchLine uint64   // last IL1 line touched (access per line)
+
+	// pool recycles this thread's uops: fetch acquires, the classification
+	// sites release (docs/performance.md has the ownership rule). Pooling
+	// is per-thread so a thread's uops are reused in a deterministic order
+	// regardless of the other threads' progress.
+	pool []*pipeline.Uop
 
 	// Wrong-path mode: set between fetching a mispredicted CTI and its
 	// resolution; while set, fetch synthesizes wrong-path uops.
@@ -74,10 +121,30 @@ type thread struct {
 	lsqFullStalls  uint64
 }
 
+// acquireUop returns a zeroed uop, recycling the thread's free list when
+// possible. The caller owns it until it hands it back with releaseUop at a
+// classification site.
+func (t *thread) acquireUop() *pipeline.Uop {
+	if n := len(t.pool); n > 0 {
+		u := t.pool[n-1]
+		t.pool[n-1] = nil
+		t.pool = t.pool[:n-1]
+		return u
+	}
+	return new(pipeline.Uop)
+}
+
+// releaseUop returns u to the free list. u must have left every pipeline
+// structure and waiter list, and the flight recorder must already have
+// copied it; the next acquireUop may hand the same memory out again.
+func (t *thread) releaseUop(u *pipeline.Uop) {
+	t.pool = append(t.pool, u)
+}
+
 // icount is the ICOUNT fetch-policy metric: instructions in the front end
 // and the issue queue.
 func (t *thread) icount(iq *pipeline.IQ) int {
-	return len(t.fetchQ) + iq.ThreadCount(t.id)
+	return t.fetchQ.len() + iq.ThreadCount(t.id)
 }
 
 // done reports whether the thread has reached its quota.

@@ -11,8 +11,6 @@
 // instructions per cycle).
 package fetch
 
-import "sort"
-
 // ThreadState is the per-thread view a policy bases its decision on.
 type ThreadState struct {
 	Active        bool // context exists and has not finished its run
@@ -32,31 +30,39 @@ type ThreadState struct {
 type Policy interface {
 	// Name returns the policy's canonical name (e.g. "FLUSH").
 	Name() string
-	// Order returns thread ids permitted to fetch this cycle, highest
-	// priority first. Threads omitted are fetch-gated this cycle.
-	Order(ts []ThreadState) []int
+	// Order appends the thread ids permitted to fetch this cycle to dst,
+	// highest priority first, and returns the extended slice (which may
+	// reallocate dst). Threads omitted are fetch-gated this cycle. The
+	// core passes the same scratch buffer every cycle so steady-state
+	// ordering never allocates; callers without a buffer pass nil.
+	Order(ts []ThreadState, dst []int) []int
 	// FlushOnL2Miss reports whether the core must squash the instructions
 	// younger than a load that misses the L2 (the FLUSH mechanism).
 	FlushOnL2Miss() bool
 }
 
-// byICount returns the active thread ids sorted by ascending in-flight
-// count (ties by id), optionally filtered by keep.
-func byICount(ts []ThreadState, keep func(ThreadState) bool) []int {
-	var ids []int
+// appendByICount appends the active thread ids passing keep to dst, sorted
+// by ascending in-flight count (ties by id). The region dst[:len(dst)] is
+// left untouched; the appended tail is insertion-sorted, which for thread
+// counts (≤ a few dozen) beats sort.Slice and allocates nothing.
+func appendByICount(ts []ThreadState, keep func(ThreadState) bool, dst []int) []int {
+	base := len(dst)
 	for i, t := range ts {
-		if t.Active && (keep == nil || keep(t)) {
-			ids = append(ids, i)
+		if !t.Active || (keep != nil && !keep(t)) {
+			continue
 		}
+		j := len(dst)
+		dst = append(dst, i)
+		// Ids arrive in ascending order, so <= keeps equal in-flight
+		// counts in id order — the same total order the old sort.Slice
+		// comparator produced.
+		for j > base && ts[dst[j-1]].InFlight > t.InFlight {
+			dst[j] = dst[j-1]
+			j--
+		}
+		dst[j] = i
 	}
-	sort.Slice(ids, func(a, b int) bool {
-		ta, tb := ts[ids[a]], ts[ids[b]]
-		if ta.InFlight != tb.InFlight {
-			return ta.InFlight < tb.InFlight
-		}
-		return ids[a] < ids[b]
-	})
-	return ids
+	return dst
 }
 
 // ICount is the baseline: priority to the thread with the fewest in-flight
@@ -67,7 +73,7 @@ type ICount struct{}
 func (ICount) Name() string { return "ICOUNT" }
 
 // Order implements Policy.
-func (ICount) Order(ts []ThreadState) []int { return byICount(ts, nil) }
+func (ICount) Order(ts []ThreadState, dst []int) []int { return appendByICount(ts, nil, dst) }
 
 // FlushOnL2Miss implements Policy.
 func (ICount) FlushOnL2Miss() bool { return false }
@@ -80,17 +86,25 @@ type Stall struct{}
 func (Stall) Name() string { return "STALL" }
 
 // Order implements Policy.
-func (Stall) Order(ts []ThreadState) []int {
-	ids := byICount(ts, func(t ThreadState) bool { return t.OutstandingL2 == 0 })
-	if len(ids) > 0 {
+func (Stall) Order(ts []ThreadState, dst []int) []int {
+	base := len(dst)
+	ids := appendByICount(ts, func(t ThreadState) bool { return t.OutstandingL2 == 0 }, dst)
+	if len(ids) > base {
 		return ids
 	}
 	// All threads are waiting on memory: allow the least-loaded one.
-	all := byICount(ts, nil)
-	if len(all) > 0 {
-		return all[:1]
+	return leastLoaded(ts, ids[:base])
+}
+
+// leastLoaded appends the single active thread with the fewest in-flight
+// instructions (the gated-policy fallback), if any thread is active.
+func leastLoaded(ts []ThreadState, dst []int) []int {
+	base := len(dst)
+	ids := appendByICount(ts, nil, dst)
+	if len(ids) > base {
+		return ids[:base+1]
 	}
-	return nil
+	return ids
 }
 
 // FlushOnL2Miss implements Policy.
@@ -104,8 +118,8 @@ type Flush struct{}
 func (Flush) Name() string { return "FLUSH" }
 
 // Order implements Policy.
-func (Flush) Order(ts []ThreadState) []int {
-	return byICount(ts, func(t ThreadState) bool { return t.OutstandingL2 == 0 })
+func (Flush) Order(ts []ThreadState, dst []int) []int {
+	return appendByICount(ts, func(t ThreadState) bool { return t.OutstandingL2 == 0 }, dst)
 }
 
 // FlushOnL2Miss implements Policy.
@@ -123,16 +137,13 @@ type DG struct {
 func (DG) Name() string { return "DG" }
 
 // Order implements Policy.
-func (p DG) Order(ts []ThreadState) []int {
-	ids := byICount(ts, func(t ThreadState) bool { return t.OutstandingL1 <= p.Threshold })
-	if len(ids) > 0 {
+func (p DG) Order(ts []ThreadState, dst []int) []int {
+	base := len(dst)
+	ids := appendByICount(ts, func(t ThreadState) bool { return t.OutstandingL1 <= p.Threshold }, dst)
+	if len(ids) > base {
 		return ids
 	}
-	all := byICount(ts, nil)
-	if len(all) > 0 {
-		return all[:1]
-	}
-	return nil
+	return leastLoaded(ts, ids[:base])
 }
 
 // FlushOnL2Miss implements Policy.
@@ -149,18 +160,15 @@ type PDG struct {
 func (PDG) Name() string { return "PDG" }
 
 // Order implements Policy.
-func (p PDG) Order(ts []ThreadState) []int {
-	ids := byICount(ts, func(t ThreadState) bool {
+func (p PDG) Order(ts []ThreadState, dst []int) []int {
+	base := len(dst)
+	ids := appendByICount(ts, func(t ThreadState) bool {
 		return t.PredictedL1+t.OutstandingL1 <= p.Threshold
-	})
-	if len(ids) > 0 {
+	}, dst)
+	if len(ids) > base {
 		return ids
 	}
-	all := byICount(ts, nil)
-	if len(all) > 0 {
-		return all[:1]
-	}
-	return nil
+	return leastLoaded(ts, ids[:base])
 }
 
 // FlushOnL2Miss implements Policy.
@@ -174,10 +182,9 @@ type DWarn struct{}
 func (DWarn) Name() string { return "DWarn" }
 
 // Order implements Policy.
-func (DWarn) Order(ts []ThreadState) []int {
-	clean := byICount(ts, func(t ThreadState) bool { return t.OutstandingL1 == 0 })
-	warn := byICount(ts, func(t ThreadState) bool { return t.OutstandingL1 > 0 })
-	return append(clean, warn...)
+func (DWarn) Order(ts []ThreadState, dst []int) []int {
+	dst = appendByICount(ts, func(t ThreadState) bool { return t.OutstandingL1 == 0 }, dst)
+	return appendByICount(ts, func(t ThreadState) bool { return t.OutstandingL1 > 0 }, dst)
 }
 
 // FlushOnL2Miss implements Policy.
@@ -192,18 +199,15 @@ type StallP struct{}
 func (StallP) Name() string { return "STALLP" }
 
 // Order implements Policy.
-func (StallP) Order(ts []ThreadState) []int {
-	ids := byICount(ts, func(t ThreadState) bool {
+func (StallP) Order(ts []ThreadState, dst []int) []int {
+	base := len(dst)
+	ids := appendByICount(ts, func(t ThreadState) bool {
 		return t.OutstandingL2 == 0 && t.PredictedL2 == 0
-	})
-	if len(ids) > 0 {
+	}, dst)
+	if len(ids) > base {
 		return ids
 	}
-	all := byICount(ts, nil)
-	if len(all) > 0 {
-		return all[:1]
-	}
-	return nil
+	return leastLoaded(ts, ids[:base])
 }
 
 // FlushOnL2Miss implements Policy.
@@ -222,19 +226,30 @@ type RoundRobin struct {
 func (*RoundRobin) Name() string { return "RR" }
 
 // Order implements Policy.
-func (r *RoundRobin) Order(ts []ThreadState) []int {
-	var ids []int
+func (r *RoundRobin) Order(ts []ThreadState, dst []int) []int {
+	base := len(dst)
 	for i, t := range ts {
 		if t.Active {
-			ids = append(ids, i)
+			dst = append(dst, i)
 		}
 	}
+	ids := dst[base:]
 	if len(ids) < 2 {
-		return ids
+		return dst
 	}
 	rot := r.turn % len(ids)
 	r.turn++
-	return append(ids[rot:], ids[:rot]...)
+	// Rotate left by rot via three reversals, in place.
+	reverseInts(ids[:rot])
+	reverseInts(ids[rot:])
+	reverseInts(ids)
+	return dst
+}
+
+func reverseInts(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
 }
 
 // FlushOnL2Miss implements Policy.
@@ -253,31 +268,29 @@ type VAware struct{}
 func (VAware) Name() string { return "VAware" }
 
 // Order implements Policy.
-func (VAware) Order(ts []ThreadState) []int {
-	var ids []int
+func (VAware) Order(ts []ThreadState, dst []int) []int {
+	base := len(dst)
 	for i, t := range ts {
-		if t.Active && t.OutstandingL2 == 0 {
-			ids = append(ids, i)
+		if !t.Active || t.OutstandingL2 != 0 {
+			continue
 		}
-	}
-	sort.Slice(ids, func(a, b int) bool {
-		ta, tb := ts[ids[a]], ts[ids[b]]
-		if ta.RecentACE != tb.RecentACE {
-			return ta.RecentACE < tb.RecentACE
+		j := len(dst)
+		dst = append(dst, i)
+		for j > base {
+			p := ts[dst[j-1]]
+			if p.RecentACE < t.RecentACE ||
+				(p.RecentACE == t.RecentACE && p.InFlight <= t.InFlight) {
+				break
+			}
+			dst[j] = dst[j-1]
+			j--
 		}
-		if ta.InFlight != tb.InFlight {
-			return ta.InFlight < tb.InFlight
-		}
-		return ids[a] < ids[b]
-	})
-	if len(ids) > 0 {
-		return ids
+		dst[j] = i
 	}
-	all := byICount(ts, nil)
-	if len(all) > 0 {
-		return all[:1]
+	if len(dst) > base {
+		return dst
 	}
-	return nil
+	return leastLoaded(ts, dst[:base])
 }
 
 // FlushOnL2Miss implements Policy.

@@ -18,7 +18,7 @@ func states() []ThreadState {
 func TestICountOrder(t *testing.T) {
 	ts := states()
 	ts[0].InFlight = 25 // reorder
-	got := ICount{}.Order(ts)
+	got := ICount{}.Order(ts, nil)
 	if !reflect.DeepEqual(got, []int{1, 0, 2, 3}) {
 		t.Fatalf("order = %v", got)
 	}
@@ -27,7 +27,7 @@ func TestICountOrder(t *testing.T) {
 func TestICountSkipsInactive(t *testing.T) {
 	ts := states()
 	ts[1].Active = false
-	got := ICount{}.Order(ts)
+	got := ICount{}.Order(ts, nil)
 	if !reflect.DeepEqual(got, []int{0, 2, 3}) {
 		t.Fatalf("order = %v", got)
 	}
@@ -38,7 +38,7 @@ func TestICountTieBreak(t *testing.T) {
 		{Active: true, InFlight: 5},
 		{Active: true, InFlight: 5},
 	}
-	got := ICount{}.Order(ts)
+	got := ICount{}.Order(ts, nil)
 	if !reflect.DeepEqual(got, []int{0, 1}) {
 		t.Fatalf("ties must break by id: %v", got)
 	}
@@ -47,7 +47,7 @@ func TestICountTieBreak(t *testing.T) {
 func TestStallGatesL2Missing(t *testing.T) {
 	ts := states()
 	ts[0].OutstandingL2 = 1
-	got := Stall{}.Order(ts)
+	got := Stall{}.Order(ts, nil)
 	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
 		t.Fatalf("order = %v", got)
 	}
@@ -58,7 +58,7 @@ func TestStallAlwaysAllowsOne(t *testing.T) {
 	for i := range ts {
 		ts[i].OutstandingL2 = 1
 	}
-	got := Stall{}.Order(ts)
+	got := Stall{}.Order(ts, nil)
 	if !reflect.DeepEqual(got, []int{0}) {
 		t.Fatalf("all-gated STALL must allow the least-loaded thread: %v", got)
 	}
@@ -69,7 +69,7 @@ func TestFlushGatesStrictly(t *testing.T) {
 	for i := range ts {
 		ts[i].OutstandingL2 = 1
 	}
-	if got := (Flush{}).Order(ts); len(got) != 0 {
+	if got := (Flush{}).Order(ts, nil); len(got) != 0 {
 		t.Fatalf("FLUSH must gate all memory-waiting threads: %v", got)
 	}
 	if f := (Flush{}); !f.FlushOnL2Miss() {
@@ -90,7 +90,7 @@ func TestDGThreshold(t *testing.T) {
 	ts[0].OutstandingL1 = 2
 	ts[1].OutstandingL1 = 1
 	p := DG{Threshold: 1}
-	got := p.Order(ts)
+	got := p.Order(ts, nil)
 	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
 		t.Fatalf("order = %v", got)
 	}
@@ -101,7 +101,7 @@ func TestDGAllGatedAllowsOne(t *testing.T) {
 	for i := range ts {
 		ts[i].OutstandingL1 = 5
 	}
-	if got := (DG{Threshold: 1}).Order(ts); !reflect.DeepEqual(got, []int{0}) {
+	if got := (DG{Threshold: 1}).Order(ts, nil); !reflect.DeepEqual(got, []int{0}) {
 		t.Fatalf("order = %v", got)
 	}
 }
@@ -110,12 +110,12 @@ func TestPDGUsesPredictions(t *testing.T) {
 	ts := states()
 	ts[0].PredictedL1 = 2 // no resolved misses yet, but predicted
 	p := PDG{Threshold: 1}
-	got := p.Order(ts)
+	got := p.Order(ts, nil)
 	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
 		t.Fatalf("PDG ignored predictions: %v", got)
 	}
 	// DG with the same state would not gate.
-	if got := (DG{Threshold: 1}).Order(ts); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+	if got := (DG{Threshold: 1}).Order(ts, nil); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
 		t.Fatalf("DG gated on predictions: %v", got)
 	}
 }
@@ -123,7 +123,7 @@ func TestPDGUsesPredictions(t *testing.T) {
 func TestDWarnDeprioritizesWithoutGating(t *testing.T) {
 	ts := states()
 	ts[0].OutstandingL1 = 1 // least loaded but warned
-	got := DWarn{}.Order(ts)
+	got := DWarn{}.Order(ts, nil)
 	if !reflect.DeepEqual(got, []int{1, 2, 3, 0}) {
 		t.Fatalf("order = %v", got)
 	}
@@ -135,12 +135,12 @@ func TestDWarnDeprioritizesWithoutGating(t *testing.T) {
 func TestStallPGatesOnPredictedL2(t *testing.T) {
 	ts := states()
 	ts[0].PredictedL2 = 1
-	got := StallP{}.Order(ts)
+	got := StallP{}.Order(ts, nil)
 	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
 		t.Fatalf("order = %v", got)
 	}
 	// STALL with the same state would not gate.
-	if got := (Stall{}).Order(ts); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+	if got := (Stall{}).Order(ts, nil); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
 		t.Fatalf("STALL gated on a prediction: %v", got)
 	}
 }
@@ -151,7 +151,7 @@ func TestVAwareOrdersByVulnerability(t *testing.T) {
 	ts[1].RecentACE = 100
 	ts[2].RecentACE = 300
 	ts[3].RecentACE = 200
-	got := VAware{}.Order(ts)
+	got := VAware{}.Order(ts, nil)
 	if !reflect.DeepEqual(got, []int{1, 3, 2, 0}) {
 		t.Fatalf("order = %v", got)
 	}
@@ -160,14 +160,14 @@ func TestVAwareOrdersByVulnerability(t *testing.T) {
 func TestVAwareGatesOnL2AndTieBreaks(t *testing.T) {
 	ts := states()
 	ts[1].OutstandingL2 = 1
-	got := VAware{}.Order(ts) // all RecentACE equal: fall back to icount
+	got := VAware{}.Order(ts, nil) // all RecentACE equal: fall back to icount
 	if !reflect.DeepEqual(got, []int{0, 2, 3}) {
 		t.Fatalf("order = %v", got)
 	}
 	for i := range ts {
 		ts[i].OutstandingL2 = 1
 	}
-	if got := (VAware{}).Order(ts); !reflect.DeepEqual(got, []int{0}) {
+	if got := (VAware{}).Order(ts, nil); !reflect.DeepEqual(got, []int{0}) {
 		t.Fatalf("all-gated VAware must keep one thread fetching: %v", got)
 	}
 }
@@ -175,8 +175,8 @@ func TestVAwareGatesOnL2AndTieBreaks(t *testing.T) {
 func TestRoundRobinRotates(t *testing.T) {
 	rr := &RoundRobin{}
 	ts := states()
-	a := rr.Order(ts)
-	b := rr.Order(ts)
+	a := rr.Order(ts, nil)
+	b := rr.Order(ts, nil)
 	if reflect.DeepEqual(a, b) {
 		t.Fatalf("round robin did not rotate: %v then %v", a, b)
 	}
@@ -185,7 +185,7 @@ func TestRoundRobinRotates(t *testing.T) {
 	}
 	// Inactive threads drop out without breaking rotation.
 	ts[2].Active = false
-	if got := rr.Order(ts); len(got) != 3 {
+	if got := rr.Order(ts, nil); len(got) != 3 {
 		t.Fatalf("order = %v", got)
 	}
 }
@@ -220,7 +220,7 @@ func TestAllReturnsPaperPolicies(t *testing.T) {
 
 func TestEmptyStates(t *testing.T) {
 	for _, p := range []Policy{ICount{}, Stall{}, Flush{}, DG{}, PDG{}, DWarn{}, StallP{}} {
-		if got := p.Order(nil); len(got) != 0 {
+		if got := p.Order(nil, nil); len(got) != 0 {
 			t.Errorf("%s ordered threads out of nothing: %v", p.Name(), got)
 		}
 	}

@@ -1,13 +1,21 @@
 package pipeline
 
-import "sort"
-
 // IQ is the shared issue queue (paper Table 1: 96 entries). Entries wait
 // for their source operands; ready entries are selected oldest-first up to
 // the issue width each cycle.
+//
+// Selection is event-driven (docs/performance.md): instead of scanning and
+// sorting every entry each cycle, the queue maintains a ready set — the
+// entries whose register operands are all available — in ascending GSeq
+// order. The core marks an entry ready at dispatch when its operands are
+// already available, or later through the register file's writeback wakeup
+// (RegFile.WatchSources / RegFile.Write); both paths land in MarkReady.
+// Uop.IQIdx tracks each entry's slot so Remove is O(1), and membership in
+// the ready set is O(log n) maintenance instead of an O(n log n) rebuild.
 type IQ struct {
 	capacity int
 	entries  []*Uop
+	ready    []*Uop // register-ready entries in ascending GSeq (issue order)
 	// perThread counts occupied entries per thread, for the ICOUNT fetch
 	// policy and for static-partition ablations.
 	perThread []int
@@ -21,6 +29,7 @@ func NewIQ(capacity, threads, partition int) *IQ {
 	return &IQ{
 		capacity:  capacity,
 		entries:   make([]*Uop, 0, capacity),
+		ready:     make([]*Uop, 0, capacity),
 		perThread: make([]int, threads),
 		partition: partition,
 	}
@@ -47,54 +56,103 @@ func (q *IQ) CanInsert(tid int) bool {
 }
 
 // Insert places u in the queue at cycle now. The caller must have checked
-// CanInsert.
+// CanInsert, and must follow up with MarkReady once u's register operands
+// are all available (immediately, or via the register file's wakeup).
 func (q *IQ) Insert(u *Uop, now uint64) {
 	if !q.CanInsert(u.TID) {
 		panic("pipeline: IQ insert without capacity")
 	}
 	u.InIQ = true
+	u.InReady = false
 	u.EnterIQ = now
+	u.IQIdx = len(q.entries)
 	q.entries = append(q.entries, u)
 	q.perThread[u.TID]++
 }
+
+// MarkReady adds the resident entry u to the ready set. Idempotence is the
+// caller's problem: u must not already be in the set.
+func (q *IQ) MarkReady(u *Uop) {
+	if !u.InIQ || u.InReady {
+		panic("pipeline: MarkReady of a non-resident or already-ready entry")
+	}
+	i := q.readySearch(u.GSeq)
+	q.ready = append(q.ready, nil)
+	copy(q.ready[i+1:], q.ready[i:])
+	q.ready[i] = u
+	u.InReady = true
+}
+
+// readySearch returns the insertion index of gseq in the ready set (the
+// count of ready entries with a smaller GSeq). GSeqs are unique, so this
+// also locates an existing member exactly.
+func (q *IQ) readySearch(gseq uint64) int {
+	lo, hi := 0, len(q.ready)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if q.ready[mid].GSeq < gseq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// AppendReady appends the ready entries to dst, oldest first, and returns
+// the extended slice. The core copies the set into its own scratch buffer
+// because issuing removes entries from the set mid-iteration.
+func (q *IQ) AppendReady(dst []*Uop) []*Uop {
+	return append(dst, q.ready...)
+}
+
+// ReadyLen returns the size of the ready set (tests).
+func (q *IQ) ReadyLen() int { return len(q.ready) }
 
 // remove deletes entry i, closing its residency at cycle now.
 func (q *IQ) remove(i int, now uint64) {
 	u := q.entries[i]
 	u.InIQ = false
+	u.IQIdx = -1
 	u.IQCycles += now - u.EnterIQ
 	q.perThread[u.TID]--
-	q.entries[i] = q.entries[len(q.entries)-1]
-	q.entries = q.entries[:len(q.entries)-1]
-}
-
-// Candidates returns the entries satisfying ready, oldest first, without
-// removing them. The core picks from the front, subject to function-unit
-// and port availability, and removes issued entries with Remove.
-func (q *IQ) Candidates(ready func(*Uop) bool) []*Uop {
-	var cand []*Uop
-	for _, u := range q.entries {
-		if ready(u) {
-			cand = append(cand, u)
-		}
+	last := len(q.entries) - 1
+	q.entries[i] = q.entries[last]
+	q.entries[i].IQIdx = i
+	q.entries[last] = nil
+	q.entries = q.entries[:last]
+	if u.InReady {
+		q.dropReady(u)
 	}
-	sort.Slice(cand, func(i, j int) bool { return cand[i].GSeq < cand[j].GSeq })
-	return cand
 }
 
-// Remove deletes u from the queue, closing its residency at cycle now.
+// dropReady removes u from the ready set.
+func (q *IQ) dropReady(u *Uop) {
+	i := q.readySearch(u.GSeq)
+	if i >= len(q.ready) || q.ready[i] != u {
+		panic("pipeline: ready set out of sync")
+	}
+	copy(q.ready[i:], q.ready[i+1:])
+	q.ready[len(q.ready)-1] = nil
+	q.ready = q.ready[:len(q.ready)-1]
+	u.InReady = false
+}
+
+// Remove deletes u from the queue, closing its residency at cycle now. If
+// u is still watching register operands (it was removed by a squash rather
+// than issued), the caller must also drop it from the register file's
+// waiter lists with RegFile.Unwatch.
 func (q *IQ) Remove(u *Uop, now uint64) {
-	for i, e := range q.entries {
-		if e == u {
-			q.remove(i, now)
-			return
-		}
+	i := u.IQIdx
+	if i < 0 || i >= len(q.entries) || q.entries[i] != u {
+		panic("pipeline: IQ remove of absent entry")
 	}
-	panic("pipeline: IQ remove of absent entry")
+	q.remove(i, now)
 }
 
 // SquashThread removes every entry of thread tid with GSeq > after,
-// closing residencies at cycle now, and returns the removed uops.
+// closing residencies at cycle now, and returns the removed uops. As with
+// Remove, entries still watching operands must be unwatched by the caller.
 func (q *IQ) SquashThread(tid int, after uint64, now uint64) []*Uop {
 	var out []*Uop
 	for i := 0; i < len(q.entries); {

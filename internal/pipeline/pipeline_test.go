@@ -10,7 +10,7 @@ import (
 func newUop(tid int, gseq uint64, class isa.Class) *Uop {
 	return &Uop{
 		Instruction: isa.Instruction{Class: class, Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone},
-		TID:         tid, GSeq: gseq, PhysDest: -1, OldPhysDest: -1, LSQIdx: -1,
+		TID:         tid, GSeq: gseq, PhysDest: -1, OldPhysDest: -1, IQIdx: -1, LSQIdx: -1,
 	}
 }
 
@@ -67,7 +67,7 @@ func TestIQPartition(t *testing.T) {
 	}
 }
 
-func TestIQCandidatesOldestFirst(t *testing.T) {
+func TestIQReadyOldestFirst(t *testing.T) {
 	q := NewIQ(8, 1, 0)
 	u3 := newUop(0, 3, isa.IntALU)
 	u1 := newUop(0, 1, isa.IntALU)
@@ -75,9 +75,79 @@ func TestIQCandidatesOldestFirst(t *testing.T) {
 	q.Insert(u3, 0)
 	q.Insert(u1, 0)
 	q.Insert(u2, 0)
-	cand := q.Candidates(func(u *Uop) bool { return u.GSeq != 2 })
+	// Wakeup order must not matter: the ready set sorts by GSeq.
+	q.MarkReady(u3)
+	q.MarkReady(u1)
+	cand := q.AppendReady(nil)
 	if len(cand) != 2 || cand[0] != u1 || cand[1] != u3 {
-		t.Fatalf("candidates wrong: %v", cand)
+		t.Fatalf("ready set wrong: %v", cand)
+	}
+}
+
+func TestIQReadyTieAcrossThreads(t *testing.T) {
+	// Oldest-first selection is global: with equal per-thread ages the
+	// unique GSeq (global fetch order) breaks the tie, so thread 1's
+	// earlier-fetched uop outranks thread 0's later one.
+	q := NewIQ(8, 2, 0)
+	t1a := newUop(1, 4, isa.IntALU)
+	t0a := newUop(0, 5, isa.IntALU)
+	t1b := newUop(1, 6, isa.IntALU)
+	t0b := newUop(0, 7, isa.IntALU)
+	for _, u := range []*Uop{t0b, t1b, t0a, t1a} {
+		q.Insert(u, 0)
+		q.MarkReady(u)
+	}
+	cand := q.AppendReady(nil)
+	want := []*Uop{t1a, t0a, t1b, t0b}
+	for i, u := range want {
+		if cand[i] != u {
+			t.Fatalf("ready[%d] = GSeq %d (tid %d), want GSeq %d (tid %d)",
+				i, cand[i].GSeq, cand[i].TID, u.GSeq, u.TID)
+		}
+	}
+}
+
+func TestIQMarkReadyMisusePanics(t *testing.T) {
+	q := NewIQ(4, 1, 0)
+	u := newUop(0, 1, isa.IntALU)
+	mustPanic(t, func() { q.MarkReady(u) }) // not resident
+	q.Insert(u, 0)
+	q.MarkReady(u)
+	mustPanic(t, func() { q.MarkReady(u) }) // already ready
+}
+
+func TestIQRemoveDropsReady(t *testing.T) {
+	q := NewIQ(8, 1, 0)
+	u1 := newUop(0, 1, isa.IntALU)
+	u2 := newUop(0, 2, isa.IntALU)
+	q.Insert(u1, 0)
+	q.Insert(u2, 0)
+	q.MarkReady(u1)
+	q.MarkReady(u2)
+	q.Remove(u1, 5)
+	if u1.InReady || q.ReadyLen() != 1 {
+		t.Fatal("Remove left the entry in the ready set")
+	}
+	if cand := q.AppendReady(nil); len(cand) != 1 || cand[0] != u2 {
+		t.Fatalf("ready set after remove: %v", cand)
+	}
+	// The slot swap must keep IQIdx coherent for the survivor.
+	q.Remove(u2, 6)
+	if q.Len() != 0 || q.ReadyLen() != 0 {
+		t.Fatal("queue not empty after removing both entries")
+	}
+}
+
+func TestIQPartitionReleasedOnRemove(t *testing.T) {
+	q := NewIQ(8, 2, 1)
+	u := newUop(0, 1, isa.IntALU)
+	q.Insert(u, 0)
+	if q.CanInsert(0) {
+		t.Fatal("partition cap of 1 not enforced")
+	}
+	q.Remove(u, 3)
+	if !q.CanInsert(0) {
+		t.Fatal("partition slot not released by Remove")
 	}
 }
 
@@ -89,12 +159,26 @@ func TestIQSquashThread(t *testing.T) {
 	q.Insert(keep, 0)
 	q.Insert(gone, 0)
 	q.Insert(other, 0)
+	// Mid-wakeup squash: one victim already woken, survivors woken too.
+	q.MarkReady(gone)
+	q.MarkReady(other)
 	removed := q.SquashThread(0, 1, 10)
 	if len(removed) != 1 || removed[0] != gone {
 		t.Fatalf("squash removed %v", removed)
 	}
 	if q.Len() != 2 || q.ThreadCount(0) != 1 || q.ThreadCount(1) != 1 {
 		t.Fatal("squash bookkeeping wrong")
+	}
+	if gone.InReady || gone.InIQ {
+		t.Fatal("squashed entry still marked resident/ready")
+	}
+	if cand := q.AppendReady(nil); len(cand) != 1 || cand[0] != other {
+		t.Fatalf("ready set after squash: %v", cand)
+	}
+	// The survivor that had not yet woken must still be wakeable.
+	q.MarkReady(keep)
+	if cand := q.AppendReady(nil); len(cand) != 2 || cand[0] != keep {
+		t.Fatalf("post-squash wakeup wrong: %v", cand)
 	}
 }
 
@@ -265,6 +349,70 @@ func TestRenameAndReadiness(t *testing.T) {
 	rf.Rename(v, 6)
 	if v.PhysSrc1 != u.PhysDest {
 		t.Fatal("consumer not mapped to producer's register")
+	}
+}
+
+func TestRegFileWakeup(t *testing.T) {
+	rf := NewRegFile(64, 64, 1, nil, DefaultBits())
+	var woken []*Uop
+	rf.SetWake(func(u *Uop) { woken = append(woken, u) })
+
+	prod := newUop(0, 1, isa.IntALU)
+	prod.Dest = 3
+	rf.Rename(prod, 0)
+
+	// Both sources name the producer's unready register: two waiter-list
+	// slots, one wake when the single write drains both.
+	cons := newUop(0, 2, isa.IntALU)
+	cons.Src1, cons.Src2 = 3, 3
+	rf.Rename(cons, 0)
+	if n := rf.WatchSources(cons); n != 2 {
+		t.Fatalf("WatchSources = %d, want 2", n)
+	}
+	rf.Write(prod.PhysDest, 5)
+	if len(woken) != 1 || woken[0] != cons {
+		t.Fatalf("woken = %v, want exactly [cons]", woken)
+	}
+	if cons.WaitCount != 0 || cons.Src1Wait || cons.Src2Wait {
+		t.Fatal("wait state not cleared by wakeup")
+	}
+
+	// Ready operands need no watch: the caller marks the uop ready itself.
+	imm := newUop(0, 3, isa.IntALU)
+	imm.Src1 = 1 // initial architectural state, ready at cycle 0
+	rf.Rename(imm, 6)
+	if n := rf.WatchSources(imm); n != 0 {
+		t.Fatalf("WatchSources of ready operands = %d, want 0", n)
+	}
+}
+
+func TestRegFileUnwatch(t *testing.T) {
+	rf := NewRegFile(64, 64, 1, nil, DefaultBits())
+	woken := 0
+	rf.SetWake(func(*Uop) { woken++ })
+
+	prod := newUop(0, 1, isa.IntALU)
+	prod.Dest = 3
+	rf.Rename(prod, 0)
+
+	stay := newUop(0, 2, isa.IntALU)
+	stay.Src1 = 3
+	rf.Rename(stay, 0)
+	gone := newUop(0, 3, isa.IntALU)
+	gone.Src1 = 3
+	rf.Rename(gone, 0)
+	rf.WatchSources(stay)
+	rf.WatchSources(gone)
+
+	// A squash drops gone from the list; the write must wake only stay.
+	rf.Unwatch(gone)
+	if gone.WaitCount != 0 || gone.Src1Wait {
+		t.Fatal("Unwatch left wait state set")
+	}
+	rf.Unwatch(gone) // idempotent on a non-watching uop
+	rf.Write(prod.PhysDest, 5)
+	if woken != 1 {
+		t.Fatalf("woken %d uops, want 1", woken)
 	}
 }
 

@@ -32,6 +32,13 @@ type RegFile struct {
 
 	trk  *avf.Tracker
 	bits Bits
+
+	// Event-driven wakeup (docs/performance.md): waiters[p] holds the IQ
+	// entries blocked on physical register p. Write drains the list and
+	// calls wake on every entry whose WaitCount reaches zero, so the issue
+	// stage never polls operand readiness.
+	waiters [][]*Uop
+	wake    func(*Uop)
 }
 
 // NewRegFile builds a pool of nInt+nFP physical registers shared by
@@ -43,11 +50,12 @@ func NewRegFile(nInt, nFP, threads int, trk *avf.Tracker, bits Bits) *RegFile {
 		panic("pipeline: physical register pool smaller than architectural state")
 	}
 	rf := &RegFile{
-		nInt: nInt,
-		nFP:  nFP,
-		regs: make([]physReg, nInt+nFP),
-		trk:  trk,
-		bits: bits,
+		nInt:    nInt,
+		nFP:     nFP,
+		regs:    make([]physReg, nInt+nFP),
+		trk:     trk,
+		bits:    bits,
+		waiters: make([][]*Uop, nInt+nFP),
 	}
 	next := 0
 	nextFP := nInt
@@ -131,7 +139,65 @@ func (rf *RegFile) Ready(p int) bool {
 	return p < 0 || rf.regs[p].ready
 }
 
-// Write records writeback of physical register p at cycle now.
+// SetWake installs the callback invoked when a waiting uop's last
+// outstanding source operand is written (normally IQ.MarkReady).
+func (rf *RegFile) SetWake(fn func(*Uop)) { rf.wake = fn }
+
+// WatchSources registers u on the waiter list of each source operand that
+// is not yet ready and returns the number of operands u now waits on. A
+// return of 0 means u is register-ready immediately and the caller must
+// mark it ready itself; otherwise the wake callback fires once the last
+// watched register is written. A uop whose two sources name the same
+// unready register takes two list slots and both drain on the same Write.
+func (rf *RegFile) WatchSources(u *Uop) int {
+	u.WaitCount = 0
+	u.Src1Wait, u.Src2Wait = false, false
+	if p := u.PhysSrc1; p >= 0 && !rf.regs[p].ready {
+		rf.waiters[p] = append(rf.waiters[p], u)
+		u.Src1Wait = true
+		u.WaitCount++
+	}
+	if p := u.PhysSrc2; p >= 0 && !rf.regs[p].ready {
+		rf.waiters[p] = append(rf.waiters[p], u)
+		u.Src2Wait = true
+		u.WaitCount++
+	}
+	return u.WaitCount
+}
+
+// Unwatch drops u from any waiter lists it still sits on (a squash removed
+// it from the IQ before its operands arrived).
+func (rf *RegFile) Unwatch(u *Uop) {
+	if u.WaitCount == 0 {
+		return
+	}
+	if u.Src1Wait {
+		rf.dropWaiter(u.PhysSrc1, u)
+		u.Src1Wait = false
+	}
+	if u.Src2Wait {
+		rf.dropWaiter(u.PhysSrc2, u)
+		u.Src2Wait = false
+	}
+	u.WaitCount = 0
+}
+
+func (rf *RegFile) dropWaiter(p int, u *Uop) {
+	ws := rf.waiters[p]
+	for i, w := range ws {
+		if w == u {
+			last := len(ws) - 1
+			ws[i] = ws[last]
+			ws[last] = nil
+			rf.waiters[p] = ws[:last]
+			return
+		}
+	}
+	panic("pipeline: Unwatch of a uop not on the waiter list")
+}
+
+// Write records writeback of physical register p at cycle now and wakes
+// any uops whose last outstanding operand this write satisfies.
 func (rf *RegFile) Write(p int, now uint64) {
 	if p < 0 {
 		return
@@ -142,6 +208,23 @@ func (rf *RegFile) Write(p int, now uint64) {
 	r.writeAt = now
 	if r.lastRead < now {
 		r.lastRead = now
+	}
+	ws := rf.waiters[p]
+	if len(ws) == 0 {
+		return
+	}
+	rf.waiters[p] = ws[:0]
+	for i, u := range ws {
+		ws[i] = nil
+		if u.Src1Wait && u.PhysSrc1 == p {
+			u.Src1Wait = false
+		} else {
+			u.Src2Wait = false
+		}
+		u.WaitCount--
+		if u.WaitCount == 0 && rf.wake != nil {
+			rf.wake(u)
+		}
 	}
 }
 

@@ -36,6 +36,8 @@ type Uop struct {
 
 	// Pipeline state.
 	InIQ       bool
+	IQIdx      int  // slot in the IQ entry array; -1 when not resident
+	InReady    bool // member of the IQ's ready set
 	Issued     bool
 	Executed   bool   // finished execution / memory access; result available
 	FrontReady uint64 // cycle the uop clears the front-end pipe (dispatchable)
@@ -44,6 +46,12 @@ type Uop struct {
 	LSQIdx     int  // -1 for non-memory uops
 	FlushLoad  bool // the L2-missing load that triggered a FLUSH squash
 	Squashed   bool // removed by a pipeline squash; never commits
+
+	// Register-wakeup state (RegFile.WatchSources): how many source
+	// operands are still unwritten, and which of the two slots wait. The
+	// uop sits on the register file's waiter lists while WaitCount > 0.
+	WaitCount          int
+	Src1Wait, Src2Wait bool
 
 	// Outstanding-miss bookkeeping for fetch policies: set when this load
 	// incremented the thread's counters, so squash can decrement them.

@@ -166,6 +166,12 @@ func (r *Recorder) SetBits(bits pipeline.Bits) {
 // given squash outcome. It must be called exactly once per uop, alongside
 // Uop.Classify — from commit, squash, and end-of-run accounting — so the
 // recorder sees exactly the population the tracker accounted.
+//
+// Ownership contract (docs/performance.md): the core recycles u through a
+// per-thread pool the moment Record returns, so everything the recorder
+// keeps must be copied out of u inside this call. Neither u nor anything
+// reachable from it may be retained — a stored pointer would silently
+// mutate into a different instruction on the next fetch.
 func (r *Recorder) Record(u *pipeline.Uop, retire uint64, squashed bool) {
 	if r == nil {
 		return
