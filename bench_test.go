@@ -477,3 +477,63 @@ func BenchmarkPipetraceOverhead(b *testing.B) {
 	b.Run("off", func(b *testing.B) { run(b, false) })
 	b.Run("on", func(b *testing.B) { run(b, true) })
 }
+
+// BenchmarkPropagationOverhead measures the cost of the fault-propagation
+// tracer. "off" runs with no tracer — the prop==nil fast path at the
+// commit/squash hooks — and "nil" attaches a typed-nil *PropagationTracer,
+// exercising the nil-receiver no-op; both must stay within noise of
+// BenchmarkSimulatorCycles. "on" attaches a tracer, samples strikes into
+// every structure, and runs the Analyze pass, showing what a full
+// -propagation run pays.
+func BenchmarkPropagationOverhead(b *testing.B) {
+	b.ReportAllocs()
+	run := func(b *testing.B, mode string) {
+		b.ReportAllocs()
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			cfg := smtavf.DefaultConfig(4)
+			opts := []smtavf.Option{smtavf.WithBenchmarks(ablationMix...)}
+			var (
+				camp   *smtavf.FaultCampaign
+				tracer *smtavf.PropagationTracer
+			)
+			if mode == "on" {
+				var err error
+				camp, err = smtavf.NewFaultCampaign(cfg, 1, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tracer = smtavf.NewPropagation(smtavf.PropagationOptions{})
+				opts = append(opts, smtavf.WithFaultInjection(camp),
+					smtavf.WithPropagation(tracer))
+			}
+			sim, err := smtavf.New(cfg, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mode == "nil" {
+				// The typed-nil tracer exercises the nil-receiver no-op on
+				// the hot path.
+				sim.SetPropagation(tracer)
+			}
+			res, err := sim.Run(uint64(benchBase) * 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mode == "on" {
+				var strikes []smtavf.InjectStrike
+				for _, s := range smtavf.Structs() {
+					strikes = append(strikes, camp.SampleStrikes(s, res.Cycles, 64)...)
+				}
+				if atlas := tracer.Analyze(strikes); atlas.Strikes != len(strikes) {
+					b.Fatalf("atlas covers %d strikes, sampled %d", atlas.Strikes, len(strikes))
+				}
+			}
+			cycles += res.Cycles
+		}
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, "off") })
+	b.Run("nil", func(b *testing.B) { run(b, "nil") })
+	b.Run("on", func(b *testing.B) { run(b, "on") })
+}

@@ -8,6 +8,7 @@
 //	avfreport -figure all -shards 4 -shard-workers 4
 //	avfreport -csv > report.csv
 //	avfreport -provenance 4ctx-MEM-A -provenance-top 10
+//	avfreport -propagation 2ctx-MEM-A -propagation-out atlas.jsonl.gz
 //
 // The -crossval stopping rule shares the -inject-ci / -inject-strikes /
 // -inject-report flags with smtsim and avfsweep (they were previously
@@ -25,6 +26,7 @@ import (
 	"smtavf/internal/cliopts"
 	"smtavf/internal/experiments"
 	"smtavf/internal/inject"
+	"smtavf/internal/propagation"
 )
 
 func main() {
@@ -35,6 +37,11 @@ func main() {
 		provMix = flag.String("provenance", "", "run this Table 2 mix with the pipeline flight recorder and print its AVF provenance tables (skips the figures)")
 		provPol = flag.String("provenance-policy", "ICOUNT", "fetch policy of the -provenance run")
 		provTop = flag.Int("provenance-top", 10, "PC rows in the -provenance hotspot table")
+		propMix = flag.String("propagation", "", "run this Table 2 mix (or comma-separated benchmarks) with the fault-propagation tracer and print the strike atlas (skips the figures)")
+		propPol = flag.String("propagation-policy", "ICOUNT", "fetch policy of the -propagation run")
+		propN   = flag.Int("propagation-strikes", 256, "strikes sampled into each structure for the -propagation atlas")
+		propTop = flag.Int("propagation-top", 10, "root-cause instructions shown in the -propagation tables")
+		propOut = flag.String("propagation-out", "", "write the -propagation per-strike traces as JSONL to this file (.gz compresses)")
 		xvalMix = flag.String("crossval", "", "cross-validate this Table 2 mix (or comma-separated benchmarks) against a fault-injection seed fanout and print the pooled agreement report (skips the figures)")
 		xvalPol = flag.String("crossval-policy", "ICOUNT", "fetch policy of the -crossval runs")
 		xvalN   = flag.Int("crossval-seeds", 3, "seed fanout of the -crossval campaign (seeds seed..seed+N-1, run concurrently and pooled)")
@@ -140,6 +147,30 @@ func main() {
 				os.Exit(1)
 			}
 			logger.Info("crossval report written", "path", inj.Report, "entries", len(pooled.Entries))
+		}
+		logger.Info("done", "elapsed", time.Since(start).Round(time.Millisecond).String())
+		return
+	}
+	if *propMix != "" {
+		spec := experiments.PropagationSpec{Policy: *propPol, Strikes: *propN}
+		if strings.Contains(*propMix, ",") {
+			spec.Benchmarks = strings.Split(*propMix, ",")
+		} else {
+			spec.Mix = *propMix
+		}
+		atlas, title, err := r.Propagation(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avfreport: propagation: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fault-propagation atlas: %s\n\n", title)
+		fmt.Print(atlas.Tables(*propTop))
+		if *propOut != "" {
+			if err := propagation.WriteFile(*propOut, atlas.Traces); err != nil {
+				fmt.Fprintf(os.Stderr, "avfreport: propagation-out: %v\n", err)
+				os.Exit(1)
+			}
+			logger.Info("propagation traces written", "path", *propOut, "traces", len(atlas.Traces))
 		}
 		logger.Info("done", "elapsed", time.Since(start).Round(time.Millisecond).String())
 		return

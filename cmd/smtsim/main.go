@@ -32,6 +32,15 @@
 // -pipetrace-top prints the AVF provenance report: the top-N static
 // instructions by ACE bit-cycles in each pipeline structure, plus the
 // residency-by-fate breakdown.
+//
+// With -inject -propagation the run additionally taint-tracks sampled
+// strikes through the recorded dataflow and prints the fault-propagation
+// atlas — root-cause instructions, hop histograms per edge type, and the
+// cross-thread contamination matrix; -propagation-out writes the
+// per-strike traces as JSONL (docs/propagation.md):
+//
+//	smtsim -bench mcf,gcc -instructions 20000 -inject -propagation
+//	smtsim -mix 4ctx-MIX-A -inject -propagation-out atlas.jsonl.gz
 package main
 
 import (
@@ -45,6 +54,7 @@ import (
 	"smtavf"
 	"smtavf/internal/cliopts"
 	"smtavf/internal/pipetrace"
+	"smtavf/internal/propagation"
 	"smtavf/internal/telemetry"
 )
 
@@ -66,6 +76,7 @@ func main() {
 		logFlags cliopts.Log
 		tel      cliopts.Telemetry
 		inj      cliopts.Inject
+		prop     cliopts.Propagation
 		pt       cliopts.PipeTrace
 		shards   cliopts.Shards
 		prof     cliopts.Profile
@@ -73,6 +84,7 @@ func main() {
 	logFlags.Register(flag.CommandLine)
 	tel.Register(flag.CommandLine)
 	inj.Register(flag.CommandLine)
+	prop.Register(flag.CommandLine)
 	pt.Register(flag.CommandLine)
 	shards.Register(flag.CommandLine)
 	prof.Register(flag.CommandLine)
@@ -87,6 +99,12 @@ func main() {
 	}
 	if err := inj.Validate(); err != nil {
 		fatal(err)
+	}
+	if err := prop.Validate(); err != nil {
+		fatal(err)
+	}
+	if prop.Enabled() && !inj.On {
+		fatal(fmt.Errorf("-propagation needs the strike campaign: pass -inject"))
 	}
 	if err := shards.Validate(); err != nil {
 		fatal(err)
@@ -194,6 +212,14 @@ func main() {
 		camp.PublishTelemetry(col)
 		opts = append(opts, smtavf.WithFaultInjection(camp))
 	}
+	// Fault-propagation tracer: records per-uop dataflow nodes during the
+	// run so sampled strikes can be taint-tracked afterwards.
+	var tracer *smtavf.PropagationTracer
+	if prop.Enabled() {
+		tracer = smtavf.NewPropagation(smtavf.PropagationOptions{})
+		tracer.PublishTelemetry(col)
+		opts = append(opts, smtavf.WithPropagation(tracer))
+	}
 	// Pipeline flight recorder, when a trace file or provenance report is
 	// requested.
 	var rec *smtavf.PipeTrace
@@ -253,6 +279,7 @@ func main() {
 	var (
 		injStats *smtavf.InjectStats
 		injXval  *smtavf.CrossValReport
+		atlas    *smtavf.PropagationAtlas
 	)
 	if camp != nil {
 		injStats = camp.RunStrikes(res.Cycles, smtavf.StopWhen(inj.CI, inj.Strikes))
@@ -279,6 +306,27 @@ func main() {
 				fatal(fmt.Errorf("inject-report: %w", err))
 			}
 			logger.Info("crossval report written", "path", inj.Report, "entries", len(injXval.Entries))
+		}
+		// Taint-track freshly sampled strikes through the recorded dataflow.
+		if tracer != nil {
+			var strikes []smtavf.InjectStrike
+			for _, s := range smtavf.Structs() {
+				strikes = append(strikes, camp.SampleStrikes(s, res.Cycles, prop.Strikes)...)
+			}
+			atlas = tracer.Analyze(strikes)
+			logger.Info("propagation atlas built",
+				"strikes", atlas.Strikes,
+				"resolved", atlas.Resolved,
+				"sdc", atlas.Terminals[propagation.TerminalSDC],
+				"cross_thread", atlas.CrossEdges(),
+				"max_depth", atlas.MaxDepth,
+			)
+			if prop.Out != "" {
+				if err := propagation.WriteFile(prop.Out, atlas.Traces); err != nil {
+					fatal(fmt.Errorf("propagation-out: %w", err))
+				}
+				logger.Info("propagation traces written", "path", prop.Out, "traces", len(atlas.Traces))
+			}
 		}
 	}
 	elapsed := time.Since(start)
@@ -307,6 +355,10 @@ func main() {
 		fmt.Print(injStats.Table())
 		fmt.Println()
 		fmt.Print(injXval.Table())
+	}
+	if atlas != nil && prop.On {
+		fmt.Println()
+		fmt.Print(atlas.Tables(prop.Top))
 	}
 	if rec != nil && pt.Top > 0 {
 		prov := rec.Provenance()

@@ -1,0 +1,70 @@
+package avf
+
+import "testing"
+
+// TestFatesExhaustive pins the fate table's edges: Fates() enumerates
+// exactly NumFates distinct values in declaration order, every one has a
+// unique name, and the name table covers the enum exactly — so adding a
+// fate without growing fateNames (or vice versa) fails here rather than
+// rendering "fate(5)" in a report.
+func TestFatesExhaustive(t *testing.T) {
+	fates := Fates()
+	if len(fates) != int(NumFates) {
+		t.Fatalf("Fates() lists %d fates, NumFates = %d", len(fates), NumFates)
+	}
+	seen := map[string]bool{}
+	for i, f := range fates {
+		if f != Fate(i) {
+			t.Errorf("Fates()[%d] = %v, want declaration order", i, f)
+		}
+		name := f.String()
+		if name == "" || seen[name] {
+			t.Errorf("fate %d has duplicate or empty name %q", i, name)
+		}
+		seen[name] = true
+	}
+}
+
+// TestFateStringOutOfRange checks values past the table render as a
+// diagnostic rather than panicking or aliasing a real fate.
+func TestFateStringOutOfRange(t *testing.T) {
+	if got, want := NumFates.String(), "fate(5)"; got != want {
+		t.Errorf("NumFates.String() = %q, want %q", got, want)
+	}
+	if got, want := Fate(200).String(), "fate(200)"; got != want {
+		t.Errorf("Fate(200).String() = %q, want %q", got, want)
+	}
+}
+
+// TestFateACE pins the single-ACE-fate invariant the provenance split
+// relies on: committed residency is architecturally required, every other
+// fate is masked.
+func TestFateACE(t *testing.T) {
+	for _, f := range Fates() {
+		if got, want := f.ACE(), f == FateCommitted; got != want {
+			t.Errorf("%s.ACE() = %v, want %v", f, got, want)
+		}
+	}
+}
+
+// TestFateTextRoundTrip checks MarshalText/UnmarshalText invert each
+// other for every fate, and that unknown names are rejected.
+func TestFateTextRoundTrip(t *testing.T) {
+	for _, f := range Fates() {
+		b, err := f.MarshalText()
+		if err != nil {
+			t.Fatalf("%s: MarshalText: %v", f, err)
+		}
+		var back Fate
+		if err := back.UnmarshalText(b); err != nil {
+			t.Fatalf("%s: UnmarshalText(%q): %v", f, b, err)
+		}
+		if back != f {
+			t.Errorf("round trip changed %s into %s", f, back)
+		}
+	}
+	var f Fate
+	if err := f.UnmarshalText([]byte("transcended")); err == nil {
+		t.Error("unknown fate name accepted")
+	}
+}

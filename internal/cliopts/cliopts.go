@@ -128,6 +128,34 @@ func (i *Inject) Validate() error {
 	return nil
 }
 
+// Propagation is the fault-propagation atlas flag group (-propagation,
+// -propagation-out, -propagation-strikes, -propagation-top).
+type Propagation struct {
+	On      bool
+	Out     string
+	Strikes int
+	Top     int
+}
+
+// Register binds the propagation flags.
+func (p *Propagation) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&p.On, "propagation", false, "taint-track sampled strikes through the recorded dataflow and print the fault-propagation atlas (requires -inject)")
+	fs.StringVar(&p.Out, "propagation-out", "", "write the per-strike propagation traces as JSONL to this file (.gz compresses; enables -propagation)")
+	fs.IntVar(&p.Strikes, "propagation-strikes", 256, "strikes sampled into each structure for taint tracking")
+	fs.IntVar(&p.Top, "propagation-top", 10, "root-cause instructions shown in the atlas tables")
+}
+
+// Enabled reports whether the atlas was requested.
+func (p *Propagation) Enabled() bool { return p.On || p.Out != "" }
+
+// Validate rejects meaningless settings.
+func (p *Propagation) Validate() error {
+	if p.Enabled() && p.Strikes <= 0 {
+		return fmt.Errorf("-propagation-strikes must be positive, got %d", p.Strikes)
+	}
+	return nil
+}
+
 // PipeTrace is the pipeline flight-recorder flag group (-pipetrace,
 // -pipetrace-format, -pipetrace-window, -pipetrace-top).
 type PipeTrace struct {

@@ -9,6 +9,7 @@ import (
 	"smtavf/internal/mem"
 	"smtavf/internal/pipeline"
 	"smtavf/internal/pipetrace"
+	"smtavf/internal/propagation"
 	"smtavf/internal/telemetry"
 	"smtavf/internal/trace"
 )
@@ -84,6 +85,10 @@ type Processor struct {
 	// Pipeline flight recorder (SetPipeTrace). nil when detached; every
 	// Record call below is then a nil-receiver no-op.
 	rec *pipetrace.Recorder
+
+	// Fault-propagation tracer (SetPropagation). nil when detached; fed
+	// at the same sites as the flight recorder.
+	prop *propagation.Tracer
 
 	// Per-cycle scratch, reused every cycle so the steady-state loop does
 	// not allocate (docs/performance.md): fetchStates/fetchOrder feed the
@@ -316,6 +321,7 @@ func (p *Processor) rebaseMeasurement() {
 	}
 	p.trk.Rebase(p.now)
 	p.rec.Rebase(p.now)
+	p.prop.Rebase(p.now)
 	p.measureStart = p.now
 	p.warmCommitted = p.totalCommitted
 	p.warmPerThread = make([]uint64, len(p.threads))
@@ -410,6 +416,15 @@ func (p *Processor) SetPipeTrace(r *pipetrace.Recorder) {
 	r.SetBits(p.cfg.Bits)
 }
 
+// SetPropagation attaches a fault-propagation tracer; it observes the
+// same commit/squash/end-of-run population the flight recorder and the
+// AVF tracker see, so offline strike traces resolve victims against
+// exactly the accounted state. Call before Run; nil detaches.
+func (p *Processor) SetPropagation(t *propagation.Tracer) {
+	p.prop = t
+	t.Configure(p.cfg.Bits, p.cfg.DL1, p.cfg.Threads)
+}
+
 // closeAccounting finalizes every open residency interval at the end of a
 // run: in-flight uops are classified with the fate they were heading for
 // (commit unless wrong-path), and the address structures close their
@@ -429,6 +444,7 @@ func (p *Processor) closeAccounting(partialTail bool) {
 			unACE := u.WrongPath || partialTail
 			u.Classify(p.trk, p.cfg.Bits, unACE)
 			p.rec.Record(u, p.now, unACE)
+			p.prop.Record(u, p.now, unACE)
 		}
 	}
 	p.rf.CloseAccounting(p.now)

@@ -49,6 +49,7 @@ func (p *Processor) commit() {
 			}
 			u.Classify(p.trk, p.cfg.Bits, false)
 			p.rec.Record(u, p.now, false)
+			p.prop.Record(u, p.now, false)
 			t.committed++
 			p.totalCommitted++
 			p.telCommitted.Inc()
@@ -532,6 +533,7 @@ func (p *Processor) squashThread(t *thread, afterGSeq uint64) {
 		note(u)
 		u.Squashed = true
 		p.rec.Record(u, p.now, true)
+		p.prop.Record(u, p.now, true)
 		if u.PredL1 {
 			t.predL1--
 		}
@@ -562,6 +564,7 @@ func (p *Processor) squashThread(t *thread, afterGSeq uint64) {
 		u.Squashed = true
 		u.Classify(p.trk, p.cfg.Bits, true)
 		p.rec.Record(u, p.now, true)
+		p.prop.Record(u, p.now, true)
 		t.squashedUops++
 		p.telSquashed.Inc()
 		if u == t.wpBranch {

@@ -18,18 +18,14 @@
 package crossval
 
 import (
-	"bufio"
-	"compress/gzip"
-	"encoding/json"
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"strings"
 
 	"smtavf/internal/avf"
 	"smtavf/internal/inject"
-	"smtavf/internal/telemetry"
+	"smtavf/internal/jsonlio"
 )
 
 // SchemaVersion identifies the Entry JSON schema; bump when renaming or
@@ -201,19 +197,13 @@ func (r *Report) Table() string {
 // WriteJSONL writes the report as one JSON object per line (schema
 // version in every line's "v" field).
 func (r *Report) WriteJSONL(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	for _, e := range r.Entries {
-		if err := enc.Encode(e); err != nil {
-			return err
-		}
-	}
-	return nil
+	return jsonlio.WriteLines(w, r.Entries)
 }
 
 // WriteFile writes the report as JSONL to path, gzip-compressing when the
-// name ends in .gz (the shared telemetry writer convention).
+// name ends in .gz (the shared jsonlio writer convention).
 func (r *Report) WriteFile(path string) error {
-	w, err := telemetry.OpenWriter(path)
+	w, err := jsonlio.OpenWriter(path)
 	if err != nil {
 		return err
 	}
@@ -224,50 +214,25 @@ func (r *Report) WriteFile(path string) error {
 	return w.Close()
 }
 
+// checkEntry rejects entries with a schema version newer than this package
+// understands (older versions still parse).
+func checkEntry(e *Entry) error {
+	if e.V > SchemaVersion {
+		return fmt.Errorf("crossval: entry schema v%d is newer than supported v%d", e.V, SchemaVersion)
+	}
+	return nil
+}
+
 // ReadJSONL parses entries written by WriteJSONL. Lines with a schema
 // version newer than this package understands are an error.
 func ReadJSONL(rd io.Reader) ([]Entry, error) {
-	var out []Entry
-	sc := bufio.NewScanner(rd)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		var e Entry
-		if err := json.Unmarshal([]byte(line), &e); err != nil {
-			return nil, fmt.Errorf("crossval: bad entry: %w", err)
-		}
-		if e.V > SchemaVersion {
-			return nil, fmt.Errorf("crossval: entry schema v%d is newer than supported v%d", e.V, SchemaVersion)
-		}
-		out = append(out, e)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return jsonlio.ReadLines(rd, checkEntry)
 }
 
 // ReadFile reads entries from a JSONL file, transparently decompressing
 // when the name ends in .gz.
 func ReadFile(path string) ([]Entry, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var rd io.Reader = f
-	if strings.HasSuffix(strings.ToLower(path), ".gz") {
-		gz, err := gzip.NewReader(f)
-		if err != nil {
-			return nil, err
-		}
-		defer gz.Close()
-		rd = gz
-	}
-	return ReadJSONL(rd)
+	return jsonlio.ReadFile(path, checkEntry)
 }
 
 // Pool aggregates per-seed reports of the same workload into one: strike

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smtavf/internal/avf"
+	"smtavf/internal/core"
+	"smtavf/internal/inject"
+	"smtavf/internal/propagation"
+	"smtavf/internal/trace"
+	"smtavf/internal/workload"
+)
+
+// PropagationSpec describes one fault-propagation atlas experiment: a
+// workload, a fetch policy, a strike campaign, and how many strikes per
+// structure to taint-track.
+type PropagationSpec struct {
+	// Mix is a Table 2 mix name; alternatively list Benchmarks directly.
+	Mix        string
+	Benchmarks []string
+	Policy     string
+	// Seed seeds the simulation and the campaign (default: runner seed).
+	Seed uint64
+	// Every is the campaign's sample-grid pitch (default 1: exact).
+	Every uint64
+	// Strikes is the number of strikes sampled into each structure
+	// (default 256).
+	Strikes int
+	// Instructions overrides the runner's context-scaled budget.
+	Instructions uint64
+	// Protection classifies ACE strikes per structure (default: all
+	// silent).
+	Protection core.ProtectionModes
+	// Options tunes the tracer's capture and expansion bounds.
+	Options propagation.Options
+}
+
+// Propagation runs the workload with a fault-injection campaign and the
+// propagation tracer attached, samples Strikes strikes into every
+// structure, and taint-tracks each through the recorded dataflow. It
+// returns the aggregated atlas and the run title. Propagation runs are
+// not memoized — the tracer holds per-uop state, so they use their own
+// (single) simulation.
+func (r *Runner) Propagation(spec PropagationSpec) (*propagation.Atlas, string, error) {
+	names, err := CrossValSpec{Mix: spec.Mix, Benchmarks: spec.Benchmarks}.benchmarks()
+	if err != nil {
+		return nil, "", err
+	}
+	if spec.Policy == "" {
+		spec.Policy = "ICOUNT"
+	}
+	if spec.Every == 0 {
+		spec.Every = 1
+	}
+	if spec.Strikes <= 0 {
+		spec.Strikes = 256
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = r.opts.Seed
+	}
+	cfg := core.DefaultConfig(len(names))
+	cfg.Seed = seed
+	cfg.Warmup = r.opts.Warmup
+	if err := cfg.SetPolicy(spec.Policy); err != nil {
+		return nil, "", err
+	}
+	if r.opts.Configure != nil {
+		r.opts.Configure(&cfg)
+	}
+	profiles := make([]trace.Profile, 0, len(names))
+	for _, b := range names {
+		p, err := workload.Profile(b)
+		if err != nil {
+			return nil, "", err
+		}
+		profiles = append(profiles, p)
+	}
+	camp, err := inject.NewCampaign(core.StructBits(cfg), spec.Every, seed)
+	if err != nil {
+		return nil, "", err
+	}
+	camp.SetProtection(spec.Protection.Detections())
+	proc, err := core.New(cfg, profiles)
+	if err != nil {
+		return nil, "", err
+	}
+	proc.AttachSink(camp)
+	tracer := propagation.New(spec.Options)
+	proc.SetPropagation(tracer)
+	quota := spec.Instructions
+	if quota == 0 {
+		quota = r.budget(len(names))
+	}
+	title := CrossValSpec{Mix: spec.Mix, Benchmarks: spec.Benchmarks}.workloadName() +
+		" under " + spec.Policy
+	res, err := proc.Run(core.Limits{TotalInstructions: quota})
+	if err != nil {
+		return nil, "", fmt.Errorf("propagation run %s: %w", title, err)
+	}
+	var strikes []inject.Strike
+	for _, s := range avf.Structs() {
+		strikes = append(strikes, camp.SampleStrikes(s, res.Cycles, spec.Strikes)...)
+	}
+	return tracer.Analyze(strikes), title, nil
+}

@@ -77,6 +77,46 @@ func TestSeedStabilityGolden(t *testing.T) {
 	}
 }
 
+// TestSampleStrikesMatchesOutcomes pins the public Strike records to the
+// same rng stream Outcomes consumes: two fresh campaigns with the same
+// seed must agree strike for strike, and every field of each record must
+// be internally consistent (cycle on the grid, bit within capacity,
+// ThreadBit only when a thread owns the hit).
+func TestSampleStrikesMatchesOutcomes(t *testing.T) {
+	a := goldenCampaign(t)
+	b := goldenCampaign(t)
+	const n = 200
+	for _, s := range []avf.Struct{avf.IQ, avf.ROB, avf.DL1Data} {
+		strikes := a.SampleStrikes(s, 100, n)
+		if len(strikes) != n {
+			t.Fatalf("%v: got %d strikes, want %d", s, len(strikes), n)
+		}
+		corrupted := 0
+		for i, st := range strikes {
+			if st.Struct != s {
+				t.Fatalf("%v strike %d: struct = %v", s, i, st.Struct)
+			}
+			if st.Cycle != a.phase+st.SampleIdx*a.every {
+				t.Errorf("%v strike %d: cycle %d off the grid (idx %d)", s, i, st.Cycle, st.SampleIdx)
+			}
+			if st.Bit >= a.bits[s] {
+				t.Errorf("%v strike %d: bit %d >= capacity %d", s, i, st.Bit, a.bits[s])
+			}
+			if st.Outcome.Corrupting() != (st.TID >= 0) {
+				t.Errorf("%v strike %d: outcome %v with TID %d", s, i, st.Outcome, st.TID)
+			}
+			if st.Outcome.Corrupting() {
+				corrupted++
+			} else if st.ThreadBit != 0 {
+				t.Errorf("%v strike %d: masked strike with ThreadBit %d", s, i, st.ThreadBit)
+			}
+		}
+		if want := b.Outcomes(s, 100, n); corrupted != want {
+			t.Errorf("%v: %d corrupting strikes, Outcomes drew %d from the same seed", s, corrupted, want)
+		}
+	}
+}
+
 // TestSeedStabilityGoldenRunStrikes pins the sequential experiment run
 // directly after the Outcomes draws of the golden script (the rng stream
 // continues across both phases).

@@ -225,6 +225,35 @@ func (c *Campaign) Overbooked(s avf.Struct) int {
 	return n
 }
 
+// Strike is one simulated fault injection: the struck structure, where and
+// when the particle landed, and who owned the state it hit. It is the one
+// public record every strike consumer shares — the statistics layer
+// (RunStrikes) folds strikes into the outcome taxonomy, and the
+// propagation tracer (internal/propagation) resolves each strike's victim
+// uop and taint-tracks the corruption onward.
+type Strike struct {
+	// Struct is the struck structure.
+	Struct avf.Struct
+	// SampleIdx is the grid sample index the strike landed on, relative
+	// to the campaign's origin (the last rebase).
+	SampleIdx uint64
+	// Cycle is the absolute simulation cycle of the strike:
+	// origin + phase + SampleIdx*every.
+	Cycle uint64
+	// Bit is the struck bit's offset within the structure's capacity.
+	Bit uint64
+	// TID is the thread owning the struck ACE state, or -1 when the bit
+	// held idle or un-ACE state (a masked strike).
+	TID int
+	// ThreadBit is the struck bit's offset within the owning thread's
+	// ACE share at the sample cycle (meaningful only when TID >= 0) —
+	// the deterministic handle victim resolution keys on.
+	ThreadBit uint64
+	// Outcome classifies the strike under the structure's configured
+	// protection: Masked, SDC, DUE, or Corrected.
+	Outcome Outcome
+}
+
 // Outcomes simulates 'strikes' actual fault injections into structure s:
 // for each strike a sample cycle and a bit are drawn uniformly, and the
 // strike corrupts the program if the bit holds ACE state. It returns the
@@ -238,22 +267,50 @@ func (c *Campaign) Outcomes(s avf.Struct, cycles uint64, strikes int) (corrupted
 		return 0
 	}
 	for i := 0; i < strikes; i++ {
-		if out, _ := c.strike(s, n); out.Corrupting() {
+		if c.strike(s, n).Outcome.Corrupting() {
 			corrupted++
 		}
 	}
 	return corrupted
 }
 
+// SampleStrikes draws n fault injections into structure s over a recorded
+// run of 'cycles' cycles and returns the full Strike records. Each strike
+// consumes exactly two rng values (sample index, then bit) from the
+// campaign's stream — the same draws RunStrikes and Outcomes make — so a
+// given seed produces one deterministic strike sequence across all three
+// entry points; call SampleStrikes after RunStrikes to extend the stream,
+// not to replay it. Structures with no recorded samples (zero capacity or
+// an empty grid) return nil.
+func (c *Campaign) SampleStrikes(s avf.Struct, cycles uint64, n int) []Strike {
+	samples := c.Samples(cycles)
+	if samples == 0 || c.bits[s] == 0 || n <= 0 {
+		return nil
+	}
+	out := make([]Strike, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, c.strike(s, samples))
+	}
+	return out
+}
+
 // strike draws one (sample cycle, bit) pair for structure s — consuming
 // exactly two rng values — and classifies the outcome, attributing ACE
-// hits to the owning thread (-1 when no thread owns the struck bit).
-func (c *Campaign) strike(s avf.Struct, samples uint64) (Outcome, int) {
+// hits to the owning thread (TID -1 when no thread owns the struck bit).
+func (c *Campaign) strike(s avf.Struct, samples uint64) Strike {
 	idx := c.rnd.Uint64n(samples)
 	bit := c.rnd.Uint64n(c.bits[s])
+	st := Strike{
+		Struct:    s,
+		SampleIdx: idx,
+		Cycle:     c.origin + c.phase + idx*c.every,
+		Bit:       bit,
+		TID:       -1,
+		Outcome:   Masked,
+	}
 	cl := c.cells[s][idx]
 	if cl == nil || bit >= cl.ace {
-		return Masked, -1 // idle or un-ACE state: the strike is masked
+		return st // idle or un-ACE state: the strike is masked
 	}
 	tid := 0
 	for _, share := range cl.perThread {
@@ -266,7 +323,10 @@ func (c *Campaign) strike(s avf.Struct, samples uint64) (Outcome, int) {
 	if tid >= len(cl.perThread) {
 		tid = len(cl.perThread) - 1 // unreachable unless shares disagree with ace
 	}
-	return c.protection[s].outcome(), tid
+	st.TID = tid
+	st.ThreadBit = bit
+	st.Outcome = c.protection[s].outcome()
+	return st
 }
 
 // Events returns the number of intervals observed (diagnostics).

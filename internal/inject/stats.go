@@ -217,13 +217,13 @@ func (c *Campaign) RunStrikes(cycles uint64, rule Stop) *Stats {
 				n = left
 			}
 			for i := 0; i < n; i++ {
-				out, tid := c.strike(s, samples[s])
-				r.Outcomes[out]++
-				if out.Corrupting() && tid >= 0 {
-					for len(r.PerThread) <= tid {
+				strike := c.strike(s, samples[s])
+				r.Outcomes[strike.Outcome]++
+				if strike.Outcome.Corrupting() && strike.TID >= 0 {
+					for len(r.PerThread) <= strike.TID {
 						r.PerThread = append(r.PerThread, 0)
 					}
-					r.PerThread[tid]++
+					r.PerThread[strike.TID]++
 				}
 			}
 			r.Strikes += uint64(n)

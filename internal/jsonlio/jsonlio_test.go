@@ -1,0 +1,95 @@
+package jsonlio
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+type rec struct {
+	V    int    `json:"v"`
+	Name string `json:"name"`
+	N    uint64 `json:"n"`
+}
+
+func sample() []rec {
+	return []rec{
+		{V: 1, Name: "alpha", N: 7},
+		{V: 1, Name: "beta", N: 0},
+		{V: 1, Name: "gamma", N: 1 << 40},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLines(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLines[rec](&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFileRoundTripGzipAndPlain(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"out.jsonl", "out.jsonl.gz", "OUT.JSONL.GZ"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, sample()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := ReadFile[rec](path, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(sample()) {
+			t.Errorf("%s: read %d records, want %d", name, len(got), len(sample()))
+		}
+	}
+}
+
+func TestIsGzipPath(t *testing.T) {
+	cases := map[string]bool{
+		"a.jsonl":    false,
+		"a.jsonl.gz": true,
+		"a.CSV.GZ":   true,
+		"a.gz.jsonl": false,
+	}
+	for path, want := range cases {
+		if got := IsGzipPath(path); got != want {
+			t.Errorf("IsGzipPath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestCheckRejects(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLines(&buf, []rec{{V: 1}, {V: 99}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadLines(&buf, func(r *rec) error {
+		if r.V != 1 {
+			return fmt.Errorf("schema v%d, want v1", r.V)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("version check did not reject a v99 record")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile[rec](filepath.Join(t.TempDir(), "absent.jsonl"), nil); err == nil {
+		t.Fatal("reading a missing file succeeded")
+	}
+}

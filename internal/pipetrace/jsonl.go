@@ -1,43 +1,29 @@
 package pipetrace
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
 
-	"smtavf/internal/telemetry"
+	"smtavf/internal/jsonlio"
 )
 
 // WriteJSONL writes one Record as one JSON object per line, in retirement
 // order — the compact machine-readable export, ready for jq. Every line
 // carries the schema version ("v").
 func WriteJSONL(w io.Writer, recs []Record) error {
-	enc := json.NewEncoder(w)
-	for i := range recs {
-		if err := enc.Encode(&recs[i]); err != nil {
-			return err
-		}
-	}
-	return nil
+	return jsonlio.WriteLines(w, recs)
 }
 
 // ReadJSONL decodes a JSONL recording produced by WriteJSONL; it rejects
 // records from a different schema version.
 func ReadJSONL(r io.Reader) ([]Record, error) {
-	dec := json.NewDecoder(r)
-	var out []Record
-	for dec.More() {
-		var rec Record
-		if err := dec.Decode(&rec); err != nil {
-			return nil, err
-		}
+	return jsonlio.ReadLines(r, func(rec *Record) error {
 		if rec.V != SchemaVersion {
-			return nil, fmt.Errorf("pipetrace: record schema v%d, this build reads v%d", rec.V, SchemaVersion)
+			return fmt.Errorf("pipetrace: record schema v%d, this build reads v%d", rec.V, SchemaVersion)
 		}
-		out = append(out, rec)
-	}
-	return out, nil
+		return nil
+	})
 }
 
 // Format names a flight-recording export format.
@@ -80,13 +66,13 @@ func Write(w io.Writer, f Format, recs []Record) error {
 
 // WriteFile exports the retained records to path. An empty format picks
 // one from the extension (FormatForPath); a ".gz" suffix gzip-compresses
-// the output (telemetry.OpenWriter, shared with the telemetry exporters —
+// the output (jsonlio.OpenWriter, shared with the telemetry exporters —
 // flight recordings are large).
 func (r *Recorder) WriteFile(path string, f Format) error {
 	if f == "" {
 		f = FormatForPath(path)
 	}
-	w, err := telemetry.OpenWriter(path)
+	w, err := jsonlio.OpenWriter(path)
 	if err != nil {
 		return err
 	}

@@ -75,6 +75,83 @@ func TestWindowGating(t *testing.T) {
 	}
 }
 
+// TestWindowBoundaryResidencySplit pins how sampling windows partition
+// provenance: gating is by fetch cycle only, so two complementary windows
+// split the uop population exactly — counts, fate totals, and per-struct
+// bit-cycles all reconcile with an unwindowed recorder — and a uop fetched
+// inside a window keeps its *entire* residency even when the spans run
+// past WindowEnd (residency is attributed to the fetch window, never
+// split at the boundary).
+func TestWindowBoundaryResidencySplit(t *testing.T) {
+	const boundary = 100
+	full := New(Options{})
+	lo := New(Options{WindowEnd: boundary})
+	hi := New(Options{WindowStart: boundary})
+
+	// Fetches straddling the boundary; the uop fetched at 99 dispatches at
+	// 103 so all of its residency lies beyond WindowEnd.
+	fetches := []uint64{90, 95, 99, 100, 101, 110}
+	for i, fetch := range fetches {
+		for _, r := range []*Recorder{full, lo, hi} {
+			class := isa.IntALU
+			if i%2 == 1 {
+				class = isa.Load
+			}
+			r.Record(uop(0, uint64(i), uint64(i), 0x100+16*fetch, class, fetch), fetch+20, false)
+		}
+	}
+
+	if lo.Len()+hi.Len() != full.Len() {
+		t.Fatalf("windows retain %d+%d records, full recorder %d",
+			lo.Len(), hi.Len(), full.Len())
+	}
+	if lo.Len() != 3 || hi.Len() != 3 {
+		t.Fatalf("boundary fetch landed wrong: lo=%d hi=%d, want 3+3", lo.Len(), hi.Len())
+	}
+	for _, rec := range lo.Records() {
+		if rec.Fetch >= boundary {
+			t.Fatalf("record fetched at %d leaked into [0,%d)", rec.Fetch, boundary)
+		}
+	}
+	for _, rec := range hi.Records() {
+		if rec.Fetch < boundary {
+			t.Fatalf("record fetched at %d leaked into [%d,inf)", rec.Fetch, boundary)
+		}
+	}
+
+	// The 99-fetch uop's residency ([103, ...) entirely past the boundary)
+	// must still be aggregated by the low window, in full.
+	var pastEnd bool
+	for _, rec := range lo.Records() {
+		if rec.Fetch == 99 && rec.ROB.Start >= boundary && rec.ROB.Cycles > 0 {
+			pastEnd = true
+		}
+	}
+	if !pastEnd {
+		t.Fatal("boundary-straddling uop lost its past-WindowEnd residency")
+	}
+
+	// Bit-cycles and fate counts partition exactly across the windows.
+	for _, s := range RecordStructs {
+		if got, want := lo.ACEBitCycles(s)+hi.ACEBitCycles(s), full.ACEBitCycles(s); got != want {
+			t.Errorf("%s: windowed ACE bit-cycles sum to %d, full recorder %d", s, got, want)
+		}
+		if got, want := lo.ResidentBitCycles(s)+hi.ResidentBitCycles(s), full.ResidentBitCycles(s); got != want {
+			t.Errorf("%s: windowed resident bit-cycles sum to %d, full recorder %d", s, got, want)
+		}
+	}
+	pf, pl, ph := full.Provenance(), lo.Provenance(), hi.Provenance()
+	for i := range pf.Fates {
+		if got, want := pl.Fates[i].Count+ph.Fates[i].Count, pf.Fates[i].Count; got != want {
+			t.Errorf("%s: windowed fate counts sum to %d, full recorder %d",
+				pf.Fates[i].Fate, got, want)
+		}
+	}
+	if got, want := len(pl.PCs)+len(ph.PCs), len(pf.PCs); got != want {
+		t.Errorf("windowed PC profiles sum to %d, full recorder %d", got, want)
+	}
+}
+
 func TestCapKeepsAggregationExact(t *testing.T) {
 	r := New(Options{Cap: 1})
 	r.Record(uop(0, 0, 0, 0x100, isa.IntALU, 10), 30, false)

@@ -1,15 +1,15 @@
 package telemetry
 
 import (
-	"compress/gzip"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"strconv"
 	"strings"
 	"sync"
+
+	"smtavf/internal/jsonlio"
 )
 
 // Exporter receives each completed window. Exporters are driven from the
@@ -38,35 +38,11 @@ func Create(path string) (Exporter, error) {
 }
 
 // OpenWriter creates path for writing, transparently wrapping the stream
-// in gzip compression when the name ends in ".gz". Close flushes the
-// compressor before closing the file. Shared by the telemetry exporters
-// and the pipetrace flight-recorder exports.
+// in gzip compression when the name ends in ".gz" — a thin delegate to the
+// shared internal/jsonlio plumbing, kept here so telemetry call sites read
+// naturally.
 func OpenWriter(path string) (io.WriteCloser, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return nil, err
-	}
-	if strings.HasSuffix(strings.ToLower(path), ".gz") {
-		return &gzipWriteCloser{gz: gzip.NewWriter(f), f: f}, nil
-	}
-	return f, nil
-}
-
-// gzipWriteCloser couples a gzip compressor to its backing file so a
-// single Close finishes both.
-type gzipWriteCloser struct {
-	gz *gzip.Writer
-	f  *os.File
-}
-
-func (g *gzipWriteCloser) Write(p []byte) (int, error) { return g.gz.Write(p) }
-
-func (g *gzipWriteCloser) Close() error {
-	err := g.gz.Close()
-	if cerr := g.f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return jsonlio.OpenWriter(path)
 }
 
 // JSONL writes one JSON object per window per line — the schema of

@@ -33,6 +33,7 @@ import (
 	"smtavf/internal/fetch"
 	"smtavf/internal/inject"
 	"smtavf/internal/pipetrace"
+	"smtavf/internal/propagation"
 	"smtavf/internal/shard"
 	"smtavf/internal/telemetry"
 	"smtavf/internal/trace"
@@ -134,6 +135,7 @@ type settings struct {
 	tel     *telemetry.Collector
 	rec     *pipetrace.Recorder
 	camp    *inject.Campaign
+	prop    *propagation.Tracer
 	shards  int
 	workers int
 	window  uint64
@@ -257,6 +259,18 @@ func WithFaultInjection(c *FaultCampaign) Option {
 	}
 }
 
+// WithPropagation attaches a fault-propagation tracer to the run (see
+// PropagationTracer): after the run, feed it the strikes of a
+// FaultCampaign (SampleStrikes) and Analyze taint-tracks each corruption
+// through the recorded dataflow. Incompatible with WithShards(n > 1): a
+// sharded run has no single dataflow timeline to trace over.
+func WithPropagation(t *PropagationTracer) Option {
+	return func(s *settings) error {
+		s.prop = t
+		return nil
+	}
+}
+
 // WithShards splits the run into n deterministic intervals per thread and
 // simulates them concurrently on at most workers goroutines (workers <= 0
 // means GOMAXPROCS). Each shard starts from a per-shard functional warmup
@@ -319,6 +333,8 @@ func New(cfg Config, opts ...Option) (*Simulator, error) {
 			return nil, fmt.Errorf("smtavf: WithPipeTrace requires a monolithic run (WithShards(1, ...))")
 		case s.camp != nil:
 			return nil, fmt.Errorf("smtavf: WithFaultInjection requires a monolithic run (WithShards(1, ...))")
+		case s.prop != nil:
+			return nil, fmt.Errorf("smtavf: WithPropagation requires a monolithic run (WithShards(1, ...))")
 		}
 		// Fail construction-time errors here rather than from a worker
 		// goroutine mid-run: one throwaway set of sources validates the
@@ -353,6 +369,9 @@ func New(cfg Config, opts ...Option) (*Simulator, error) {
 	}
 	if s.camp != nil {
 		proc.AttachSink(s.camp)
+	}
+	if s.prop != nil {
+		proc.SetPropagation(s.prop)
 	}
 	return sim, nil
 }
@@ -512,6 +531,50 @@ func NewFaultCampaign(cfg Config, sampleEvery, seed uint64) (*FaultCampaign, err
 // be called before Run. Panics on a sharded simulator — pass
 // WithFaultInjection to New instead.
 func (s *Simulator) InjectFaults(c *FaultCampaign) { s.mono("InjectFaults").AttachSink(c) }
+
+// PropagationTracer records the per-uop dataflow nodes a strike-propagation
+// analysis runs over: after the run, Analyze taint-tracks each of a
+// campaign's strikes from its victim instruction through register,
+// store-forwarding, memory, and shared-cache edges to its terminal
+// (SDC, DUE, corrected, or masked). See docs/propagation.md.
+type PropagationTracer = propagation.Tracer
+
+// PropagationOptions parameterizes a tracer (node cap, expansion bounds).
+type PropagationOptions = propagation.Options
+
+// PropagationAtlas is the aggregate of a propagation analysis: per-strike
+// traces plus root-cause ranking, hop histograms, the thread contamination
+// matrix, and per-structure escape routes.
+type PropagationAtlas = propagation.Atlas
+
+// PropagationTrace is one strike's propagation record (one JSONL line).
+type PropagationTrace = propagation.Trace
+
+// InjectStrike is one sampled fault injection: the struck structure, cycle,
+// bit, and owning thread. Draw them with FaultCampaign.SampleStrikes.
+type InjectStrike = inject.Strike
+
+// NewPropagation builds a fault-propagation tracer.
+func NewPropagation(o PropagationOptions) *PropagationTracer { return propagation.New(o) }
+
+// SetPropagation attaches a propagation tracer to the simulator. Must be
+// called before Run; a nil tracer leaves propagation tracing disabled.
+// Panics on a sharded simulator — pass WithPropagation to New instead.
+func (s *Simulator) SetPropagation(t *PropagationTracer) {
+	s.mono("SetPropagation").SetPropagation(t)
+}
+
+// WritePropagationTraces writes per-strike propagation traces as versioned
+// JSONL to path (.gz compresses); ReadPropagationTraces inverts it.
+func WritePropagationTraces(path string, traces []PropagationTrace) error {
+	return propagation.WriteFile(path, traces)
+}
+
+// ReadPropagationTraces reads traces written by WritePropagationTraces;
+// fold them through PropagationAtlas.Add to rebuild the atlas tables.
+func ReadPropagationTraces(path string) ([]PropagationTrace, error) {
+	return propagation.ReadFile(path)
+}
 
 // mono returns the monolithic processor or panics with a pointer at the
 // Option-based alternative; the attach methods predate sharding and have
