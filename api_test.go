@@ -1,6 +1,7 @@
 package smtavf_test
 
 import (
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -201,5 +202,122 @@ func TestNewWithObservers(t *testing.T) {
 	}
 	if camp.Samples(res.Cycles) == 0 {
 		t.Error("campaign observed no samples")
+	}
+}
+
+// TestWithObservability: the campaign-observability option attaches to
+// both execution paths, appends one run manifest per run, drives the
+// progress tracker, and yields the sharded utilization timeline.
+func TestWithObservability(t *testing.T) {
+	cfg := smtavf.DefaultConfig(2)
+	ledgerPath := filepath.Join(t.TempDir(), "runs.jsonl")
+	ledger, err := smtavf.OpenRunLedger(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := smtavf.NewMetricsRegistry()
+	prog := smtavf.NewProgress(smtavf.ProgressOptions{Heartbeat: -1, Registry: reg})
+	o := &smtavf.Observability{Registry: reg, Progress: prog, Ledger: ledger, Program: "apitest"}
+
+	// Monolithic run with telemetry: progress advances in committed
+	// instructions via the collector.
+	tel := smtavf.NewTelemetry(smtavf.TelemetryOptions{WindowCycles: 1000, Registry: reg})
+	sim, err := smtavf.New(cfg, smtavf.WithBenchmarks("gcc", "mcf"),
+		smtavf.WithTelemetry(tel), smtavf.WithObservability(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := prog.Snapshot(); snap.Phase != "run" || snap.Done == 0 {
+		t.Fatalf("monolithic progress = %+v", snap)
+	}
+	if tl := sim.Timeline(); tl != nil {
+		t.Fatalf("monolithic simulator has a timeline: %v", tl)
+	}
+
+	// Sharded run with the same Observability (valid, unlike the
+	// pipeline observers).
+	sim2, err := smtavf.New(cfg, smtavf.WithBenchmarks("gcc", "mcf"),
+		smtavf.WithShards(2, 2), smtavf.WithObservability(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sim2.Run(8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := prog.Snapshot(); snap.Phase != "shards" || snap.Done != 2 {
+		t.Fatalf("sharded progress = %+v", snap)
+	}
+	if tl := sim2.Timeline(); len(tl) == 0 {
+		t.Fatal("sharded simulator recorded no timeline")
+	} else {
+		var b strings.Builder
+		if err := smtavf.WriteTimeline(&b, tl); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Two manifests in the ledger, in run order, fully attributed.
+	ms, err := smtavf.ReadRunLedger(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("ledger has %d records, want 2", len(ms))
+	}
+	for i, m := range ms {
+		if m.Kind != "run" || m.Program != "apitest" || m.Status != "ok" {
+			t.Errorf("manifest %d header = %+v", i, m)
+		}
+		if m.ConfigDigest == "" || m.Policy != "ICOUNT" {
+			t.Errorf("manifest %d provenance = %+v", i, m)
+		}
+		if len(m.Workloads) != 2 || m.Workloads[0] != "gcc" {
+			t.Errorf("manifest %d workloads = %v", i, m.Workloads)
+		}
+	}
+	if ms[0].Shards != 1 || ms[0].Cycles != res.Cycles {
+		t.Errorf("monolithic manifest = %+v", ms[0])
+	}
+	if ms[1].Shards != 2 || ms[1].Cycles != res2.Cycles {
+		t.Errorf("sharded manifest = %+v", ms[1])
+	}
+	if ms[0].Instructions != res.Total || ms[1].Instructions != res2.Total {
+		t.Errorf("manifest instruction counts: %d/%d want %d/%d",
+			ms[0].Instructions, ms[1].Instructions, res.Total, res2.Total)
+	}
+}
+
+// TestObservabilityIsInert: attaching WithObservability must not change
+// the simulated results on either path.
+func TestObservabilityIsInert(t *testing.T) {
+	cfg := smtavf.DefaultConfig(2)
+	runWith := func(opts ...smtavf.Option) *smtavf.Results {
+		t.Helper()
+		sim, err := smtavf.New(cfg, append([]smtavf.Option{smtavf.WithBenchmarks("gcc", "mcf")}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(8_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	o := &smtavf.Observability{
+		Registry: smtavf.NewMetricsRegistry(),
+		Progress: smtavf.NewProgress(smtavf.ProgressOptions{Heartbeat: -1}),
+	}
+	if !reflect.DeepEqual(runWith(), runWith(smtavf.WithObservability(o))) {
+		t.Fatal("observability perturbed a monolithic run")
+	}
+	if !reflect.DeepEqual(
+		runWith(smtavf.WithShards(2, 2)),
+		runWith(smtavf.WithShards(2, 2), smtavf.WithObservability(o))) {
+		t.Fatal("observability perturbed a sharded run")
 	}
 }

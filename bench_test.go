@@ -537,3 +537,46 @@ func BenchmarkPropagationOverhead(b *testing.B) {
 	b.Run("nil", func(b *testing.B) { run(b, "nil") })
 	b.Run("on", func(b *testing.B) { run(b, "on") })
 }
+
+// BenchmarkObsOverhead measures the cost of the campaign-observability
+// layer on the simulator hot path. "off" runs fully detached — the
+// nil-receiver fast path every hot-loop handle pays. "on" attaches a
+// full Observability (registry, progress tracker with heartbeats
+// disabled) on both the monolithic and sharded paths; obs instruments
+// are fed at campaign rate (windows, shards, phases), never per cycle,
+// so both must stay within noise of the detached run.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.ReportAllocs()
+	run := func(b *testing.B, shards int, attach bool) {
+		b.ReportAllocs()
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			opts := []smtavf.Option{
+				smtavf.WithBenchmarks(ablationMix...),
+				smtavf.WithShards(shards, 0),
+			}
+			if attach {
+				reg := smtavf.NewMetricsRegistry()
+				opts = append(opts, smtavf.WithObservability(&smtavf.Observability{
+					Registry: reg,
+					Progress: smtavf.NewProgress(smtavf.ProgressOptions{Heartbeat: -1, Registry: reg}),
+					Program:  "bench",
+				}))
+			}
+			sim, err := smtavf.New(smtavf.DefaultConfig(4), opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sim.Run(uint64(benchBase) * 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += res.Cycles
+		}
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+	}
+	b.Run("mono-off", func(b *testing.B) { run(b, 1, false) })
+	b.Run("mono-on", func(b *testing.B) { run(b, 1, true) })
+	b.Run("sharded-off", func(b *testing.B) { run(b, 4, false) })
+	b.Run("sharded-on", func(b *testing.B) { run(b, 4, true) })
+}

@@ -13,6 +13,19 @@
 // The -crossval stopping rule shares the -inject-ci / -inject-strikes /
 // -inject-report flags with smtsim and avfsweep (they were previously
 // spelled -crossval-ci and -crossval-out here).
+//
+// avfreport is also the run ledger's browser: -runs lists the manifests
+// a runs.jsonl accumulated (filter with -runs-kind, -runs-program,
+// -runs-status), and -runs-id prints one manifest in full, so any figure
+// traces back to the exact run that produced it:
+//
+//	avfreport -runs runs.jsonl
+//	avfreport -runs runs.jsonl -runs-status interrupted
+//	avfreport -runs runs.jsonl -runs-id smtsim-20260808T005332
+//
+// With -obs-ledger the -crossval fanout appends one "crossval-seed"
+// manifest per seed plus the pooled summary, and every report run
+// appends a "report" record at exit (docs/campaigns.md).
 package main
 
 import (
@@ -26,8 +39,13 @@ import (
 	"smtavf/internal/cliopts"
 	"smtavf/internal/experiments"
 	"smtavf/internal/inject"
+	"smtavf/internal/obs"
 	"smtavf/internal/propagation"
 )
+
+// shut coordinates graceful exit: the report manifest append runs exactly
+// once whether the run finishes, fails, or catches ^C.
+var shut cliopts.Shutdown
 
 func main() {
 	var (
@@ -48,38 +66,94 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		chart   = flag.Bool("chart", false, "render tables as horizontal bar charts")
 
+		runsPath   = flag.String("runs", "", "list the run-manifest ledger at this path and exit (see -obs-ledger)")
+		runsID     = flag.String("runs-id", "", "print the full manifest with this ID (or unique ID prefix) from -runs")
+		runsKind   = flag.String("runs-kind", "", "filter the -runs listing by kind (run, sweep-point, crossval-seed, ...)")
+		runsProg   = flag.String("runs-program", "", "filter the -runs listing by program (smtsim, avfsweep, avfreport)")
+		runsStatus = flag.String("runs-status", "", "filter the -runs listing by exit status (ok, error, interrupted)")
+
 		logFlags cliopts.Log
 		inj      cliopts.Inject
 		shards   cliopts.Shards
 		prof     cliopts.Profile
+		obsFlags cliopts.Obs
 	)
 	logFlags.Register(flag.CommandLine)
 	inj.RegisterStop(flag.CommandLine)
 	shards.Register(flag.CommandLine)
 	prof.Register(flag.CommandLine)
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	logger, err := logFlags.Logger(os.Stderr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "avfreport:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if err := inj.Validate(); err == nil {
 		err = shards.Validate()
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "avfreport:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+	if err := obsFlags.Validate(shards.Sharded()); err != nil {
+		fatal(err)
+	}
+	if obsFlags.Timeline != "" {
+		fatal(fmt.Errorf("-obs-timeline records a single run's worker timeline; use smtsim -shards"))
+	}
+
+	// Ledger browsing: list or show manifests, no simulation.
+	if *runsPath != "" {
+		ms, err := obs.ReadLedger(*runsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if *runsID != "" {
+			m, err := obs.FindRun(ms, *runsID)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(obs.FormatRun(m))
+			return
+		}
+		fmt.Print(obs.FormatRuns(ms, obs.RunFilter{
+			Kind:    *runsKind,
+			Program: *runsProg,
+			Status:  *runsStatus,
+		}))
+		return
+	}
+	if *runsID != "" || *runsKind != "" || *runsProg != "" || *runsStatus != "" {
+		fatal(fmt.Errorf("-runs-id/-runs-kind/-runs-program/-runs-status need -runs <ledger.jsonl>"))
+	}
+
 	if err := prof.Start(); err != nil {
-		fmt.Fprintln(os.Stderr, "avfreport:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	defer func() {
 		if err := prof.Stop(); err != nil {
 			fmt.Fprintln(os.Stderr, "avfreport:", err)
 		}
 	}()
+
+	// Campaign observability: the ledger gets one "report" record per
+	// invocation (plus per-seed records from the -crossval fanout), and
+	// the Final hook appends it however the process exits.
+	ledger, err := obsFlags.OpenLedger()
+	if err != nil {
+		fatal(err)
+	}
+	man := obs.NewManifest("report", "avfreport")
+	man.Seed = *seed
+	man.Extra = map[string]string{"figures": *figure, "base": strconv.FormatUint(*base, 10)}
+	shut.Final(func(status string) {
+		man.Finish(status, nil)
+		if err := ledger.Append(man); err != nil {
+			logger.Error("run ledger append", "path", ledger.Path(), "err", err)
+		}
+	})
+	shut.Install(logger)
+
 	logger.Info("run manifest",
 		"program", "avfreport",
 		"base", *base,
@@ -129,8 +203,14 @@ func main() {
 		}
 		pooled, perSeed, err := r.CrossVal(spec)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "avfreport: crossval: %v\n", err)
-			os.Exit(1)
+			fatal(fmt.Errorf("crossval: %w", err))
+		}
+		man.Kind = "crossval"
+		man.Policy = *xvalPol
+		if spec.Mix != "" {
+			man.Workloads = []string{spec.Mix}
+		} else {
+			man.Workloads = spec.Benchmarks
 		}
 		for _, rep := range perSeed {
 			logger.Info("crossval seed",
@@ -139,16 +219,34 @@ func main() {
 				"stopped_early", rep.StoppedEarly,
 				"pass", rep.Pass(),
 			)
+			// One provenance record per fanout seed, so a disagreeing
+			// seed is traceable on its own.
+			sm := obs.NewManifest("crossval-seed", "avfreport")
+			sm.CampaignSeed = rep.Meta.Seed
+			sm.Policy = rep.Meta.Policy
+			sm.Workloads = []string{rep.Meta.Workload}
+			sm.Cycles = rep.Meta.Cycles
+			for _, e := range rep.Entries {
+				sm.Strikes += e.Strikes
+			}
+			man.Cycles += sm.Cycles
+			man.Strikes += sm.Strikes
+			sm.Extra = map[string]string{"pass": strconv.FormatBool(rep.Pass())}
+			sm.Finish(obs.StatusOK, nil)
+			if err := ledger.Append(sm); err != nil {
+				fatal(fmt.Errorf("obs-ledger: %w", err))
+			}
 		}
 		fmt.Print(pooled.Table())
 		if inj.Report != "" {
 			if err := pooled.WriteFile(inj.Report); err != nil {
-				fmt.Fprintf(os.Stderr, "avfreport: inject-report: %v\n", err)
-				os.Exit(1)
+				fatal(fmt.Errorf("inject-report: %w", err))
 			}
+			man.AddArtifact("crossval", inj.Report)
 			logger.Info("crossval report written", "path", inj.Report, "entries", len(pooled.Entries))
 		}
 		logger.Info("done", "elapsed", time.Since(start).Round(time.Millisecond).String())
+		shut.Finish(obs.StatusOK, logger)
 		return
 	}
 	if *propMix != "" {
@@ -160,41 +258,39 @@ func main() {
 		}
 		atlas, title, err := r.Propagation(spec)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "avfreport: propagation: %v\n", err)
-			os.Exit(1)
+			fatal(fmt.Errorf("propagation: %w", err))
 		}
 		fmt.Printf("fault-propagation atlas: %s\n\n", title)
 		fmt.Print(atlas.Tables(*propTop))
 		if *propOut != "" {
 			if err := propagation.WriteFile(*propOut, atlas.Traces); err != nil {
-				fmt.Fprintf(os.Stderr, "avfreport: propagation-out: %v\n", err)
-				os.Exit(1)
+				fatal(fmt.Errorf("propagation-out: %w", err))
 			}
+			man.AddArtifact("propagation", *propOut)
 			logger.Info("propagation traces written", "path", *propOut, "traces", len(atlas.Traces))
 		}
 		logger.Info("done", "elapsed", time.Since(start).Round(time.Millisecond).String())
+		shut.Finish(obs.StatusOK, logger)
 		return
 	}
 	if *provMix != "" {
 		ts, err := r.Provenance(*provMix, *provPol, *provTop)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "avfreport: provenance: %v\n", err)
-			os.Exit(1)
+			fatal(fmt.Errorf("provenance: %w", err))
 		}
 		emit(ts...)
 		logger.Info("done", "elapsed", time.Since(start).Round(time.Millisecond).String())
+		shut.Finish(obs.StatusOK, logger)
 		return
 	}
 	if all {
 		// Fill the run cache with all cores before assembling figures.
 		preStart := time.Now()
 		if err := r.Preload(experiments.AllSpecs()); err != nil {
-			fmt.Fprintf(os.Stderr, "avfreport: preload: %v\n", err)
-			os.Exit(1)
+			fatal(fmt.Errorf("preload: %w", err))
 		}
 		if err := r.PreloadSingles(); err != nil {
-			fmt.Fprintf(os.Stderr, "avfreport: preload singles: %v\n", err)
-			os.Exit(1)
+			fatal(fmt.Errorf("preload singles: %w", err))
 		}
 		logger.Info("preload complete", "elapsed", time.Since(preStart).Round(time.Millisecond).String())
 	}
@@ -238,8 +334,7 @@ func main() {
 		figStart := time.Now()
 		ts, err := f.run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "avfreport: figure %s: %v\n", f.name, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("figure %s: %w", f.name, err))
 		}
 		logger.Info("figure complete",
 			"figure", f.name,
@@ -252,4 +347,11 @@ func main() {
 		"elapsed", time.Since(start).Round(time.Millisecond).String(),
 		"base", strconv.FormatUint(*base, 10),
 	)
+	shut.Finish(obs.StatusOK, logger)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "avfreport:", err)
+	shut.Finish(obs.StatusError, nil)
+	os.Exit(1)
 }

@@ -11,8 +11,13 @@
 //
 // Long sweeps run unattended: -telemetry-dir records one cycle-windowed
 // JSONL time-series per sweep point, -debug-addr serves live progress
-// (/telemetry, /debug/pprof/) for whichever point is currently running,
-// and structured per-point progress logs go to stderr.
+// (/telemetry, /debug/metrics, /debug/progress, /debug/pprof/) for
+// whichever point is currently running, and structured per-point progress
+// logs go to stderr. With -obs-ledger every sweep point appends its own
+// provenance manifest (kind "sweep-point") plus one "sweep" summary
+// record at exit; -obs-heartbeat paces the point-completion heartbeats.
+// ^C flushes the shared series/report streams and records the sweep
+// manifest with status "interrupted" (docs/campaigns.md).
 package main
 
 import (
@@ -23,12 +28,19 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"smtavf"
 	"smtavf/internal/cliopts"
+	"smtavf/internal/obs"
 	"smtavf/internal/telemetry"
 )
+
+// shut coordinates graceful exit: the shared series/report streams and
+// the sweep manifest append run exactly once whether the sweep finishes,
+// fails, or catches ^C.
+var shut cliopts.Shutdown
 
 func main() {
 	var (
@@ -46,6 +58,7 @@ func main() {
 		inj      cliopts.Inject
 		shards   cliopts.Shards
 		prof     cliopts.Profile
+		obsFlags cliopts.Obs
 	)
 	logFlags.Register(flag.CommandLine)
 	tel.Register(flag.CommandLine)
@@ -53,6 +66,7 @@ func main() {
 	inj.Register(flag.CommandLine)
 	shards.Register(flag.CommandLine)
 	prof.Register(flag.CommandLine)
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	logger, err := logFlags.Logger(os.Stderr)
@@ -70,6 +84,12 @@ func main() {
 	}
 	if shards.Sharded() && (tel.Enabled() || inj.On) {
 		fatal(fmt.Errorf("-shards is batch-only; drop -telemetry/-debug-addr/-inject"))
+	}
+	if err := obsFlags.Validate(shards.Sharded()); err != nil {
+		fatal(err)
+	}
+	if obsFlags.Timeline != "" {
+		fatal(fmt.Errorf("-obs-timeline records a single run's worker timeline; use smtsim -shards"))
 	}
 	if err := prof.Start(); err != nil {
 		fatal(err)
@@ -122,12 +142,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		shared = &sharedExporter{Exporter: exp}
-		defer func() {
-			if err := shared.close(); err != nil {
-				fatal(fmt.Errorf("telemetry: %w", err))
-			}
-		}()
+		shared = &sharedExporter{exp: exp}
+		shut.Defer("telemetry", shared.close)
 	}
 	// One combined cross-validation JSONL across every sweep point.
 	var reportW io.WriteCloser
@@ -136,23 +152,55 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer func() {
-			if err := reportW.Close(); err != nil {
-				fatal(fmt.Errorf("inject-report: %w", err))
-			}
-		}()
+		shut.Defer("inject-report", reportW.Close)
 	}
 	campSeed := inj.CampaignSeed(*seed)
 
 	pols := strings.Split(*policies, ",")
+	points := len(pols) * len(vals)
 	telemetry.RunManifest(logger, "avfsweep", smtavf.DefaultConfig(len(names)), *seed, names,
 		"policies", *policies,
 		"param", *param,
 		"values", *values,
 		"instructions", *instrs,
 		"warmup", *warmup,
-		"points", len(pols)*len(vals),
+		"points", points,
 	)
+
+	// Campaign observability: one registry and one progress tracker span
+	// the whole sweep — the registry reflects whichever point is running,
+	// the progress phase counts completed points — and the ledger gets one
+	// "sweep-point" manifest per point plus a "sweep" summary at exit.
+	reg := smtavf.NewMetricsRegistry()
+	prog := smtavf.NewProgress(smtavf.ProgressOptions{
+		Logger:    logger,
+		Heartbeat: obsFlags.HeartbeatInterval(),
+		Registry:  reg,
+	})
+	prog.Phase("sweep", uint64(points))
+	ledger, err := obsFlags.OpenLedger()
+	if err != nil {
+		fatal(err)
+	}
+	sweepMan := obs.NewManifest("sweep", "avfsweep")
+	sweepMan.Seed = *seed
+	sweepMan.Workloads = names
+	sweepMan.Shards = shards.N
+	sweepMan.Extra = map[string]string{"policies": *policies, "param": *param, "values": *values}
+	if inj.On {
+		sweepMan.CampaignSeed = campSeed
+	}
+	sweepMan.AddArtifact("telemetry", tel.Path)
+	sweepMan.AddArtifact("crossval", inj.Report)
+	var pointsDone int
+	shut.Final(func(status string) {
+		sweepMan.Extra["points_done"] = strconv.Itoa(pointsDone)
+		sweepMan.Finish(status, nil)
+		if err := ledger.Append(sweepMan); err != nil {
+			logger.Error("run ledger append", "path", ledger.Path(), "err", err)
+		}
+	})
+	shut.Install(logger)
 
 	// CSV header.
 	fmt.Printf("policy,%s,ipc", *param)
@@ -168,6 +216,7 @@ func main() {
 		}
 	}()
 	sweepStart := time.Now()
+	var cyclesSum uint64
 	point := 0
 	for _, pol := range pols {
 		pol = strings.TrimSpace(pol)
@@ -185,22 +234,37 @@ func main() {
 			opts := []smtavf.Option{
 				smtavf.WithBenchmarks(names...),
 				smtavf.WithShards(shards.N, shards.Workers),
+				// Registry only: the sweep loop owns the progress phase
+				// (points completed), so per-point runs must not reset it.
+				smtavf.WithObservability(&smtavf.Observability{Registry: reg, Program: "avfsweep"}),
+			}
+			pm := obs.NewManifest("sweep-point", "avfsweep")
+			pm.ConfigDigest = obs.ConfigDigest(cfg)
+			pm.Seed = *seed
+			pm.Policy = pol
+			pm.Workloads = names
+			pm.Shards = shards.N
+			pm.Extra = map[string]string{"param": *param, "value": strconv.Itoa(v)}
+			if inj.On {
+				pm.CampaignSeed = campSeed
 			}
 
 			// One fresh collector (and series file) per sweep point; the
 			// debug server follows the point currently running.
 			var col *smtavf.Telemetry
 			if tel.Enabled() {
-				col = smtavf.NewTelemetry(smtavf.TelemetryOptions{WindowCycles: tel.Window})
+				col = smtavf.NewTelemetry(smtavf.TelemetryOptions{WindowCycles: tel.Window, Registry: reg})
 				if shared != nil {
 					col.AddExporter(shared)
 				}
 				if tel.Dir != "" {
-					exp, err := telemetry.Create(filepath.Join(tel.Dir, pointName(pol, *param, v)))
+					series := filepath.Join(tel.Dir, pointName(pol, *param, v))
+					exp, err := telemetry.Create(series)
 					if err != nil {
 						fatal(err)
 					}
 					col.AddExporter(exp)
+					pm.AddArtifact("telemetry", series)
 				}
 				opts = append(opts, smtavf.WithTelemetry(col))
 			}
@@ -223,6 +287,7 @@ func main() {
 					if err != nil {
 						fatal(err)
 					}
+					dbg.SetProgress(prog)
 				} else {
 					dbg.SetCollector(col)
 				}
@@ -236,8 +301,10 @@ func main() {
 			if cerr := col.Close(); cerr != nil {
 				fatal(fmt.Errorf("telemetry: %w", cerr))
 			}
+			pm.Cycles, pm.Instructions = res.Cycles, res.Total
 			if camp != nil {
 				stats := camp.RunStrikes(res.Cycles, smtavf.StopWhen(inj.CI, inj.Strikes))
+				pm.Strikes = stats.TotalStrikes
 				rep := smtavf.CrossValidate(smtavf.CrossValMeta{
 					Workload: strings.Join(names, "+"),
 					Policy:   pol,
@@ -261,9 +328,19 @@ func main() {
 					}
 				}
 			}
+			pm.Finish(obs.StatusOK, nil)
+			if err := ledger.Append(pm); err != nil {
+				fatal(fmt.Errorf("obs-ledger: %w", err))
+			}
+			pointsDone = point
+			cyclesSum += res.Cycles
+			sweepMan.Cycles += res.Cycles
+			sweepMan.Instructions += res.Total
+			sweepMan.Strikes += pm.Strikes
+			prog.Observe(uint64(point), cyclesSum)
 			logger.Info("sweep point",
 				"point", point,
-				"of", len(pols)*len(vals),
+				"of", points,
 				"policy", res.Policy,
 				"param", *param,
 				"value", v,
@@ -283,24 +360,39 @@ func main() {
 		"points", point,
 		"elapsed", time.Since(sweepStart).Round(time.Millisecond).String(),
 	)
+	shut.Finish(obs.StatusOK, logger)
 }
 
 // sharedExporter is one exporter living across every sweep point: each
 // point's collector Close would close its exporters, so Close is deferred
-// to the end of the sweep (close).
+// to the end of the sweep (close). The mutex serializes Export against
+// close — the SIGINT handler flushes from its own goroutine while a
+// point's collector may still be exporting windows.
 type sharedExporter struct {
-	telemetry.Exporter
+	mu     sync.Mutex
+	exp    telemetry.Exporter
 	closed bool
+}
+
+func (s *sharedExporter) Export(w telemetry.Window) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.exp.Export(w)
 }
 
 func (s *sharedExporter) Close() error { return nil }
 
 func (s *sharedExporter) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return nil
 	}
 	s.closed = true
-	return s.Exporter.Close()
+	return s.exp.Close()
 }
 
 // pointName is the telemetry series filename of one sweep point.
@@ -334,5 +426,6 @@ func apply(cfg *smtavf.Config, param string, v int) error {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "avfsweep:", err)
+	shut.Finish(obs.StatusError, nil)
 	os.Exit(1)
 }

@@ -12,13 +12,25 @@
 // With -shards N the run is split into N deterministic intervals per
 // thread and simulated in parallel; committed-instruction counts stay
 // exact and per-structure AVFs agree with the monolithic run within the
-// documented tolerance (docs/sharding.md). Sharded runs are batch-only:
-// they cannot carry -telemetry, -pipetrace, or -inject observers.
+// documented tolerance (docs/sharding.md). Sharded runs cannot carry the
+// -telemetry series, -pipetrace, or -inject observers — those sample the
+// cycle timeline — but -debug-addr and the -obs-* campaign observability
+// work on both paths.
 //
 // With -telemetry the run emits a cycle-windowed time-series (JSONL, or
 // CSV if the path ends in .csv); with -debug-addr a live HTTP server
-// exposes /telemetry, /debug/vars, and /debug/pprof/ while the run is in
-// flight. Structured progress logs go to stderr (-log-level, -log-json).
+// exposes /telemetry, /debug/vars, /debug/metrics (OpenMetrics),
+// /debug/progress, and /debug/pprof/ while the run is in flight.
+// Structured progress logs go to stderr (-log-level, -log-json).
+//
+// With -obs-ledger every run appends a provenance manifest — config
+// digest, seeds, workloads, cycle/strike counts, the index of every
+// artifact it wrote, exit status — to an append-only runs.jsonl; list it
+// with `avfreport -runs`. -obs-heartbeat paces the progress heartbeat
+// lines, and on a sharded run -obs-timeline writes the per-worker
+// utilization timeline as Chrome trace_event JSON (docs/campaigns.md).
+// ^C flushes and closes every exporter, then records the manifest with
+// status "interrupted" instead of truncating gzip output mid-block.
 //
 // With -pipetrace the run additionally records every uop's pipeline
 // lifecycle and writes it as a Kanata log (.kanata/.kan, opens in Konata),
@@ -53,10 +65,15 @@ import (
 
 	"smtavf"
 	"smtavf/internal/cliopts"
+	"smtavf/internal/obs"
 	"smtavf/internal/pipetrace"
 	"smtavf/internal/propagation"
 	"smtavf/internal/telemetry"
 )
+
+// shut coordinates graceful exit: exporter closers and the run-manifest
+// append run exactly once whether the run finishes, fails, or catches ^C.
+var shut cliopts.Shutdown
 
 func main() {
 	var (
@@ -80,6 +97,7 @@ func main() {
 		pt       cliopts.PipeTrace
 		shards   cliopts.Shards
 		prof     cliopts.Profile
+		obsFlags cliopts.Obs
 	)
 	logFlags.Register(flag.CommandLine)
 	tel.Register(flag.CommandLine)
@@ -88,6 +106,7 @@ func main() {
 	pt.Register(flag.CommandLine)
 	shards.Register(flag.CommandLine)
 	prof.Register(flag.CommandLine)
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	logger, err := logFlags.Logger(os.Stderr)
@@ -107,6 +126,9 @@ func main() {
 		fatal(fmt.Errorf("-propagation needs the strike campaign: pass -inject"))
 	}
 	if err := shards.Validate(); err != nil {
+		fatal(err)
+	}
+	if err := obsFlags.Validate(shards.Sharded()); err != nil {
 		fatal(err)
 	}
 	if err := prof.Start(); err != nil {
@@ -183,22 +205,86 @@ func main() {
 		opts = append(opts, smtavf.WithBenchmarks(names...))
 	}
 
+	// Campaign observability: the metrics registry behind /debug/metrics,
+	// the progress tracker behind the heartbeats and /debug/progress, and
+	// the run ledger. The manifest is authored here — not by the facade —
+	// so it can index every artifact this command writes; the Final hook
+	// appends it once, whatever way the process exits.
+	reg := smtavf.NewMetricsRegistry()
+	prog := smtavf.NewProgress(smtavf.ProgressOptions{
+		Logger:    logger,
+		Heartbeat: obsFlags.HeartbeatInterval(),
+		Registry:  reg,
+	})
+	ledger, err := obsFlags.OpenLedger()
+	if err != nil {
+		fatal(err)
+	}
+	opts = append(opts, smtavf.WithObservability(&smtavf.Observability{
+		Registry: reg,
+		Progress: prog,
+		Program:  "smtsim",
+	}))
+	workloads := names
+	if workloads == nil {
+		workloads = paths
+	}
+	man := obs.NewManifest("run", "smtsim")
+	man.ConfigDigest = obs.ConfigDigest(cfg)
+	man.Seed = *seed
+	man.Policy = *policy
+	man.Workloads = workloads
+	man.Shards = shards.N
+	if *mixName != "" {
+		man.Extra = map[string]string{"mix": *mixName}
+	}
+	var (
+		runRes   *smtavf.Results
+		runStats *smtavf.InjectStats
+	)
+	shut.Final(func(status string) {
+		if runRes != nil {
+			man.Cycles, man.Instructions = runRes.Cycles, runRes.Total
+		}
+		if runStats != nil {
+			man.Strikes = runStats.TotalStrikes
+		}
+		man.Finish(status, nil)
+		if err := ledger.Append(man); err != nil {
+			logger.Error("run ledger append", "path", ledger.Path(), "err", err)
+		}
+	})
+	shut.Install(logger)
+
 	// Telemetry: a collector when a series file or the debug server is
 	// requested; the built-in ring buffer backs the /telemetry endpoint.
+	// A sharded run has no cycle timeline to sample, so the collector is
+	// not attached there — it still carries the registry and progress
+	// tracker for the debug server, which is how a sharded -debug-addr
+	// serves live pool metrics and shard completion.
 	var col *smtavf.Telemetry
 	if tel.Enabled() {
+		if shards.Sharded() && tel.Path != "" {
+			fatal(fmt.Errorf("-telemetry requires a monolithic run: a sharded run has no contiguous cycle timeline (drop -shards or -telemetry)"))
+		}
 		col = smtavf.NewTelemetry(smtavf.TelemetryOptions{
 			WindowCycles: tel.Window,
 			Logger:       logger,
+			Registry:     reg,
 		})
+		col.SetProgress(prog)
 		if tel.Path != "" {
 			exp, err := telemetry.Create(tel.Path)
 			if err != nil {
 				fatal(err)
 			}
 			col.AddExporter(exp)
+			man.AddArtifact("telemetry", tel.Path)
 		}
-		opts = append(opts, smtavf.WithTelemetry(col))
+		shut.Defer("telemetry", col.Close)
+		if !shards.Sharded() {
+			opts = append(opts, smtavf.WithTelemetry(col))
+		}
 	}
 	// Fault-injection campaign: samples the run on a cycle grid, then the
 	// strike phase after the run cross-validates the tracker's AVF.
@@ -211,6 +297,7 @@ func main() {
 		}
 		camp.PublishTelemetry(col)
 		opts = append(opts, smtavf.WithFaultInjection(camp))
+		man.CampaignSeed = campSeed
 	}
 	// Fault-propagation tracer: records per-uop dataflow nodes during the
 	// run so sampled strikes can be taint-tracked afterwards.
@@ -235,6 +322,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// On ^C, flush whatever the flight recorder holds so the partial trace
+	// is still openable; the normal path writes it once, below.
+	var ptWritten bool
+	if rec != nil && pt.Path != "" {
+		shut.Defer("pipetrace", func() error {
+			if ptWritten {
+				return nil
+			}
+			return rec.WriteFile(pt.Path, format)
+		})
+	}
 
 	sim, err := smtavf.New(cfg, opts...)
 	if err != nil {
@@ -250,10 +348,6 @@ func main() {
 		defer dbg.Close()
 	}
 
-	workloads := names
-	if workloads == nil {
-		workloads = paths
-	}
 	telemetry.RunManifest(logger, "smtsim", cfg, *seed, workloads,
 		"policy", *policy,
 		"instructions", *instrs,
@@ -267,13 +361,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if cerr := col.Close(); cerr != nil {
-		fatal(fmt.Errorf("telemetry: %w", cerr))
+	runRes = res
+	if obsFlags.Timeline != "" {
+		if err := writeTimeline(obsFlags.Timeline, sim.Timeline()); err != nil {
+			fatal(fmt.Errorf("obs-timeline: %w", err))
+		}
+		man.AddArtifact("timeline", obsFlags.Timeline)
+		logger.Info("worker timeline written", "path", obsFlags.Timeline, "spans", len(sim.Timeline()))
 	}
 	if rec != nil && pt.Path != "" {
 		if err := rec.WriteFile(pt.Path, format); err != nil {
 			fatal(fmt.Errorf("pipetrace: %w", err))
 		}
+		ptWritten = true
+		man.AddArtifact("pipetrace", pt.Path)
 		logger.Info("pipetrace written", "path", pt.Path, "records", rec.Len(), "dropped", rec.Dropped())
 	}
 	var (
@@ -283,6 +384,7 @@ func main() {
 	)
 	if camp != nil {
 		injStats = camp.RunStrikes(res.Cycles, smtavf.StopWhen(inj.CI, inj.Strikes))
+		runStats = injStats
 		workload := *mixName
 		if workload == "" {
 			workload = strings.Join(workloads, "+")
@@ -305,6 +407,7 @@ func main() {
 			if err := injXval.WriteFile(inj.Report); err != nil {
 				fatal(fmt.Errorf("inject-report: %w", err))
 			}
+			man.AddArtifact("crossval", inj.Report)
 			logger.Info("crossval report written", "path", inj.Report, "entries", len(injXval.Entries))
 		}
 		// Taint-track freshly sampled strikes through the recorded dataflow.
@@ -325,6 +428,7 @@ func main() {
 				if err := propagation.WriteFile(prop.Out, atlas.Traces); err != nil {
 					fatal(fmt.Errorf("propagation-out: %w", err))
 				}
+				man.AddArtifact("propagation", prop.Out)
 				logger.Info("propagation traces written", "path", prop.Out, "traces", len(atlas.Traces))
 			}
 		}
@@ -340,6 +444,7 @@ func main() {
 		"elapsed", elapsed.Round(time.Millisecond).String(),
 		"cycles_per_sec", fmt.Sprintf("%.0f", float64(res.Cycles)/elapsed.Seconds()),
 	)
+	shut.Finish(obs.StatusOK, logger)
 
 	if *asJSON {
 		data, err := json.MarshalIndent(res, "", "  ")
@@ -377,7 +482,22 @@ func main() {
 	}
 }
 
+// writeTimeline exports the sharded run's worker-phase spans as Chrome
+// trace_event JSON for chrome://tracing / Perfetto.
+func writeTimeline(path string, spans []smtavf.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := smtavf.WriteTimeline(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "smtsim:", err)
+	shut.Finish(obs.StatusError, nil)
 	os.Exit(1)
 }

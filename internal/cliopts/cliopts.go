@@ -16,7 +16,10 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
+	"smtavf/internal/jsonlio"
+	"smtavf/internal/obs"
 	"smtavf/internal/pipetrace"
 	"smtavf/internal/telemetry"
 )
@@ -281,6 +284,58 @@ func (p *Profile) Stop() error {
 		}
 	}
 	return first
+}
+
+// Obs is the campaign-observability flag group (-obs-ledger,
+// -obs-heartbeat, -obs-timeline).
+type Obs struct {
+	Ledger    string
+	Heartbeat time.Duration
+	Timeline  string
+}
+
+// Register binds the observability flags.
+func (o *Obs) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.Ledger, "obs-ledger", "", "append one run-manifest record per run to this JSONL ledger (list with avfreport -runs)")
+	fs.DurationVar(&o.Heartbeat, "obs-heartbeat", obs.DefaultHeartbeat, "minimum wall-clock gap between progress heartbeat log lines (0 disables them)")
+	fs.StringVar(&o.Timeline, "obs-timeline", "", "write the sharded run's worker-utilization timeline as Chrome trace_event JSON to this file (requires -shards > 1)")
+}
+
+// Enabled reports whether any observability sink beyond the default
+// heartbeats was requested.
+func (o *Obs) Enabled() bool { return o.Ledger != "" || o.Timeline != "" }
+
+// HeartbeatInterval maps the flag onto obs.ProgressOptions.Heartbeat:
+// the flag's 0 means "disable", which the option spells as negative.
+func (o *Obs) HeartbeatInterval() time.Duration {
+	if o.Heartbeat == 0 {
+		return -1
+	}
+	return o.Heartbeat
+}
+
+// Validate rejects meaningless settings; sharded reports whether the
+// command resolved to a sharded run.
+func (o *Obs) Validate(sharded bool) error {
+	if o.Heartbeat < 0 {
+		return fmt.Errorf("-obs-heartbeat must be non-negative, got %v", o.Heartbeat)
+	}
+	if o.Ledger != "" && jsonlio.IsGzipPath(o.Ledger) {
+		return fmt.Errorf("-obs-ledger %q: gzip ledgers cannot be appended to; use an uncompressed .jsonl path", o.Ledger)
+	}
+	if o.Timeline != "" && !sharded {
+		return fmt.Errorf("-obs-timeline requires a sharded run (-shards > 1)")
+	}
+	return nil
+}
+
+// OpenLedger opens the run ledger, or returns nil when -obs-ledger was
+// not given (a nil ledger drops appends, so call sites need no branch).
+func (o *Obs) OpenLedger() (*obs.Ledger, error) {
+	if o.Ledger == "" {
+		return nil, nil
+	}
+	return obs.OpenLedger(o.Ledger)
 }
 
 // Shards is the parallel-execution flag group (-shards, -shard-workers).

@@ -3,8 +3,12 @@ package cliopts
 import (
 	"bytes"
 	"flag"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"smtavf/internal/obs"
 )
 
 func parse(t *testing.T, register func(*flag.FlagSet), args ...string) {
@@ -136,4 +140,88 @@ func TestShards(t *testing.T) {
 	if err := (&Shards{N: 2, Workers: -1}).Validate(); err == nil {
 		t.Fatal("negative workers accepted")
 	}
+}
+
+func TestObs(t *testing.T) {
+	var o Obs
+	parse(t, o.Register, "-obs-ledger", "runs.jsonl", "-obs-heartbeat", "2s", "-obs-timeline", "tl.json")
+	if !o.Enabled() {
+		t.Fatal("ledger+timeline did not enable observability")
+	}
+	if o.HeartbeatInterval() != 2*time.Second {
+		t.Fatalf("heartbeat = %v", o.HeartbeatInterval())
+	}
+	if err := o.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// The timeline needs a sharded run.
+	if err := o.Validate(false); err == nil {
+		t.Fatal("-obs-timeline accepted on a monolithic run")
+	}
+
+	// Defaults: heartbeats on at the default interval, nothing else.
+	o = Obs{}
+	parse(t, o.Register)
+	if o.Enabled() {
+		t.Fatal("default group reports enabled")
+	}
+	if o.Heartbeat != obs.DefaultHeartbeat {
+		t.Fatalf("default heartbeat = %v", o.Heartbeat)
+	}
+	if l, err := o.OpenLedger(); err != nil || l != nil {
+		t.Fatalf("no -obs-ledger: got %v, %v", l, err)
+	}
+
+	// -obs-heartbeat 0 disables heartbeat logging (negative option value).
+	o = Obs{}
+	parse(t, o.Register, "-obs-heartbeat", "0")
+	if o.HeartbeatInterval() >= 0 {
+		t.Fatalf("0 heartbeat maps to %v, want negative", o.HeartbeatInterval())
+	}
+	if err := o.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Gzip ledgers are append-hostile and rejected up front.
+	if err := (&Obs{Ledger: "runs.jsonl.gz"}).Validate(false); err == nil {
+		t.Fatal("gzip ledger accepted")
+	}
+	if _, err := (&Obs{Ledger: ""}).OpenLedger(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := (&Obs{Ledger: filepath.Join(t.TempDir(), "runs.jsonl")}).OpenLedger()
+	if err != nil || l == nil {
+		t.Fatalf("OpenLedger: %v, %v", l, err)
+	}
+}
+
+func TestShutdown(t *testing.T) {
+	var s Shutdown
+	var order []string
+	s.Defer("first", func() error { order = append(order, "first"); return nil })
+	s.Defer("second", func() error { order = append(order, "second"); return nil })
+	var status string
+	s.Final(func(st string) { status = st; order = append(order, "final") })
+	s.Finish("ok", nil)
+	if strings.Join(order, ",") != "second,first,final" {
+		t.Fatalf("shutdown order = %v, want LIFO then final", order)
+	}
+	if status != "ok" {
+		t.Fatalf("final status = %q", status)
+	}
+
+	// Running again is a no-op: the signal path and the normal path race,
+	// exactly one wins.
+	order = nil
+	s.Finish("interrupted", nil)
+	if len(order) != 0 {
+		t.Fatalf("second Finish re-ran closers: %v", order)
+	}
+
+	// Nil receivers and nil closers are safe.
+	var nilS *Shutdown
+	nilS.Defer("x", func() error { return nil })
+	nilS.Final(func(string) {})
+	nilS.Finish("ok", nil)
+	(&Shutdown{}).Defer("nil fn", nil)
 }

@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"smtavf/internal/avf"
+	"smtavf/internal/obs"
 	"smtavf/internal/rng"
 	"smtavf/internal/telemetry"
 )
@@ -74,6 +75,7 @@ type Campaign struct {
 	telETA     *telemetry.Gauge
 	telHW      [avf.NumStructs]*telemetry.Gauge
 	telLogger  logger
+	prog       *obs.Progress
 }
 
 // logger is the slog subset the campaign emits progress on.

@@ -291,6 +291,7 @@ func (c *Campaign) PublishTelemetry(col *telemetry.Collector) {
 	for s := avf.Struct(0); s < avf.NumStructs; s++ {
 		c.telHW[s] = col.Gauge("inject.halfwidth." + s.String())
 	}
+	c.prog = col.Progress()
 	if l := col.SlogLogger(); l != nil {
 		c.telLogger = l
 	}
@@ -306,6 +307,11 @@ func (c *Campaign) publishProgress(st *Stats, rule Stop, z float64) {
 	}
 	eta := etaStrikes(st, rule, z)
 	c.telETA.Set(eta)
+	// The campaign progress's strike phase counts strikes drawn; the
+	// stopping-rule ETA revises the moving total every round.
+	c.prog.Phase("strikes", 0)
+	c.prog.SetTotal(st.TotalStrikes + uint64(eta))
+	c.prog.Observe(st.TotalStrikes, 0)
 	if c.telLogger != nil && st.Rounds%16 == 0 {
 		c.telLogger.Info("inject round",
 			"round", st.Rounds,

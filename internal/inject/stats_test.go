@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"smtavf/internal/avf"
+	"smtavf/internal/obs"
 	"smtavf/internal/telemetry"
 )
 
@@ -255,4 +256,67 @@ func TestPublishTelemetry(t *testing.T) {
 	c3.PublishTelemetry(nil)
 	fill(t, c3, avf.IQ, 10, map[int]uint64{0: 25})
 	c3.RunStrikes(10, StopWhen(0.05, 1<<16))
+}
+
+// TestTelemetryNameParity pins the migration contract of the campaign
+// gauges: every legacy dotted name stays in the collector snapshot (the
+// /debug/vars surface) AND registers on the obs registry (the
+// /debug/metrics surface) under the same dotted family name.
+func TestTelemetryNameParity(t *testing.T) {
+	var bits [avf.NumStructs]uint64
+	bits[avf.IQ] = 100
+	c, err := NewCampaign(bits, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := telemetry.New(telemetry.Options{})
+	c.PublishTelemetry(col)
+	fill(t, c, avf.IQ, 10, map[int]uint64{0: 25})
+	c.RunStrikes(10, StopWhen(0.05, 1<<16))
+
+	names := []string{"inject.events", "inject.strikes", "inject.rounds", "inject.eta_strikes"}
+	for _, s := range avf.Structs() {
+		names = append(names, "inject.halfwidth."+s.String())
+	}
+	snap := col.Snapshot()
+	reg := col.Registry()
+	for _, name := range names {
+		_, inCounters := snap.Counters[name]
+		_, inGauges := snap.Gauges[name]
+		if !inCounters && !inGauges {
+			t.Errorf("legacy name %q missing from the collector snapshot", name)
+		}
+		if !reg.Has(name) {
+			t.Errorf("name %q missing from the obs registry", name)
+		}
+	}
+}
+
+// TestStrikeProgress: a progress tracker attached to the collector tracks
+// the strike phase through the stopping rule.
+func TestStrikeProgress(t *testing.T) {
+	var bits [avf.NumStructs]uint64
+	bits[avf.IQ] = 100
+	c, err := NewCampaign(bits, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := telemetry.New(telemetry.Options{})
+	p := obs.NewProgress(obs.ProgressOptions{Heartbeat: -1, Registry: col.Registry()})
+	col.SetProgress(p)
+	c.PublishTelemetry(col)
+	fill(t, c, avf.IQ, 10, map[int]uint64{0: 25})
+	st := c.RunStrikes(10, StopWhen(0.05, 1<<16))
+
+	snap := p.Snapshot()
+	if snap.Phase != "strikes" {
+		t.Fatalf("progress phase = %q, want strikes", snap.Phase)
+	}
+	if snap.Done != st.TotalStrikes {
+		t.Fatalf("progress done = %d, want %d strikes", snap.Done, st.TotalStrikes)
+	}
+	// Converged: the stopping-rule ETA is zero, so done == total.
+	if snap.Total != st.TotalStrikes || snap.Fraction != 1 {
+		t.Fatalf("progress total/fraction = %d/%v, want %d/1", snap.Total, snap.Fraction, st.TotalStrikes)
+	}
 }

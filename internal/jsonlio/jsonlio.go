@@ -17,6 +17,7 @@ package jsonlio
 import (
 	"compress/gzip"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"strings"
@@ -40,6 +41,29 @@ func OpenWriter(path string) (io.WriteCloser, error) {
 		return &gzipWriteCloser{gz: gzip.NewWriter(f), f: f}, nil
 	}
 	return f, nil
+}
+
+// AppendLine appends rec to path as one JSONL line, opening the file in
+// append mode so concurrent writers interleave at line granularity — the
+// run-ledger idiom. Gzip paths are rejected: a gzip stream cannot be
+// appended to without corrupting the member that precedes it.
+func AppendLine(path string, rec any) error {
+	if IsGzipPath(path) {
+		return fmt.Errorf("jsonlio: cannot append to gzip stream %q", path)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(append(data, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // OpenReader opens path for reading, transparently decompressing when the

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The exposition grammar the linter enforces — deliberately the subset
+// WriteOpenMetrics emits, strict enough that a truncated or interleaved
+// scrape fails loudly in CI.
+var (
+	lintNameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	lintSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+	lintLabelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+)
+
+// Lint validates an OpenMetrics text exposition: every sample belongs to
+// a family whose # TYPE line precedes it, names and label pairs match the
+// grammar, values parse as floats, histogram families carry _bucket/_sum/
+// _count series with le labels, and the stream terminates with # EOF.
+// It returns the first violation found, or nil for a valid exposition.
+func Lint(text string) error {
+	types := map[string]string{}
+	sawEOF := false
+	lines := strings.Split(text, "\n")
+	for i, line := range lines {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if sawEOF {
+			return fmt.Errorf("openmetrics: line %d: content after # EOF", lineNo)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			switch {
+			case line == "# EOF":
+				sawEOF = true
+			case len(fields) >= 3 && fields[1] == "TYPE":
+				name, typ := fields[2], ""
+				if len(fields) == 4 {
+					typ = fields[3]
+				}
+				if !lintNameRe.MatchString(name) {
+					return fmt.Errorf("openmetrics: line %d: bad family name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped", "info", "stateset", "unknown":
+				default:
+					return fmt.Errorf("openmetrics: line %d: bad metric type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("openmetrics: line %d: duplicate # TYPE for %q", lineNo, name)
+				}
+				types[name] = typ
+			case len(fields) >= 3 && fields[1] == "HELP":
+				if !lintNameRe.MatchString(fields[2]) {
+					return fmt.Errorf("openmetrics: line %d: bad family name %q", lineNo, fields[2])
+				}
+			default:
+				return fmt.Errorf("openmetrics: line %d: bad comment line %q", lineNo, line)
+			}
+			continue
+		}
+		m := lintSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("openmetrics: line %d: bad sample line %q", lineNo, line)
+		}
+		name, labels, value := m[1], m[2], m[3]
+		fam, ok := lintFamily(types, name)
+		if !ok {
+			return fmt.Errorf("openmetrics: line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		if labels != "" {
+			if err := lintLabels(labels); err != nil {
+				return fmt.Errorf("openmetrics: line %d: %w", lineNo, err)
+			}
+		}
+		if value != "+Inf" && value != "-Inf" && value != "NaN" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				return fmt.Errorf("openmetrics: line %d: bad value %q", lineNo, value)
+			}
+		}
+		if types[fam] == "histogram" && strings.HasSuffix(name, "_bucket") &&
+			!strings.Contains(labels, `le="`) {
+			return fmt.Errorf("openmetrics: line %d: histogram bucket without le label", lineNo)
+		}
+	}
+	if !sawEOF {
+		return fmt.Errorf("openmetrics: missing # EOF terminator")
+	}
+	return nil
+}
+
+// lintFamily resolves a sample name to its declared family: exact for
+// counters/gauges, the _bucket/_sum/_count suffixes for histograms.
+func lintFamily(types map[string]string, name string) (string, bool) {
+	if _, ok := types[name]; ok {
+		return name, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count", "_total"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if _, ok := types[base]; ok {
+				return base, true
+			}
+		}
+	}
+	return "", false
+}
+
+// lintLabels validates one {a="x",b="y"} label block.
+func lintLabels(block string) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return fmt.Errorf("empty label block")
+	}
+	for _, pair := range splitLabelPairs(inner) {
+		if !lintLabelRe.MatchString(pair) {
+			return fmt.Errorf("bad label pair %q", pair)
+		}
+	}
+	return nil
+}
+
+// splitLabelPairs splits on commas outside quoted values.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}

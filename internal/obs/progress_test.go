@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProgressNil(t *testing.T) {
+	var p *Progress
+	p.Phase("run", 10)
+	p.Observe(5, 100)
+	p.SetTotal(20)
+	if s := p.Snapshot(); s.Phase != "" || s.Done != 0 {
+		t.Fatalf("nil progress snapshot = %+v", s)
+	}
+}
+
+func TestProgressPhasesAndFraction(t *testing.T) {
+	r := NewRegistry()
+	p := NewProgress(ProgressOptions{Registry: r, Heartbeat: -1})
+	p.Phase("run", 1000)
+	p.Observe(250, 5000)
+	s := p.Snapshot()
+	if s.Phase != "run" || s.Done != 250 || s.Total != 1000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Fraction != 0.25 {
+		t.Fatalf("fraction = %v, want 0.25", s.Fraction)
+	}
+	if s.Cycle != 5000 {
+		t.Fatalf("cycle = %d", s.Cycle)
+	}
+	if got := r.Gauge("progress.fraction", "").Value(); got != 0.25 {
+		t.Fatalf("registry fraction gauge = %v", got)
+	}
+
+	// Re-entering the same phase keeps done; a new phase resets it.
+	p.Phase("run", 2000)
+	if s := p.Snapshot(); s.Done != 250 || s.Total != 2000 {
+		t.Fatalf("re-entered phase: %+v", s)
+	}
+	p.Phase("strikes", 0)
+	if s := p.Snapshot(); s.Phase != "strikes" || s.Done != 0 {
+		t.Fatalf("new phase: %+v", s)
+	}
+	p.SetTotal(512)
+	p.Observe(512, 0)
+	if s := p.Snapshot(); s.Fraction != 1 || s.Cycle != 5000 {
+		t.Fatalf("strike phase end: %+v (cycle should persist)", s)
+	}
+}
+
+func TestProgressFractionClamped(t *testing.T) {
+	p := NewProgress(ProgressOptions{Heartbeat: -1})
+	p.Phase("run", 100)
+	p.Observe(250, 0) // overshoot: stop rules can exceed their estimate
+	if s := p.Snapshot(); s.Fraction != 1 {
+		t.Fatalf("fraction = %v, want clamped to 1", s.Fraction)
+	}
+}
+
+func TestProgressHeartbeatLogsAndCounts(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	r := NewRegistry()
+	p := NewProgress(ProgressOptions{Logger: logger, Heartbeat: time.Nanosecond, Registry: r})
+	p.Phase("run", 10)
+	p.Observe(1, 100)
+	time.Sleep(time.Millisecond)
+	p.Observe(2, 200)
+	if got := r.Counter("progress.heartbeats", "").Value(); got < 1 {
+		t.Fatalf("heartbeats = %d, want >= 1", got)
+	}
+	if !strings.Contains(buf.String(), "phase=run") {
+		t.Fatalf("no heartbeat log line:\n%s", buf.String())
+	}
+	if s := p.Snapshot(); s.Heartbeats < 1 {
+		t.Fatalf("snapshot heartbeats = %d", s.Heartbeats)
+	}
+}
+
+func TestProgressRateSmoothing(t *testing.T) {
+	p := NewProgress(ProgressOptions{Heartbeat: -1})
+	p.Phase("run", 0)
+	p.Observe(0, 1)
+	time.Sleep(2 * time.Millisecond)
+	p.Observe(0, 1_000_001)
+	if s := p.Snapshot(); s.CyclesPerSec <= 0 {
+		t.Fatalf("cycles/s = %v, want positive after cycle advance", s.CyclesPerSec)
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteChromeSpans(t *testing.T) {
+	spans := []Span{
+		{Worker: 1, Shard: 2, Phase: "run", Start: 3 * time.Millisecond, End: 9 * time.Millisecond},
+		{Worker: 0, Shard: 0, Phase: "warmup", Start: 0, End: 2 * time.Millisecond},
+		{Worker: 0, Shard: 0, Phase: "run", Start: 2 * time.Millisecond, End: 8 * time.Millisecond},
+		{Worker: -1, Shard: -1, Phase: "merge", Start: 9 * time.Millisecond, End: 10 * time.Millisecond},
+	}
+	var b strings.Builder
+	if err := WriteChromeSpans(&b, spans); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	// The trace must be one valid JSON object with a traceEvents array.
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(text), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, text)
+	}
+	// 3 process_name metas (workers 0, 1, merge) + 4 slices.
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("trace has %d events, want 7:\n%s", len(doc.TraceEvents), text)
+	}
+	for _, want := range []string{
+		`"name":"worker 0"`, `"name":"worker 1"`, `"name":"merge"`,
+		`"name":"warmup"`, `"ph":"X"`, `"shard":2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace missing %s:\n%s", want, text)
+		}
+	}
+
+	// The worker-0 run slice: ts 2000us, dur 6000us.
+	if !strings.Contains(text, `"ts":2000,"dur":6000`) {
+		t.Errorf("microsecond conversion wrong:\n%s", text)
+	}
+}
+
+func TestWriteChromeSpansEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChromeSpans(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+}
+
+func TestSpanSeconds(t *testing.T) {
+	s := Span{Start: time.Second, End: 3 * time.Second}
+	if s.Seconds() != 2 {
+		t.Fatalf("Seconds = %v", s.Seconds())
+	}
+}

@@ -26,8 +26,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"smtavf/internal/core"
+	"smtavf/internal/obs"
 )
 
 // SourceFactory builds a fresh, identically-seeded set of per-thread
@@ -59,6 +61,11 @@ type Options struct {
 	// re-simulated boundary instructions against warmed caches — so this
 	// knob exists to study the boundary error, not to improve it.
 	PartialTail bool
+	// Obs, when non-nil, receives campaign observability: per-worker
+	// phase spans (Engine.Timeline), shard metrics on the registry, and
+	// shard-completion progress. Attaching it does not perturb results —
+	// it watches the pool, not the simulated machines.
+	Obs *obs.Observability
 }
 
 // Engine runs sharded simulations for one configuration and workload.
@@ -67,9 +74,18 @@ type Engine struct {
 	factory SourceFactory
 	opt     Options
 
+	// Registry handles (nil-receiver no-ops when Obs is detached).
+	cShards *obs.Counter
+	hPhase  map[string]*obs.Histogram
+
 	mu          sync.Mutex
 	checkpoints []core.Checkpoint
+	spans       []obs.Span
 }
+
+// spanPhases are the per-worker phases the timeline records, in shard
+// execution order; "merge" runs once on the coordinating goroutine.
+var spanPhases = []string{"sources", "warmup", "run", "merge"}
 
 // New builds an engine. The configuration's Warmup is honoured by folding
 // it into each shard's functional warmup (split evenly across threads);
@@ -90,7 +106,17 @@ func New(cfg core.Config, factory SourceFactory, opt Options) (*Engine, error) {
 	if opt.Workers == 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{cfg: cfg, factory: factory, opt: opt}, nil
+	e := &Engine{cfg: cfg, factory: factory, opt: opt, hPhase: map[string]*obs.Histogram{}}
+	if o := opt.Obs; o != nil && o.Registry != nil {
+		e.cShards = o.Registry.Counter("shard.shards_done", "shard intervals completed")
+		o.Registry.Gauge("shard.workers", "size of the shard worker pool").SetUint(uint64(opt.Workers))
+		for _, phase := range spanPhases {
+			e.hPhase[phase] = o.Registry.Histogram("shard.phase_seconds",
+				"wall seconds per shard phase", obs.DefaultDurationBuckets,
+				obs.Label{Name: "phase", Value: phase})
+		}
+	}
+	return e, nil
 }
 
 // Run splits total committed instructions evenly across threads (low tids
@@ -117,26 +143,60 @@ func (e *Engine) RunPerThread(quotas []uint64) (*core.Results, error) {
 	}
 	warm := splitEven(e.cfg.Warmup, e.cfg.Threads)
 
+	var prog *obs.Progress
+	if e.opt.Obs != nil {
+		prog = e.opt.Obs.Progress
+		if r := e.opt.Obs.Registry; r != nil {
+			r.Gauge("shard.shards", "shard intervals in the current plan").SetUint(uint64(len(plans)))
+		}
+	}
+	prog.Phase("shards", uint64(len(plans)))
+
+	// A fixed pool of identified workers (rather than a goroutine per
+	// shard behind a semaphore) so the utilization timeline can attribute
+	// each phase span to the worker that ran it. Shards are handed out in
+	// plan order; results land at their plan index, so the merge — and
+	// with it the final report — is independent of scheduling.
 	results := make([]*core.Results, len(plans))
 	checkpoints := make([]core.Checkpoint, len(plans))
 	errs := make([]error, len(plans))
-	sem := make(chan struct{}, e.opt.Workers)
+	base := time.Now()
+	e.mu.Lock()
+	e.spans = nil
+	e.mu.Unlock()
+	var done, cyclesSum uint64
+	var progMu sync.Mutex
+	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for j := range plans {
-		wg.Add(1)
-		go func(j int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, cp, err := e.runShard(plans[j], warm, e.opt.PartialTail && j < len(plans)-1)
-			if err != nil {
-				errs[j] = fmt.Errorf("shard %d/%d: %w", j, len(plans), err)
-				return
-			}
-			results[j] = res
-			checkpoints[j] = cp
-		}(j)
+	workers := e.opt.Workers
+	if workers > len(plans) {
+		workers = len(plans)
 	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := range jobs {
+				res, cp, err := e.runShard(w, j, base, plans[j], warm, e.opt.PartialTail && j < len(plans)-1)
+				if err != nil {
+					errs[j] = fmt.Errorf("shard %d/%d: %w", j, len(plans), err)
+					continue
+				}
+				results[j] = res
+				checkpoints[j] = cp
+				e.cShards.Inc()
+				progMu.Lock()
+				done++
+				cyclesSum += res.Cycles
+				prog.Observe(done, cyclesSum)
+				progMu.Unlock()
+			}
+		}(w)
+	}
+	for j := range plans {
+		jobs <- j
+	}
+	close(jobs)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -144,15 +204,48 @@ func (e *Engine) RunPerThread(quotas []uint64) (*core.Results, error) {
 		}
 	}
 
+	mergeStart := time.Since(base)
 	e.mu.Lock()
 	e.checkpoints = checkpoints
 	e.mu.Unlock()
-	return mergeResults(results), nil
+	merged := mergeResults(results)
+	e.addSpan(obs.Span{Worker: -1, Shard: -1, Phase: "merge", Start: mergeStart, End: time.Since(base)})
+	e.hPhase["merge"].Observe((time.Since(base) - mergeStart).Seconds())
+	return merged, nil
+}
+
+// addSpan appends one phase span to the run's timeline; detached engines
+// (no Options.Obs) record nothing.
+func (e *Engine) addSpan(s obs.Span) {
+	if e.opt.Obs == nil {
+		return
+	}
+	e.mu.Lock()
+	e.spans = append(e.spans, s)
+	e.mu.Unlock()
+}
+
+// Timeline returns the per-worker phase spans of the most recent
+// RunPerThread, suitable for obs.WriteChromeSpans. Spans are only
+// recorded while Options.Obs is attached.
+func (e *Engine) Timeline() []obs.Span {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]obs.Span(nil), e.spans...)
 }
 
 // runShard builds a fresh machine, functionally warms it to the shard's
-// interval boundary, and simulates the interval in detail.
-func (e *Engine) runShard(iv interval, warm []uint64, partialTail bool) (*core.Results, core.Checkpoint, error) {
+// interval boundary, and simulates the interval in detail. worker and
+// base attribute the phase spans on the utilization timeline.
+func (e *Engine) runShard(worker, shard int, base time.Time, iv interval, warm []uint64, partialTail bool) (*core.Results, core.Checkpoint, error) {
+	phaseStart := time.Since(base)
+	endPhase := func(name string) {
+		end := time.Since(base)
+		e.addSpan(obs.Span{Worker: worker, Shard: shard, Phase: name, Start: phaseStart, End: end})
+		e.hPhase[name].Observe((end - phaseStart).Seconds())
+		phaseStart = end
+	}
+
 	srcs, err := e.factory()
 	if err != nil {
 		return nil, core.Checkpoint{}, fmt.Errorf("building sources: %w", err)
@@ -163,6 +256,8 @@ func (e *Engine) runShard(iv interval, warm []uint64, partialTail bool) (*core.R
 	if err != nil {
 		return nil, core.Checkpoint{}, err
 	}
+	endPhase("sources")
+
 	skip := make([]uint64, len(iv.start))
 	for t := range skip {
 		skip[t] = warm[t] + iv.start[t]
@@ -171,10 +266,13 @@ func (e *Engine) runShard(iv interval, warm []uint64, partialTail bool) (*core.R
 		return nil, core.Checkpoint{}, err
 	}
 	cp := proc.Checkpoint()
+	endPhase("warmup")
+
 	res, err := proc.Run(core.Limits{PerThread: iv.length, PartialTail: partialTail})
 	if err != nil {
 		return nil, core.Checkpoint{}, err
 	}
+	endPhase("run")
 	return res, cp, nil
 }
 

@@ -1,13 +1,16 @@
 package shard
 
 import (
+	"encoding/json"
 	"os"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
 	"smtavf/internal/avf"
 	"smtavf/internal/core"
+	"smtavf/internal/obs"
 	"smtavf/internal/trace"
 	"smtavf/internal/workload"
 )
@@ -304,5 +307,98 @@ func TestShardSpeedup(t *testing.T) {
 	}
 	if speedup < 2.5 {
 		t.Errorf("4-worker speedup over monolithic %.2fx, want >= 2.5x", speedup)
+	}
+}
+
+// TestObservability: an attached obs.Observability yields a per-worker
+// phase timeline, shard metrics on the registry, completion progress —
+// and bit-identical results to a detached run.
+func TestObservability(t *testing.T) {
+	cfg := core.DefaultConfig(4)
+	reg := obs.NewRegistry()
+	prog := obs.NewProgress(obs.ProgressOptions{Heartbeat: -1, Registry: reg})
+	o := &obs.Observability{Registry: reg, Progress: prog}
+	eng, err := New(cfg, mixFactory(t, cfg, equivMix), Options{Shards: 4, Workers: 2, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(equivTotal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plain := run(t, Options{Shards: 4, Workers: 2}, equivTotal)
+	if !reflect.DeepEqual(res, plain) {
+		t.Fatalf("observability perturbed the results")
+	}
+
+	// Timeline: 4 shards × 3 phases + 1 merge span, workers in [0, 2),
+	// every span well-formed, and the whole thing exports as valid JSON.
+	spans := eng.Timeline()
+	if len(spans) != 4*3+1 {
+		t.Fatalf("timeline has %d spans, want 13: %+v", len(spans), spans)
+	}
+	perShard := map[int]map[string]bool{}
+	for _, s := range spans {
+		if s.End < s.Start {
+			t.Errorf("span ends before it starts: %+v", s)
+		}
+		if s.Phase == "merge" {
+			if s.Worker != -1 || s.Shard != -1 {
+				t.Errorf("merge span attributed to a worker: %+v", s)
+			}
+			continue
+		}
+		if s.Worker < 0 || s.Worker >= 2 {
+			t.Errorf("span worker out of pool range: %+v", s)
+		}
+		if perShard[s.Shard] == nil {
+			perShard[s.Shard] = map[string]bool{}
+		}
+		perShard[s.Shard][s.Phase] = true
+	}
+	for j := 0; j < 4; j++ {
+		for _, phase := range []string{"sources", "warmup", "run"} {
+			if !perShard[j][phase] {
+				t.Errorf("shard %d missing %s span", j, phase)
+			}
+		}
+	}
+	var b strings.Builder
+	if err := obs.WriteChromeSpans(&b, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(b.String())) {
+		t.Fatalf("timeline export is not valid JSON")
+	}
+
+	// Registry: counts and pool shape.
+	if got := reg.Counter("shard.shards_done", "").Value(); got != 4 {
+		t.Errorf("shard.shards_done = %d, want 4", got)
+	}
+	if got := reg.Gauge("shard.shards", "").Value(); got != 4 {
+		t.Errorf("shard.shards = %v, want 4", got)
+	}
+	if got := reg.Gauge("shard.workers", "").Value(); got != 2 {
+		t.Errorf("shard.workers = %v, want 2", got)
+	}
+	runHist := reg.Histogram("shard.phase_seconds", "", obs.DefaultDurationBuckets,
+		obs.Label{Name: "phase", Value: "run"})
+	if got := runHist.Count(); got != 4 {
+		t.Errorf("phase_seconds{phase=run} count = %d, want 4", got)
+	}
+
+	// Progress: the shard phase completed.
+	snap := prog.Snapshot()
+	if snap.Phase != "shards" || snap.Done != 4 || snap.Fraction != 1 {
+		t.Errorf("progress = %+v, want shards 4/4", snap)
+	}
+	if snap.Cycle == 0 {
+		t.Errorf("progress cycle axis empty")
+	}
+
+	// A detached engine records no timeline.
+	engPlain, _ := run(t, Options{Shards: 2, Workers: 1}, equivTotal)
+	if tl := engPlain.Timeline(); len(tl) != 0 {
+		t.Errorf("detached engine recorded %d spans", len(tl))
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+
+	"smtavf/internal/obs"
 )
 
 // debugCollector is the collector the process-wide expvar export reads.
@@ -32,26 +34,53 @@ func publishExpvars() {
 // DebugServer is the optional live-inspection HTTP server for long
 // unattended runs (-debug-addr). It serves:
 //
-//	/debug/pprof/   the standard Go profiler endpoints
-//	/debug/vars     expvar, including the "smtavf" live snapshot
-//	/telemetry      the Collector's JSON Snapshot
-//	/telemetry/ring the retained window series as a JSON array
+//	/debug/pprof/    the standard Go profiler endpoints
+//	/debug/vars      expvar, including the "smtavf" live snapshot
+//	/debug/metrics   the obs registry as OpenMetrics/Prometheus text
+//	/debug/progress  the live campaign progress as JSON
+//	/telemetry       the Collector's JSON Snapshot
+//	/telemetry/ring  the retained window series as a JSON array
 //
 // The server outlives individual runs: a sweep driver starts it once and
 // retargets it at each point's fresh collector with SetCollector.
 type DebugServer struct {
-	srv *http.Server
-	lis net.Listener
-	col atomic.Pointer[Collector]
+	srv  *http.Server
+	lis  net.Listener
+	col  atomic.Pointer[Collector]
+	reg  atomic.Pointer[obs.Registry]
+	prog atomic.Pointer[obs.Progress]
 }
 
 func (d *DebugServer) collector() *Collector { return d.col.Load() }
 
 // SetCollector points the server (and the process-wide expvar snapshot)
-// at a new collector — one sweep point ended and the next began.
+// at a new collector — one sweep point ended and the next began. The
+// scraped registry follows the collector's unless SetRegistry overrode it.
 func (d *DebugServer) SetCollector(c *Collector) {
 	d.col.Store(c)
 	debugCollector.Store(c)
+	if r := c.Registry(); r != nil {
+		d.reg.Store(r)
+	}
+	if p := c.Progress(); p != nil {
+		d.prog.Store(p)
+	}
+}
+
+// SetRegistry points /debug/metrics at a specific registry — sharded runs
+// have no collector-owned registry, so the driver attaches the
+// Observability's directly.
+func (d *DebugServer) SetRegistry(r *obs.Registry) {
+	if r != nil {
+		d.reg.Store(r)
+	}
+}
+
+// SetProgress points /debug/progress at a specific progress tracker.
+func (d *DebugServer) SetProgress(p *obs.Progress) {
+	if p != nil {
+		d.prog.Store(p)
+	}
 }
 
 // ServeDebug starts the debug server on addr (e.g. ":6060") reading live
@@ -78,6 +107,15 @@ func ServeDebug(addr string, c *Collector, logger *slog.Logger) (*DebugServer, e
 	mux.HandleFunc("/telemetry/ring", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, d.collector().Ring())
 	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentTypeOpenMetrics)
+		if err := d.reg.Load().WriteOpenMetrics(w); err != nil && logger != nil {
+			logger.Error("metrics scrape", "err", err)
+		}
+	})
+	mux.HandleFunc("/debug/progress", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, d.prog.Load().Snapshot())
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -86,6 +124,8 @@ func ServeDebug(addr string, c *Collector, logger *slog.Logger) (*DebugServer, e
 		fmt.Fprint(w, "smtavf debug server\n\n"+
 			"/telemetry       live snapshot (last window, cumulative AVF, counters)\n"+
 			"/telemetry/ring  retained window series\n"+
+			"/debug/metrics   OpenMetrics exposition of the campaign registry\n"+
+			"/debug/progress  live campaign progress (phase, fraction, ETA)\n"+
 			"/debug/vars      expvar\n"+
 			"/debug/pprof/    profiler\n")
 	})

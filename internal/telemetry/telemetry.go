@@ -23,12 +23,11 @@ package telemetry
 import (
 	"fmt"
 	"log/slog"
-	"math"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"smtavf/internal/avf"
+	"smtavf/internal/obs"
 )
 
 // SchemaVersion is stamped into every exported Window ("v") so offline
@@ -103,6 +102,11 @@ type Options struct {
 	// Logger, when non-nil, receives one progress line per window and one
 	// line per rebase.
 	Logger *slog.Logger
+	// Registry backs the collector's live counters and gauges, surfacing
+	// them on /debug/metrics as OpenMetrics families alongside the legacy
+	// dotted names on /debug/vars. Nil builds a private registry, so
+	// existing call sites change nothing.
+	Registry *obs.Registry
 }
 
 // Collector receives completed windows from the simulator and fans them
@@ -113,11 +117,14 @@ type Collector struct {
 	window uint64
 	logger *slog.Logger
 	ring   *Ring
+	reg    *obs.Registry
 
 	mu        sync.Mutex
 	exporters []Exporter
 	counters  map[string]*Counter
 	gauges    map[string]*Gauge
+	prog      *obs.Progress
+	cumCommit uint64 // committed instructions across all windows
 	last      Window
 	windows   int
 	rebased   uint64 // cycle of the last rebase (measurement start)
@@ -133,13 +140,49 @@ func New(o Options) *Collector {
 	if o.RingSize == 0 {
 		o.RingSize = DefaultRingSize
 	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
 	return &Collector{
 		window:   o.WindowCycles,
 		logger:   o.Logger,
 		ring:     NewRing(o.RingSize),
+		reg:      o.Registry,
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 	}
+}
+
+// Registry returns the metrics registry backing the collector's live
+// counters and gauges (nil for a nil collector).
+func (c *Collector) Registry() *obs.Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}
+
+// SetProgress attaches a progress tracker; each recorded window then
+// advances it by the window's end cycle. Safe to leave unset.
+func (c *Collector) SetProgress(p *obs.Progress) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.prog = p
+	c.mu.Unlock()
+}
+
+// Progress returns the attached progress tracker (nil when none), so
+// subsystems that publish through the collector — the inject stopping
+// rule — can advance the same campaign progress.
+func (c *Collector) Progress() *obs.Progress {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.prog
 }
 
 // WindowCycles returns the sampling period (DefaultWindowCycles for a nil
@@ -191,7 +234,12 @@ func (c *Collector) Record(w Window) {
 			c.err = err
 		}
 	}
+	c.cumCommit += w.Committed
+	prog, cum := c.prog, c.cumCommit
 	c.mu.Unlock()
+	// The run phase progresses in committed instructions (matching the
+	// facade's instruction-total target); the end cycle is the rate axis.
+	prog.Observe(cum, w.EndCycle)
 	if c.logger != nil {
 		c.logger.Info("window",
 			"n", w.Index,
@@ -290,7 +338,9 @@ func (c *Collector) Counter(name string) *Counter {
 	if ctr, ok := c.counters[name]; ok {
 		return ctr
 	}
-	ctr := new(Counter)
+	// The registry owns the instrument; the collector's map is the legacy
+	// dotted-name view that /debug/vars and Snapshot serve.
+	ctr := c.reg.Counter(name, "")
 	c.counters[name] = ctr
 	return ctr
 }
@@ -306,7 +356,7 @@ func (c *Collector) Gauge(name string) *Gauge {
 	if g, ok := c.gauges[name]; ok {
 		return g
 	}
-	g := new(Gauge)
+	g := c.reg.Gauge(name, "")
 	c.gauges[name] = g
 	return g
 }
@@ -378,50 +428,17 @@ func (c *Collector) CounterNames() []string {
 	return names
 }
 
-// Counter is a monotonically increasing live metric. The zero value is
-// ready to use; a nil *Counter is a no-op, which is how disabled
-// telemetry keeps hot paths branch-cheap. Updates are atomic so the debug
-// server can read them mid-run.
-type Counter struct{ v atomic.Uint64 }
-
-// Add increments the counter by n.
-func (c *Counter) Add(n uint64) {
-	if c != nil {
-		c.v.Add(n)
-	}
-}
-
-// Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
-
-// Value returns the current count (0 for a nil counter).
-func (c *Counter) Value() uint64 {
-	if c == nil {
-		return 0
-	}
-	return c.v.Load()
-}
+// Counter is a monotonically increasing live metric; it is the obs
+// registry's counter, aliased so the packages that publish through the
+// collector (inject, propagation, core) migrated to the campaign
+// observability layer without a source change. The zero value is ready to
+// use; a nil *Counter is a no-op, which is how disabled telemetry keeps
+// hot paths branch-cheap. Updates are atomic so the debug server can read
+// them mid-run.
+type Counter = obs.Counter
 
 // Gauge is a live point-in-time metric; nil-safety matches Counter.
-type Gauge struct{ bits atomic.Uint64 }
-
-// Set stores v.
-func (g *Gauge) Set(v float64) {
-	if g != nil {
-		g.bits.Store(math.Float64bits(v))
-	}
-}
-
-// SetUint stores an integer-valued gauge (cycle counts).
-func (g *Gauge) SetUint(v uint64) { g.Set(float64(v)) }
-
-// Value returns the last stored value (0 for a nil gauge).
-func (g *Gauge) Value() float64 {
-	if g == nil {
-		return 0
-	}
-	return math.Float64frombits(g.bits.Load())
-}
+type Gauge = obs.Gauge
 
 // round4 trims a float for log lines (full precision stays in the
 // exporters).

@@ -26,12 +26,15 @@ package smtavf
 
 import (
 	"fmt"
+	"io"
+	"strings"
 
 	"smtavf/internal/avf"
 	"smtavf/internal/core"
 	"smtavf/internal/crossval"
 	"smtavf/internal/fetch"
 	"smtavf/internal/inject"
+	"smtavf/internal/obs"
 	"smtavf/internal/pipetrace"
 	"smtavf/internal/propagation"
 	"smtavf/internal/shard"
@@ -113,6 +116,15 @@ type Simulator struct {
 	proc   *core.Processor // monolithic path (shards <= 1)
 	engine *shard.Engine   // sharded path (WithShards(n > 1, ...))
 	used   bool
+
+	// Campaign observability (WithObservability): progress phases begin
+	// at Run, and a run manifest is appended to the ledger when the run
+	// finishes — on both the monolithic and the sharded path.
+	obsv      *obs.Observability
+	cfg       Config
+	kind      string
+	workloads []string
+	shards    int
 }
 
 // Checkpoint is the lightweight architectural checkpoint a sharded run
@@ -129,23 +141,25 @@ const ShardTolerance = shard.DefaultTolerance
 
 // settings accumulates the effect of the Options passed to New.
 type settings struct {
-	cfg     Config
-	factory shard.SourceFactory // builds one fresh set of per-thread sources
-	kind    string              // which workload option supplied the factory
-	tel     *telemetry.Collector
-	rec     *pipetrace.Recorder
-	camp    *inject.Campaign
-	prop    *propagation.Tracer
-	shards  int
-	workers int
-	window  uint64
+	cfg       Config
+	factory   shard.SourceFactory // builds one fresh set of per-thread sources
+	kind      string              // which workload option supplied the factory
+	workloads []string            // workload identifiers for the run manifest
+	tel       *telemetry.Collector
+	rec       *pipetrace.Recorder
+	camp      *inject.Campaign
+	prop      *propagation.Tracer
+	obsv      *obs.Observability
+	shards    int
+	workers   int
+	window    uint64
 }
 
-func (s *settings) setSource(kind string, f shard.SourceFactory) error {
+func (s *settings) setSource(kind string, workloads []string, f shard.SourceFactory) error {
 	if s.factory != nil {
 		return fmt.Errorf("smtavf: both %s and %s given; a simulator takes exactly one workload source", s.kind, kind)
 	}
-	s.kind, s.factory = kind, f
+	s.kind, s.workloads, s.factory = kind, workloads, f
 	return nil
 }
 
@@ -166,7 +180,7 @@ func WithBenchmarks(benchmarks ...string) Option {
 			profiles = append(profiles, p)
 		}
 		cfg := s.cfg
-		return s.setSource("WithBenchmarks", func() ([]core.Source, error) {
+		return s.setSource("WithBenchmarks", benchmarks, func() ([]core.Source, error) {
 			return core.Sources(cfg, profiles)
 		})
 	}
@@ -192,8 +206,12 @@ func WithPhases(phases [][]string, period uint64) Option {
 		if period == 0 {
 			return fmt.Errorf("smtavf: phase period must be positive")
 		}
+		ids := make([]string, len(phases))
+		for i, names := range phases {
+			ids[i] = strings.Join(names, "+")
+		}
 		cfg := s.cfg
-		return s.setSource("WithPhases", func() ([]core.Source, error) {
+		return s.setSource("WithPhases", ids, func() ([]core.Source, error) {
 			srcs := make([]core.Source, 0, len(resolved))
 			for i, profiles := range resolved {
 				gen, err := trace.NewPhased(profiles, period, cfg.Seed+uint64(i)*0x9e37)
@@ -221,7 +239,7 @@ func WithTraceFiles(paths ...string) Option {
 			}
 			masters = append(masters, r)
 		}
-		return s.setSource("WithTraceFiles", func() ([]core.Source, error) {
+		return s.setSource("WithTraceFiles", paths, func() ([]core.Source, error) {
 			srcs := make([]core.Source, 0, len(masters))
 			for _, m := range masters {
 				srcs = append(srcs, core.Source{Gen: m.Clone()})
@@ -267,6 +285,19 @@ func WithFaultInjection(c *FaultCampaign) Option {
 func WithPropagation(t *PropagationTracer) Option {
 	return func(s *settings) error {
 		s.prop = t
+		return nil
+	}
+}
+
+// WithObservability attaches the campaign-observability layer to the run
+// (see Observability): live metrics land on its Registry, the run's
+// phases drive its Progress tracker, and a RunManifest is appended to its
+// Ledger when the run finishes. Unlike the pipeline observers, this
+// option is valid on BOTH monolithic and sharded runs — it watches the
+// campaign, not the simulated cycle timeline. See docs/campaigns.md.
+func WithObservability(o *Observability) Option {
+	return func(s *settings) error {
+		s.obsv = o
 		return nil
 	}
 }
@@ -346,11 +377,13 @@ func New(cfg Config, opts ...Option) (*Simulator, error) {
 			Shards:       s.shards,
 			Workers:      s.workers,
 			WarmupWindow: s.window,
+			Obs:          s.obsv,
 		})
 		if err != nil {
 			return nil, err
 		}
-		return &Simulator{engine: eng}, nil
+		return &Simulator{engine: eng, obsv: s.obsv, cfg: cfg, kind: s.kind,
+			workloads: s.workloads, shards: s.shards}, nil
 	}
 	srcs, err := s.factory()
 	if err != nil {
@@ -360,9 +393,13 @@ func New(cfg Config, opts ...Option) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim := &Simulator{proc: proc}
+	sim := &Simulator{proc: proc, obsv: s.obsv, cfg: cfg, kind: s.kind,
+		workloads: s.workloads, shards: 1}
 	if s.tel != nil {
 		proc.SetTelemetry(s.tel)
+		if s.obsv != nil && s.obsv.Progress != nil {
+			s.tel.SetProgress(s.obsv.Progress)
+		}
 	}
 	if s.rec != nil {
 		proc.SetPipeTrace(s.rec)
@@ -410,25 +447,90 @@ func NewSimulatorFromTraceFiles(cfg Config, paths []string) (*Simulator, error) 
 // monolithic stop rule lets the faster threads commit more. Use
 // RunPerThread for identical commit counts across both paths.
 func (s *Simulator) Run(total uint64) (*Results, error) {
-	if s.engine != nil {
-		if err := s.markUsed(); err != nil {
-			return nil, err
-		}
-		return s.engine.Run(total)
+	if err := s.markUsed(); err != nil {
+		return nil, err
 	}
-	return s.run(core.Limits{TotalInstructions: total})
+	var res *Results
+	var err error
+	if s.engine != nil {
+		res, err = s.engine.Run(total)
+	} else {
+		s.beginProgress(total)
+		res, err = s.proc.Run(core.Limits{TotalInstructions: total})
+	}
+	s.appendManifest(res, err)
+	return res, err
 }
 
 // RunPerThread simulates until every thread has committed its quota — used
 // to replay each thread's SMT progress in single-thread mode (Figures 3–4).
 func (s *Simulator) RunPerThread(quotas []uint64) (*Results, error) {
-	if s.engine != nil {
-		if err := s.markUsed(); err != nil {
-			return nil, err
-		}
-		return s.engine.RunPerThread(quotas)
+	if err := s.markUsed(); err != nil {
+		return nil, err
 	}
-	return s.run(core.Limits{PerThread: quotas})
+	var res *Results
+	var err error
+	if s.engine != nil {
+		res, err = s.engine.RunPerThread(quotas)
+	} else {
+		var total uint64
+		for _, q := range quotas {
+			total += q
+		}
+		s.beginProgress(total)
+		res, err = s.proc.Run(core.Limits{PerThread: quotas})
+	}
+	s.appendManifest(res, err)
+	return res, err
+}
+
+// beginProgress opens the monolithic run phase on the attached progress
+// tracker: the target is committed instructions, which is what the
+// telemetry collector feeds back window by window.
+func (s *Simulator) beginProgress(total uint64) {
+	if s.obsv == nil {
+		return
+	}
+	s.obsv.Progress.Phase("run", total)
+}
+
+// appendManifest writes the run's provenance record to the attached
+// ledger — on success, on error, and regardless of execution path.
+func (s *Simulator) appendManifest(res *Results, runErr error) {
+	if s.obsv == nil || s.obsv.Ledger == nil {
+		return
+	}
+	program := s.obsv.Program
+	if program == "" {
+		program = "smtavf"
+	}
+	m := obs.NewManifest("run", program)
+	m.ConfigDigest = obs.ConfigDigest(s.cfg)
+	m.Seed = s.cfg.Seed
+	if s.cfg.Policy != nil {
+		m.Policy = s.cfg.Policy.Name()
+	}
+	m.Workloads = append([]string(nil), s.workloads...)
+	m.Shards = s.shards
+	if s.kind != "" {
+		m.Extra = map[string]string{"source": s.kind}
+	}
+	if res != nil {
+		m.Cycles = res.Cycles
+		m.Instructions = res.Total
+	}
+	m.Finish(obs.StatusOK, runErr)
+	s.obsv.Ledger.Append(m)
+}
+
+// Timeline returns the per-worker phase spans of the last sharded run —
+// export them with WriteTimeline for chrome://tracing. Nil unless the
+// simulator was built with both WithShards(n > 1) and WithObservability.
+func (s *Simulator) Timeline() []Span {
+	if s.engine == nil {
+		return nil
+	}
+	return s.engine.Timeline()
 }
 
 // Checkpoints returns the interval-boundary checkpoints recorded by the
@@ -446,13 +548,6 @@ func (s *Simulator) markUsed() error {
 	}
 	s.used = true
 	return nil
-}
-
-func (s *Simulator) run(lim core.Limits) (*Results, error) {
-	if err := s.markUsed(); err != nil {
-		return nil, err
-	}
-	return s.proc.Run(lim)
 }
 
 // Telemetry is a cycle-windowed live-metrics collector: attach one with
@@ -636,3 +731,51 @@ func CrossValidate(meta CrossValMeta, res *Results, stats *InjectStats) *CrossVa
 	}
 	return crossval.Build(meta, tracker, stats)
 }
+
+// Observability bundles the campaign-observability handles a run carries:
+// a metrics Registry (OpenMetrics at /debug/metrics), a Progress tracker
+// (heartbeats and /debug/progress), and a run Ledger (runs.jsonl). Any
+// field may be nil. Attach with WithObservability; see docs/campaigns.md.
+type Observability = obs.Observability
+
+// MetricsRegistry is the typed metrics registry of the observability
+// layer: counters, gauges, and fixed-bucket histograms, exposed as
+// OpenMetrics text. Registration takes a short lock; the returned handles
+// update with plain atomics.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry builds a registry pre-populated with the process
+// runtime family (smtavf_runtime_* in the exposition).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Progress tracks phase-by-phase campaign completion and emits periodic
+// heartbeats (fraction, cycles/s, ETA) to slog and /debug/progress.
+type Progress = obs.Progress
+
+// ProgressOptions parameterizes a Progress tracker.
+type ProgressOptions = obs.ProgressOptions
+
+// NewProgress builds a progress tracker.
+func NewProgress(o ProgressOptions) *Progress { return obs.NewProgress(o) }
+
+// RunLedger is the append-only runs.jsonl ledger of RunManifest records.
+type RunLedger = obs.Ledger
+
+// RunManifest is one ledger record: the full provenance of one run —
+// config digest, seeds, workloads, counts, artifacts, exit status.
+type RunManifest = obs.RunManifest
+
+// OpenRunLedger validates path (uncompressed .jsonl only — the ledger is
+// appended to) and returns a ledger handle.
+func OpenRunLedger(path string) (*RunLedger, error) { return obs.OpenLedger(path) }
+
+// ReadRunLedger reads every manifest in a runs.jsonl, oldest first.
+func ReadRunLedger(path string) ([]RunManifest, error) { return obs.ReadLedger(path) }
+
+// Span is one worker-phase interval of a sharded run's utilization
+// timeline (Simulator.Timeline).
+type Span = obs.Span
+
+// WriteTimeline writes spans as Chrome trace_event JSON for
+// chrome://tracing / Perfetto — one row per worker, one slice per phase.
+func WriteTimeline(w io.Writer, spans []Span) error { return obs.WriteChromeSpans(w, spans) }
