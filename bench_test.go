@@ -538,6 +538,39 @@ func BenchmarkPropagationOverhead(b *testing.B) {
 	b.Run("on", func(b *testing.B) { run(b, "on") })
 }
 
+// BenchmarkCPIStackOverhead measures the cost of the explainability
+// observer. "off" runs fully detached — SetCPIStack is never called, so
+// the per-cycle attribution pass is skipped behind a single nil check
+// and must stay within noise of BenchmarkSimulatorCycles. "on" attaches
+// an observer with default 10k-cycle windows, showing what a full
+// -cpistack run pays (one attribution pass per cycle plus windowed
+// occupancy accounting per retired uop).
+func BenchmarkCPIStackOverhead(b *testing.B) {
+	b.ReportAllocs()
+	run := func(b *testing.B, attach bool) {
+		b.ReportAllocs()
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			opts := []smtavf.Option{smtavf.WithBenchmarks(ablationMix...)}
+			if attach {
+				opts = append(opts, smtavf.WithCPIStack(smtavf.NewCPIStack(smtavf.CPIStackOptions{})))
+			}
+			sim, err := smtavf.New(smtavf.DefaultConfig(4), opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sim.Run(uint64(benchBase) * 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += res.Cycles
+		}
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkObsOverhead measures the cost of the campaign-observability
 // layer on the simulator hot path. "off" runs fully detached — the
 // nil-receiver fast path every hot-loop handle pays. "on" attaches a

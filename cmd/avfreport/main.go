@@ -9,6 +9,7 @@
 //	avfreport -csv > report.csv
 //	avfreport -provenance 4ctx-MEM-A -provenance-top 10
 //	avfreport -propagation 2ctx-MEM-A -propagation-out atlas.jsonl.gz
+//	avfreport -explain 2ctx-MEM-A -explain-policies ICOUNT,FLUSH
 //
 // The -crossval stopping rule shares the -inject-ci / -inject-strikes /
 // -inject-report flags with smtsim and avfsweep (they were previously
@@ -60,6 +61,8 @@ func main() {
 		propN   = flag.Int("propagation-strikes", 256, "strikes sampled into each structure for the -propagation atlas")
 		propTop = flag.Int("propagation-top", 10, "root-cause instructions shown in the -propagation tables")
 		propOut = flag.String("propagation-out", "", "write the -propagation per-strike traces as JSONL to this file (.gz compresses)")
+		explMix = flag.String("explain", "", "run this Table 2 mix (or comma-separated benchmarks) under each -explain-policies policy with the CPI-stack observer and print the explainability tables (skips the figures)")
+		explPol = flag.String("explain-policies", "ICOUNT,STALL,FLUSH", "comma-separated fetch policies compared by -explain")
 		xvalMix = flag.String("crossval", "", "cross-validate this Table 2 mix (or comma-separated benchmarks) against a fault-injection seed fanout and print the pooled agreement report (skips the figures)")
 		xvalPol = flag.String("crossval-policy", "ICOUNT", "fetch policy of the -crossval runs")
 		xvalN   = flag.Int("crossval-seeds", 3, "seed fanout of the -crossval campaign (seeds seed..seed+N-1, run concurrently and pooled)")
@@ -269,6 +272,34 @@ func main() {
 			man.AddArtifact("propagation", *propOut)
 			logger.Info("propagation traces written", "path", *propOut, "traces", len(atlas.Traces))
 		}
+		logger.Info("done", "elapsed", time.Since(start).Round(time.Millisecond).String())
+		shut.Finish(obs.StatusOK, logger)
+		return
+	}
+	if *explMix != "" {
+		spec := experiments.ExplainSpec{}
+		if strings.Contains(*explMix, ",") {
+			spec.Benchmarks = strings.Split(*explMix, ",")
+		} else {
+			spec.Mix = *explMix
+		}
+		for _, p := range strings.Split(*explPol, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				spec.Policies = append(spec.Policies, p)
+			}
+		}
+		ts, title, err := r.Explain(spec)
+		if err != nil {
+			fatal(fmt.Errorf("explain: %w", err))
+		}
+		man.Kind = "explain"
+		if spec.Mix != "" {
+			man.Workloads = []string{spec.Mix}
+		} else {
+			man.Workloads = spec.Benchmarks
+		}
+		fmt.Printf("explainability: %s\n\n", title)
+		emit(ts...)
 		logger.Info("done", "elapsed", time.Since(start).Round(time.Millisecond).String())
 		shut.Finish(obs.StatusOK, logger)
 		return

@@ -45,6 +45,14 @@
 // instructions by ACE bit-cycles in each pipeline structure, plus the
 // residency-by-fate breakdown.
 //
+// With -cpistack the run attributes every thread-cycle to a CPI-stack
+// component and decomposes structure occupancy by ACE fate, printing both
+// tables after the run; -cpistack-out writes the windowed series (.csv
+// CSV, .json Chrome trace_event counters, else JSONL; docs/cpistack.md):
+//
+//	smtsim -bench mcf,gcc -instructions 20000 -cpistack
+//	smtsim -mix 2ctx-MIX-A -policy FLUSH -cpistack-out stacks.jsonl
+//
 // With -inject -propagation the run additionally taint-tracks sampled
 // strikes through the recorded dataflow and prints the fault-propagation
 // atlas — root-cause instructions, hop histograms per edge type, and the
@@ -95,6 +103,7 @@ func main() {
 		inj      cliopts.Inject
 		prop     cliopts.Propagation
 		pt       cliopts.PipeTrace
+		cpi      cliopts.CPIStack
 		shards   cliopts.Shards
 		prof     cliopts.Profile
 		obsFlags cliopts.Obs
@@ -104,6 +113,7 @@ func main() {
 	inj.Register(flag.CommandLine)
 	prop.Register(flag.CommandLine)
 	pt.Register(flag.CommandLine)
+	cpi.Register(flag.CommandLine)
 	shards.Register(flag.CommandLine)
 	prof.Register(flag.CommandLine)
 	obsFlags.Register(flag.CommandLine)
@@ -124,6 +134,9 @@ func main() {
 	}
 	if prop.Enabled() && !inj.On {
 		fatal(fmt.Errorf("-propagation needs the strike campaign: pass -inject"))
+	}
+	if err := cpi.Validate(); err != nil {
+		fatal(err)
 	}
 	if err := shards.Validate(); err != nil {
 		fatal(err)
@@ -307,6 +320,14 @@ func main() {
 		tracer.PublishTelemetry(col)
 		opts = append(opts, smtavf.WithPropagation(tracer))
 	}
+	// Explainability observer: per-thread CPI stacks plus occupancy-by-fate,
+	// printed after the run and optionally exported as a windowed series.
+	var stack *smtavf.CPIStack
+	if cpi.Enabled() {
+		stack = smtavf.NewCPIStack(cpi.Options())
+		stack.PublishTelemetry(col)
+		opts = append(opts, smtavf.WithCPIStack(stack))
+	}
 	// Pipeline flight recorder, when a trace file or provenance report is
 	// requested.
 	var rec *smtavf.PipeTrace
@@ -376,6 +397,13 @@ func main() {
 		ptWritten = true
 		man.AddArtifact("pipetrace", pt.Path)
 		logger.Info("pipetrace written", "path", pt.Path, "records", rec.Len(), "dropped", rec.Dropped())
+	}
+	if stack != nil && cpi.Out != "" {
+		if err := stack.WriteFile(cpi.Out); err != nil {
+			fatal(fmt.Errorf("cpistack-out: %w", err))
+		}
+		man.AddArtifact("cpistack", cpi.Out)
+		logger.Info("cpistack series written", "path", cpi.Out, "windows", len(stack.Windows()))
 	}
 	var (
 		injStats *smtavf.InjectStats
@@ -464,6 +492,12 @@ func main() {
 	if atlas != nil && prop.On {
 		fmt.Println()
 		fmt.Print(atlas.Tables(prop.Top))
+	}
+	if stack != nil {
+		fmt.Println()
+		fmt.Print(stack.FormatStack())
+		fmt.Println()
+		fmt.Print(stack.FormatOccupancy())
 	}
 	if rec != nil && pt.Top > 0 {
 		prov := rec.Provenance()

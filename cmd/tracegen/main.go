@@ -7,48 +7,59 @@
 //
 //	tracegen -bench mcf -n 100000 -o mcf.trc
 //	tracegen -dump mcf.trc | head
+//
+// tracegen shares the -log-level/-log-json and -cpuprofile/-memprofile
+// flag groups with the other commands (internal/cliopts).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
-	"smtavf/internal/telemetry"
+	"smtavf/internal/cliopts"
 	"smtavf/internal/trace"
 	"smtavf/internal/workload"
 )
 
 func main() {
 	var (
-		bench    = flag.String("bench", "", "benchmark to record (see smtsim -list)")
-		n        = flag.Int("n", 100_000, "instructions to record")
-		out      = flag.String("o", "", "output file (default <bench>.trc)")
-		seed     = flag.Uint64("seed", 1, "generator seed")
-		dump     = flag.String("dump", "", "print a trace file's header and first records, then exit")
-		logLevel = flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
+		bench = flag.String("bench", "", "benchmark to record (see smtsim -list)")
+		n     = flag.Int("n", 100_000, "instructions to record")
+		out   = flag.String("o", "", "output file (default <bench>.trc)")
+		seed  = flag.Uint64("seed", 1, "generator seed")
+		dump  = flag.String("dump", "", "print a trace file's header and first records, then exit")
+
+		logFlags cliopts.Log
+		prof     cliopts.Profile
 	)
+	logFlags.Register(flag.CommandLine)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
-	level, err := telemetry.ParseLevel(*logLevel)
+	logger, err := logFlags.Logger(os.Stderr)
 	if err != nil {
 		fatal(err)
 	}
-	logger := telemetry.NewLogger(os.Stderr, level, false)
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+		}
+	}()
 
 	if *dump != "" {
-		if err := dumpTrace(*dump); err != nil {
+		if err := dumpTrace(os.Stdout, *dump); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *bench == "" {
 		fatal(fmt.Errorf("need -bench or -dump"))
-	}
-	p, err := workload.Profile(*bench)
-	if err != nil {
-		fatal(err)
 	}
 	path := *out
 	if path == "" {
@@ -62,48 +73,63 @@ func main() {
 		"output", path,
 	)
 	start := time.Now()
-	gen := trace.NewSynthetic(p, *seed)
-	ins := trace.Record(gen, *n)
-	f, err := os.Create(path)
+	wrote, err := generate(*bench, *n, *seed, path)
 	if err != nil {
 		fatal(err)
 	}
-	if err := trace.WriteTrace(f, *bench, ins); err != nil {
-		f.Close()
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		fatal(err)
-	}
 	logger.Info("trace written",
-		"instructions", len(ins),
+		"instructions", wrote,
 		"elapsed", time.Since(start).Round(time.Millisecond).String(),
 	)
-	fmt.Printf("wrote %d instructions of %s to %s\n", *n, *bench, path)
+	fmt.Printf("wrote %d instructions of %s to %s\n", wrote, *bench, path)
 }
 
-func dumpTrace(path string) error {
+// generate records n instructions of the named synthetic benchmark to
+// path and returns how many it wrote.
+func generate(bench string, n int, seed uint64, path string) (int, error) {
+	p, err := workload.Profile(bench)
+	if err != nil {
+		return 0, err
+	}
+	gen := trace.NewSynthetic(p, seed)
+	ins := trace.Record(gen, n)
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := trace.WriteTrace(f, bench, ins); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return len(ins), nil
+}
+
+// dumpTrace prints a trace file's header and its first records to w.
+func dumpTrace(w io.Writer, path string) error {
 	r, err := trace.LoadTraceFile(path)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trace %s: workload %q, %d instructions per lap\n", path, r.Name(), r.Len())
+	fmt.Fprintf(w, "trace %s: workload %q, %d instructions per lap\n", path, r.Name(), r.Len())
 	for i := 0; i < 20 && i < r.Len(); i++ {
 		in := r.Next()
-		fmt.Printf("  %6d  pc=%#010x  %-7s", in.Seq, in.PC, in.Class)
+		fmt.Fprintf(w, "  %6d  pc=%#010x  %-7s", in.Seq, in.PC, in.Class)
 		if in.Dest.Valid() {
-			fmt.Printf(" d=r%-3d", in.Dest)
+			fmt.Fprintf(w, " d=r%-3d", in.Dest)
 		}
 		if in.Class.IsMem() {
-			fmt.Printf(" addr=%#x", in.Addr)
+			fmt.Fprintf(w, " addr=%#x", in.Addr)
 		}
 		if in.Class.IsCTI() {
-			fmt.Printf(" taken=%v", in.Taken)
+			fmt.Fprintf(w, " taken=%v", in.Taken)
 		}
 		if in.Dead {
-			fmt.Print(" dead")
+			fmt.Fprint(w, " dead")
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	return nil
 }

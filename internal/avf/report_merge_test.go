@@ -1,0 +1,167 @@
+package avf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mergeBits is a small capacity vector for the merge tests; structures
+// past ROB are left at 0 to exercise the zero-denominator skip.
+func mergeBits() [NumStructs]uint64 {
+	var bits [NumStructs]uint64
+	bits[IQ] = 100
+	bits[ROB] = 200
+	return bits
+}
+
+// partReport builds a Report with the given numerators spread across
+// threads, as a shard snapshot would carry them.
+func partReport(cycles uint64, ace, unace [][NumStructs]uint64) Report {
+	return Report{
+		Cycles:    cycles,
+		Threads:   len(ace),
+		PerThread: make([][NumStructs]float64, len(ace)),
+		ACE:       ace,
+		UnACE:     unace,
+	}
+}
+
+func TestMergeNoParts(t *testing.T) {
+	m := Merge(mergeBits())
+	if m.Cycles != 0 || m.Threads != 0 || m.ACE != nil {
+		t.Fatalf("empty merge not zero: %+v", m)
+	}
+}
+
+// TestMergeEmptyParts pins that all-zero parts merge into an all-zero
+// report without dividing by the zero cycle count.
+func TestMergeEmptyParts(t *testing.T) {
+	empty := partReport(0, make([][NumStructs]uint64, 2), make([][NumStructs]uint64, 2))
+	m := Merge(mergeBits(), empty, empty)
+	if m.Cycles != 0 || m.Threads != 2 {
+		t.Fatalf("merge meta = %d cycles / %d threads", m.Cycles, m.Threads)
+	}
+	for s := Struct(0); s < NumStructs; s++ {
+		if m.AVF(s) != 0 || math.IsNaN(m.AVF(s)) || m.Occ[s] != 0 {
+			t.Fatalf("%v: zero-cycle merge produced %v / %v", s, m.AVF(s), m.Occ[s])
+		}
+	}
+}
+
+// TestMergeMismatchedThreadCounts pins the clamp: the first part fixes
+// the thread count, later parts with more threads lose the excess and
+// parts with fewer contribute zero — neither panics.
+func TestMergeMismatchedThreadCounts(t *testing.T) {
+	two := make([][NumStructs]uint64, 2)
+	two[0][IQ] = 100
+	two[1][IQ] = 300
+	three := make([][NumStructs]uint64, 3)
+	three[0][IQ] = 50
+	three[2][IQ] = 999 // dropped: merged report has 2 threads
+	m := Merge(mergeBits(),
+		partReport(10, two, make([][NumStructs]uint64, 2)),
+		partReport(10, three, make([][NumStructs]uint64, 3)),
+	)
+	if m.Threads != 2 || len(m.PerThread) != 2 {
+		t.Fatalf("merged thread count %d, want 2", m.Threads)
+	}
+	if m.ACE[0][IQ] != 150 || m.ACE[1][IQ] != 300 {
+		t.Fatalf("merged ACE = %d/%d, want 150/300", m.ACE[0][IQ], m.ACE[1][IQ])
+	}
+	// The other direction: a short part contributes zero to thread 1.
+	one := make([][NumStructs]uint64, 1)
+	one[0][IQ] = 40
+	m = Merge(mergeBits(),
+		partReport(10, two, make([][NumStructs]uint64, 2)),
+		partReport(10, one, make([][NumStructs]uint64, 1)),
+	)
+	if m.ACE[0][IQ] != 140 || m.ACE[1][IQ] != 300 {
+		t.Fatalf("short part merged wrong: %d/%d, want 140/300", m.ACE[0][IQ], m.ACE[1][IQ])
+	}
+}
+
+// TestMergeMissingNumerators pins the documented fallback: a part
+// without raw numerators (nil ACE/UnACE) merges as zero contribution
+// but still extends the cycle window, diluting the rates.
+func TestMergeMissingNumerators(t *testing.T) {
+	full := make([][NumStructs]uint64, 1)
+	full[0][IQ] = 1000 // 100 bits x 10 cycles fully ACE
+	m := Merge(mergeBits(),
+		partReport(10, full, make([][NumStructs]uint64, 1)),
+		Report{Cycles: 10, Threads: 1},
+	)
+	if got, want := m.AVF(IQ), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("diluted AVF = %v, want %v", got, want)
+	}
+}
+
+// FuzzMergeInvariants drives Merge with random shard shapes and checks
+// the structural invariants the sharded runner relies on: no panic, no
+// NaN, cycles additive, per-thread contributions summing to the total,
+// occupancy bounding AVF, and order independence.
+func FuzzMergeInvariants(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(2), uint32(100), uint32(50))
+	f.Add(uint64(7), uint8(1), uint8(4), uint32(0), uint32(9))
+	f.Add(uint64(42), uint8(3), uint8(0), uint32(1), uint32(1))
+	f.Fuzz(func(t *testing.T, seed uint64, threadsA, threadsB uint8, cyclesA, cyclesB uint32) {
+		nA, nB := int(threadsA%5), int(threadsB%5)
+		rng := rand.New(rand.NewSource(int64(seed)))
+		bits := mergeBits()
+		part := func(n int, cycles uint32) Report {
+			ace := make([][NumStructs]uint64, n)
+			unace := make([][NumStructs]uint64, n)
+			for tid := 0; tid < n; tid++ {
+				for s := Struct(0); s < NumStructs; s++ {
+					if bits[s] == 0 {
+						continue
+					}
+					// Keep ace+unace within bits*cycles so occupancy stays <= 1.
+					budget := bits[s] * uint64(cycles)
+					a := uint64(rng.Int63n(int64(budget + 1)))
+					ace[tid][s] = a / uint64(n+1)
+					unace[tid][s] = (budget - a) / uint64(n+1)
+				}
+			}
+			return partReport(uint64(cycles), ace, unace)
+		}
+		a, b := part(nA, cyclesA), part(nB, cyclesB)
+		m := Merge(bits, a, b)
+		if m.Cycles != uint64(cyclesA)+uint64(cyclesB) {
+			t.Fatalf("cycles %d, want %d", m.Cycles, uint64(cyclesA)+uint64(cyclesB))
+		}
+		if m.Threads != nA || len(m.PerThread) != nA {
+			t.Fatalf("threads %d, want first part's %d", m.Threads, nA)
+		}
+		for s := Struct(0); s < NumStructs; s++ {
+			total, occ := m.AVF(s), m.Occ[s]
+			if math.IsNaN(total) || math.IsNaN(occ) {
+				t.Fatalf("%v: NaN in merged report", s)
+			}
+			if total < 0 || occ < 0 || total > occ+1e-12 || occ > 1+1e-9 {
+				t.Fatalf("%v: AVF %v / occupancy %v out of bounds", s, total, occ)
+			}
+			sum := 0.0
+			for tid := 0; tid < m.Threads; tid++ {
+				sum += m.ThreadAVF(s, tid)
+			}
+			if math.Abs(sum-total) > 1e-12 {
+				t.Fatalf("%v: thread contributions %v != total %v", s, sum, total)
+			}
+		}
+		// Merging in the other order must agree wherever both orders
+		// track the thread (the clamp is set by the first part).
+		rev := Merge(bits, b, a)
+		if rev.Cycles != m.Cycles {
+			t.Fatalf("order changed cycles: %d vs %d", rev.Cycles, m.Cycles)
+		}
+		for tid := 0; tid < min(nA, nB); tid++ {
+			for s := Struct(0); s < NumStructs; s++ {
+				if rev.ACE[tid][s] != m.ACE[tid][s] {
+					t.Fatalf("thread %d %v: order changed ACE %d vs %d",
+						tid, s, rev.ACE[tid][s], m.ACE[tid][s])
+				}
+			}
+		}
+	})
+}

@@ -18,6 +18,40 @@ type Sink interface {
 // forwarded (no call sites mix the two for the same structure).
 func (t *Tracker) SetSink(s Sink) { t.sink = s }
 
+// AddSink attaches an additional Sink alongside any already installed:
+// with none it behaves like SetSink; otherwise the existing sink and the
+// new one both receive every interval (and, for those implementing
+// RebaseObserver, every rebase). Fault injection installs its campaign
+// via SetSink and the CPI-stack observer joins via AddSink, so the two
+// observe the identical interval stream.
+func (t *Tracker) AddSink(s Sink) {
+	if t.sink == nil {
+		t.sink = s
+		return
+	}
+	t.sink = &teeSink{a: t.sink, b: s}
+}
+
+// teeSink fans one interval stream out to two sinks, forwarding rebase
+// notifications to whichever children observe them.
+type teeSink struct {
+	a, b Sink
+}
+
+func (t *teeSink) Interval(s Struct, tid int, bits, start, end uint64, ace bool) {
+	t.a.Interval(s, tid, bits, start, end, ace)
+	t.b.Interval(s, tid, bits, start, end, ace)
+}
+
+func (t *teeSink) Rebase(cycle uint64) {
+	if o, ok := t.a.(RebaseObserver); ok {
+		o.Rebase(cycle)
+	}
+	if o, ok := t.b.(RebaseObserver); ok {
+		o.Rebase(cycle)
+	}
+}
+
 // AddInterval records a residency interval [start, end) and forwards it to
 // the sink, if any. Intervals are clipped against the rebase point (see
 // Rebase), so warmup-era residency never pollutes measured statistics.

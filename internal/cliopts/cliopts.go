@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"smtavf/internal/cpistack"
 	"smtavf/internal/jsonlio"
 	"smtavf/internal/obs"
 	"smtavf/internal/pipetrace"
@@ -157,6 +158,37 @@ func (p *Propagation) Validate() error {
 		return fmt.Errorf("-propagation-strikes must be positive, got %d", p.Strikes)
 	}
 	return nil
+}
+
+// CPIStack is the explainability flag group (-cpistack, -cpistack-out,
+// -cpistack-window).
+type CPIStack struct {
+	On     bool
+	Out    string
+	Window uint64
+}
+
+// Register binds the CPI-stack flags.
+func (c *CPIStack) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&c.On, "cpistack", false, "attribute every thread-cycle to a CPI-stack component and decompose structure occupancy by ACE fate; prints the stack and occupancy tables")
+	fs.StringVar(&c.Out, "cpistack-out", "", "write the windowed CPI-stack/occupancy series to this file (.csv for CSV, .json for Chrome trace_event counters, else JSONL, .gz compresses; enables -cpistack)")
+	fs.Uint64Var(&c.Window, "cpistack-window", cpistack.DefaultWindowCycles, "CPI-stack accounting window in cycles")
+}
+
+// Enabled reports whether CPI-stack accounting was requested.
+func (c *CPIStack) Enabled() bool { return c.On || c.Out != "" }
+
+// Validate rejects meaningless settings.
+func (c *CPIStack) Validate() error {
+	if c.Enabled() && c.Window == 0 {
+		return fmt.Errorf("-cpistack-window must be positive")
+	}
+	return nil
+}
+
+// Options builds the observer options from the flags.
+func (c *CPIStack) Options() cpistack.Options {
+	return cpistack.Options{WindowCycles: c.Window}
 }
 
 // PipeTrace is the pipeline flight-recorder flag group (-pipetrace,

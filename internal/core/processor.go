@@ -5,6 +5,7 @@ import (
 
 	"smtavf/internal/avf"
 	"smtavf/internal/branch"
+	"smtavf/internal/cpistack"
 	"smtavf/internal/fetch"
 	"smtavf/internal/mem"
 	"smtavf/internal/pipeline"
@@ -89,6 +90,14 @@ type Processor struct {
 	// Fault-propagation tracer (SetPropagation). nil when detached; fed
 	// at the same sites as the flight recorder.
 	prop *propagation.Tracer
+
+	// CPI-stack observer (SetCPIStack). nil when detached: the per-cycle
+	// attribution pass is skipped entirely and the Record hooks are
+	// nil-receiver no-ops. cpiComps is per-cycle scratch, cpiPrev the
+	// per-thread counter snapshots the attribution diffs against.
+	cpi      *cpistack.Observer
+	cpiComps []cpistack.Component
+	cpiPrev  []cpiPrev
 
 	// Per-cycle scratch, reused every cycle so the steady-state loop does
 	// not allocate (docs/performance.md): fetchStates/fetchOrder feed the
@@ -319,9 +328,10 @@ func (p *Processor) rebaseMeasurement() {
 		// so no window mixes warmup-era and measured intervals.
 		p.telemetryRoll(false)
 	}
-	p.trk.Rebase(p.now)
+	p.trk.Rebase(p.now) // also rebases the cpistack observer via its sink
 	p.rec.Rebase(p.now)
 	p.prop.Rebase(p.now)
+	p.cpi.Rebase(p.now) // idempotent if the sink notification already ran
 	p.measureStart = p.now
 	p.warmCommitted = p.totalCommitted
 	p.warmPerThread = make([]uint64, len(p.threads))
@@ -393,6 +403,9 @@ func (p *Processor) step() {
 	p.issue()
 	p.dispatch()
 	p.fetchStage()
+	if p.cpi != nil {
+		p.cpiAccount()
+	}
 	p.now++
 	p.telCycle.SetUint(p.now) // nil-receiver no-op when telemetry is off
 }
@@ -445,6 +458,7 @@ func (p *Processor) closeAccounting(partialTail bool) {
 			u.Classify(p.trk, p.cfg.Bits, unACE)
 			p.rec.Record(u, p.now, unACE)
 			p.prop.Record(u, p.now, unACE)
+			p.cpi.Record(u, unACE)
 		}
 	}
 	p.rf.CloseAccounting(p.now)

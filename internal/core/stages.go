@@ -50,6 +50,7 @@ func (p *Processor) commit() {
 			u.Classify(p.trk, p.cfg.Bits, false)
 			p.rec.Record(u, p.now, false)
 			p.prop.Record(u, p.now, false)
+			p.cpi.Record(u, false)
 			t.committed++
 			p.totalCommitted++
 			p.telCommitted.Inc()
@@ -346,6 +347,7 @@ func (p *Processor) fetchThread(t *thread, max int) int {
 			ready := res.Ready + uint64(pen)
 			if ready > p.now+uint64(p.cfg.IL1.Latency) {
 				t.stallUntil = ready
+				t.stallICache = true
 				break
 			}
 		}
@@ -507,6 +509,7 @@ func (p *Processor) recoverMispredict(t *thread, u *pipeline.Uop) {
 	p.squashThread(t, u.GSeq)
 	if next := p.now + 1; next > t.stallUntil {
 		t.stallUntil = next // redirect bubble
+		t.stallICache = false
 	}
 }
 
@@ -534,6 +537,7 @@ func (p *Processor) squashThread(t *thread, afterGSeq uint64) {
 		u.Squashed = true
 		p.rec.Record(u, p.now, true)
 		p.prop.Record(u, p.now, true)
+		p.cpi.Record(u, true)
 		if u.PredL1 {
 			t.predL1--
 		}
@@ -565,6 +569,7 @@ func (p *Processor) squashThread(t *thread, afterGSeq uint64) {
 		u.Classify(p.trk, p.cfg.Bits, true)
 		p.rec.Record(u, p.now, true)
 		p.prop.Record(u, p.now, true)
+		p.cpi.Record(u, true)
 		t.squashedUops++
 		p.telSquashed.Inc()
 		if u == t.wpBranch {

@@ -78,6 +78,7 @@ type thread struct {
 	// Fetch state.
 	fetchQ        uopQueue // fetched, in the front-end pipe
 	stallUntil    uint64   // IL1/ITLB miss or redirect penalty
+	stallICache   bool     // current stallUntil is an IL1/ITLB miss (CPI stack)
 	lastFetchLine uint64   // last IL1 line touched (access per line)
 
 	// pool recycles this thread's uops: fetch acquires, the classification

@@ -1,0 +1,92 @@
+package cpistack
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"smtavf/internal/avf"
+)
+
+// chromeEvent is one trace_event object; field order is the JSON output
+// order, matching internal/pipetrace's exporter so the two traces merge
+// cleanly in a viewer.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat,omitempty"`
+	Ph   string      `json:"ph"`
+	Ts   uint64      `json:"ts"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	Args interface{} `json:"args,omitempty"`
+}
+
+// WriteChrome writes the windows as Chrome trace_event counter ("C")
+// tracks, loadable by chrome://tracing and Perfetto: one "cpi/t<tid>"
+// counter per thread whose series are the stack components (stacked by
+// the viewer, so the track is the thread's CPI stack over time), and one
+// "occupancy/<struct>" counter per tracked structure whose series are the
+// fate bit-cycle splits. One simulated cycle maps to one microsecond,
+// matching the pipetrace exporter, so a cpistack overlay lines up with a
+// flight recording of the same run.
+func (o *Observer) WriteChrome(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n")
+	first := true
+	emit := func(e chromeEvent) error {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		_, err = bw.Write(data)
+		return err
+	}
+
+	for tid := 0; tid < o.threads; tid++ {
+		if err := emit(chromeEvent{
+			Name: "process_name", Ph: "M", Pid: tid,
+			Args: map[string]string{"name": fmt.Sprintf("hw thread %d", tid)},
+		}); err != nil {
+			return err
+		}
+	}
+
+	for i := range o.wins {
+		win := &o.wins[i]
+		ts := o.base + uint64(i)*o.window
+		for tid := 0; tid < o.threads; tid++ {
+			args := make(map[string]uint64, NumComponents)
+			for c := Component(0); c < NumComponents; c++ {
+				args[c.String()] = win.stack[tid][c]
+			}
+			if err := emit(chromeEvent{
+				Name: fmt.Sprintf("cpi/t%d", tid), Cat: "cpistack", Ph: "C",
+				Ts: ts, Pid: tid, Args: args,
+			}); err != nil {
+				return err
+			}
+		}
+		for _, s := range OccupancyStructs() {
+			args := make(map[string]uint64, avf.NumFates)
+			for _, f := range avf.Fates() {
+				args[f.String()] = win.occ[s][f]
+			}
+			if err := emit(chromeEvent{
+				Name: "occupancy/" + s.String(), Cat: "occupancy", Ph: "C",
+				Ts: ts, Args: args,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

@@ -4,7 +4,10 @@
 // Reinhardt, used in Figure 8), and the MITF-proportional IPC/AVF ratios.
 package metrics
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // WeightedSpeedup is Σ_i IPC_smt(i) / IPC_st(i): the effective throughput
 // of the multithreaded run relative to the same threads run alone.
@@ -39,25 +42,31 @@ func HarmonicIPC(smtIPC, stIPC []float64) (float64, error) {
 		}
 		sum += stIPC[i] / smtIPC[i]
 	}
+	if sum == 0 {
+		// Zero threads: 0/0 would be NaN; an empty harmonic mean is 0.
+		return 0, nil
+	}
 	return float64(len(smtIPC)) / sum, nil
 }
 
 // Efficiency returns perf/avf, the reliability-efficiency ratio
 // (proportional to mean instructions to failure at fixed frequency and raw
-// error rate). A zero AVF yields 0 rather than +Inf so that bars for
-// untouched structures plot sanely.
+// error rate). A zero, negative, or NaN AVF yields 0 rather than ±Inf or
+// NaN so that bars for untouched structures plot sanely.
 func Efficiency(perf, avf float64) float64 {
-	if avf <= 0 {
+	if avf <= 0 || math.IsNaN(avf) {
 		return 0
 	}
 	return perf / avf
 }
 
-// Normalize divides each value by base, returning 0 where base is 0.
-// Figures 7 and 8 plot efficiencies normalized to the ICOUNT baseline.
+// Normalize divides each value by base, returning zeros when base is 0
+// or non-finite — a broken baseline must not turn a whole figure into
+// NaN bars. Figures 7 and 8 plot efficiencies normalized to the ICOUNT
+// baseline.
 func Normalize(values []float64, base float64) []float64 {
 	out := make([]float64, len(values))
-	if base == 0 {
+	if base == 0 || math.IsNaN(base) || math.IsInf(base, 0) {
 		return out
 	}
 	for i, v := range values {

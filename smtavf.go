@@ -31,6 +31,7 @@ import (
 
 	"smtavf/internal/avf"
 	"smtavf/internal/core"
+	"smtavf/internal/cpistack"
 	"smtavf/internal/crossval"
 	"smtavf/internal/fetch"
 	"smtavf/internal/inject"
@@ -149,6 +150,7 @@ type settings struct {
 	rec       *pipetrace.Recorder
 	camp      *inject.Campaign
 	prop      *propagation.Tracer
+	cpi       *cpistack.Observer
 	obsv      *obs.Observability
 	shards    int
 	workers   int
@@ -289,6 +291,20 @@ func WithPropagation(t *PropagationTracer) Option {
 	}
 }
 
+// WithCPIStack attaches the explainability observer to the run (see
+// CPIStack): every thread-cycle is attributed to a CPI-stack component
+// and structure occupancy is decomposed by ACE fate in cycle windows, so
+// the run's AVF numbers come with their why. Incompatible with
+// WithShards(n > 1): a sharded run has no single cycle timeline to
+// attribute. A nil observer leaves the layer detached at zero per-cycle
+// cost (BenchmarkCPIStackOverhead pins this).
+func WithCPIStack(o *CPIStack) Option {
+	return func(s *settings) error {
+		s.cpi = o
+		return nil
+	}
+}
+
 // WithObservability attaches the campaign-observability layer to the run
 // (see Observability): live metrics land on its Registry, the run's
 // phases drive its Progress tracker, and a RunManifest is appended to its
@@ -366,6 +382,8 @@ func New(cfg Config, opts ...Option) (*Simulator, error) {
 			return nil, fmt.Errorf("smtavf: WithFaultInjection requires a monolithic run (WithShards(1, ...))")
 		case s.prop != nil:
 			return nil, fmt.Errorf("smtavf: WithPropagation requires a monolithic run (WithShards(1, ...))")
+		case s.cpi != nil:
+			return nil, fmt.Errorf("smtavf: WithCPIStack requires a monolithic run (WithShards(1, ...))")
 		}
 		// Fail construction-time errors here rather than from a worker
 		// goroutine mid-run: one throwaway set of sources validates the
@@ -409,6 +427,11 @@ func New(cfg Config, opts ...Option) (*Simulator, error) {
 	}
 	if s.prop != nil {
 		proc.SetPropagation(s.prop)
+	}
+	if s.cpi != nil {
+		// After the campaign attach: SetCPIStack joins the tracker's sink
+		// via AddSink, so the campaign and the observer share the stream.
+		proc.SetCPIStack(s.cpi)
 	}
 	return sim, nil
 }
@@ -670,6 +693,33 @@ func WritePropagationTraces(path string, traces []PropagationTrace) error {
 func ReadPropagationTraces(path string) ([]PropagationTrace, error) {
 	return propagation.ReadFile(path)
 }
+
+// CPIStack is the explainability observer: per-thread cycle accounting
+// (every cycle attributed to one stack component — committing, memory
+// stalls, branch recovery, structural stalls, fetch gating) joined with a
+// windowed occupancy-by-fate decomposition of the AVF-tracked structures.
+// Per-thread components sum exactly to the simulated cycles and the
+// occupancy sums match the AVF tracker bit for bit. See docs/cpistack.md.
+type CPIStack = cpistack.Observer
+
+// CPIStackOptions parameterizes a CPIStack observer (window length).
+type CPIStackOptions = cpistack.Options
+
+// CPIStackWindow is one exported accounting window (one JSONL line).
+type CPIStackWindow = cpistack.Window
+
+// NewCPIStack builds an explainability observer.
+func NewCPIStack(o CPIStackOptions) *CPIStack { return cpistack.New(o) }
+
+// SetCPIStack attaches an explainability observer to the simulator. Must
+// be called before Run, and after InjectFaults when a campaign is also
+// attached; a nil observer leaves the layer detached. Panics on a sharded
+// simulator — pass WithCPIStack to New instead.
+func (s *Simulator) SetCPIStack(o *CPIStack) { s.mono("SetCPIStack").SetCPIStack(o) }
+
+// ReadCPIStackWindows reads a windowed CPI-stack/occupancy series written
+// by CPIStack.WriteFile as JSONL.
+func ReadCPIStackWindows(path string) ([]CPIStackWindow, error) { return cpistack.ReadFile(path) }
 
 // mono returns the monolithic processor or panics with a pointer at the
 // Option-based alternative; the attach methods predate sharding and have
