@@ -37,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"smtavf/internal/campaign"
 	"smtavf/internal/cliopts"
 	"smtavf/internal/experiments"
 	"smtavf/internal/inject"
@@ -192,22 +193,25 @@ func main() {
 
 	start := time.Now()
 	if *xvalMix != "" {
-		spec := experiments.CrossValSpec{
-			Policy: *xvalPol,
-			Stop:   inject.StopWhen(inj.CI, inj.Strikes),
+		var seeds []uint64
+		for i := 0; i < *xvalN; i++ {
+			seeds = append(seeds, *seed+uint64(i))
+		}
+		spec := campaign.Spec{
+			Policy:   *xvalPol,
+			Inject:   &campaign.InjectSpec{Stop: inject.StopWhen(inj.CI, inj.Strikes)},
+			CrossVal: &campaign.CrossValSpec{Seeds: seeds},
 		}
 		if strings.Contains(*xvalMix, ",") {
 			spec.Benchmarks = strings.Split(*xvalMix, ",")
 		} else {
 			spec.Mix = *xvalMix
 		}
-		for i := 0; i < *xvalN; i++ {
-			spec.Seeds = append(spec.Seeds, *seed+uint64(i))
-		}
-		pooled, perSeed, err := r.CrossVal(spec)
+		res, err := r.Campaign(spec)
 		if err != nil {
 			fatal(fmt.Errorf("crossval: %w", err))
 		}
+		pooled, perSeed := res.CrossVal, res.CrossValSeeds
 		man.Kind = "crossval"
 		man.Policy = *xvalPol
 		if spec.Mix != "" {
@@ -253,17 +257,21 @@ func main() {
 		return
 	}
 	if *propMix != "" {
-		spec := experiments.PropagationSpec{Policy: *propPol, Strikes: *propN}
+		spec := campaign.Spec{
+			Policy:      *propPol,
+			Propagation: &campaign.PropagationSpec{Strikes: *propN},
+		}
 		if strings.Contains(*propMix, ",") {
 			spec.Benchmarks = strings.Split(*propMix, ",")
 		} else {
 			spec.Mix = *propMix
 		}
-		atlas, title, err := r.Propagation(spec)
+		res, err := r.Campaign(spec)
 		if err != nil {
 			fatal(fmt.Errorf("propagation: %w", err))
 		}
-		fmt.Printf("fault-propagation atlas: %s\n\n", title)
+		atlas := res.Atlas
+		fmt.Printf("fault-propagation atlas: %s\n\n", res.Title)
 		fmt.Print(atlas.Tables(*propTop))
 		if *propOut != "" {
 			if err := propagation.WriteFile(*propOut, atlas.Traces); err != nil {
@@ -277,7 +285,7 @@ func main() {
 		return
 	}
 	if *explMix != "" {
-		spec := experiments.ExplainSpec{}
+		spec := campaign.Spec{Explain: &campaign.ExplainSpec{}}
 		if strings.Contains(*explMix, ",") {
 			spec.Benchmarks = strings.Split(*explMix, ",")
 		} else {
@@ -285,10 +293,10 @@ func main() {
 		}
 		for _, p := range strings.Split(*explPol, ",") {
 			if p = strings.TrimSpace(p); p != "" {
-				spec.Policies = append(spec.Policies, p)
+				spec.Explain.Policies = append(spec.Explain.Policies, p)
 			}
 		}
-		ts, title, err := r.Explain(spec)
+		res, err := r.Campaign(spec)
 		if err != nil {
 			fatal(fmt.Errorf("explain: %w", err))
 		}
@@ -298,8 +306,8 @@ func main() {
 		} else {
 			man.Workloads = spec.Benchmarks
 		}
-		fmt.Printf("explainability: %s\n\n", title)
-		emit(ts...)
+		fmt.Printf("explainability: %s\n\n", res.Title)
+		emit(experiments.TablesFromCampaign(res.Tables)...)
 		logger.Info("done", "elapsed", time.Since(start).Round(time.Millisecond).String())
 		shut.Finish(obs.StatusOK, logger)
 		return

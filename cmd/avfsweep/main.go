@@ -21,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -52,6 +53,7 @@ func main() {
 		instrs   = flag.Uint64("instructions", 100_000, "instructions per run")
 		warmup   = flag.Uint64("warmup", 50_000, "warmup instructions per run")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		dumpSpec = flag.Bool("dumpspec", false, "print the sweep's per-point campaign specs as a JSON array and exit")
 
 		logFlags cliopts.Log
 		tel      cliopts.Telemetry
@@ -128,6 +130,27 @@ func main() {
 		fatal(fmt.Errorf("-param %s needs -values", *param))
 	}
 
+	pols := strings.Split(*policies, ",")
+	if *dumpSpec {
+		var specs []smtavf.CampaignSpec
+		for _, pol := range pols {
+			for _, v := range vals {
+				spec, err := pointSpec(*mixName, names, strings.TrimSpace(pol), *param, v, *seed, *warmup, *instrs, shards)
+				if err != nil {
+					fatal(err)
+				}
+				spec.V = smtavf.CampaignSpecVersion
+				specs = append(specs, spec)
+			}
+		}
+		data, err := json.MarshalIndent(specs, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
 	if tel.Dir != "" {
 		if err := os.MkdirAll(tel.Dir, 0o755); err != nil {
 			fatal(err)
@@ -156,7 +179,6 @@ func main() {
 	}
 	campSeed := inj.CampaignSeed(*seed)
 
-	pols := strings.Split(*policies, ",")
 	points := len(pols) * len(vals)
 	telemetry.RunManifest(logger, "avfsweep", smtavf.DefaultConfig(len(names)), *seed, names,
 		"policies", *policies,
@@ -222,22 +244,23 @@ func main() {
 		pol = strings.TrimSpace(pol)
 		for _, v := range vals {
 			point++
-			cfg := smtavf.DefaultConfig(len(names))
-			cfg.Seed = *seed
-			cfg.Warmup = *warmup
-			if err := cfg.SetPolicy(pol); err != nil {
+			// Each point is one campaign spec: workload, policy, seed, and
+			// (when sweeping a structural parameter) a machine override.
+			spec, err := pointSpec(*mixName, names, pol, *param, v, *seed, *warmup, *instrs, shards)
+			if err != nil {
 				fatal(err)
 			}
-			if err := apply(&cfg, *param, v); err != nil {
+			cfg, err := smtavf.SpecConfig(spec)
+			if err != nil {
 				fatal(err)
 			}
-			opts := []smtavf.Option{
-				smtavf.WithBenchmarks(names...),
-				smtavf.WithShards(shards.N, shards.Workers),
-				// Registry only: the sweep loop owns the progress phase
-				// (points completed), so per-point runs must not reset it.
-				smtavf.WithObservability(&smtavf.Observability{Registry: reg, Program: "avfsweep"}),
+			opts, err := smtavf.SpecOptions(spec)
+			if err != nil {
+				fatal(err)
 			}
+			// Registry only: the sweep loop owns the progress phase
+			// (points completed), so per-point runs must not reset it.
+			opts = append(opts, smtavf.WithObservability(&smtavf.Observability{Registry: reg, Program: "avfsweep"}))
 			pm := obs.NewManifest("sweep-point", "avfsweep")
 			pm.ConfigDigest = obs.ConfigDigest(cfg)
 			pm.Seed = *seed
@@ -393,6 +416,34 @@ func (s *sharedExporter) close() error {
 	}
 	s.closed = true
 	return s.exp.Close()
+}
+
+// pointSpec resolves one sweep point to a campaign spec: the workload
+// and policy axes plus, for a swept structural parameter, a machine
+// override carrying the applied value. The specs -dumpspec prints are
+// exactly what the loop runs.
+func pointSpec(mix string, names []string, pol, param string, v int, seed, warmup, instrs uint64, shards cliopts.Shards) (smtavf.CampaignSpec, error) {
+	spec := smtavf.CampaignSpec{
+		Policy:       pol,
+		Seed:         seed,
+		Instructions: instrs,
+		Warmup:       warmup,
+		Shards:       shards.N,
+		ShardWorkers: shards.Workers,
+	}
+	if mix != "" {
+		spec.Mix = mix
+	} else {
+		spec.Benchmarks = names
+	}
+	if param != "none" {
+		machine := smtavf.DefaultConfig(len(names))
+		if err := apply(&machine, param, v); err != nil {
+			return spec, err
+		}
+		spec.Machine = &machine
+	}
+	return spec, nil
 }
 
 // pointName is the telemetry series filename of one sweep point.

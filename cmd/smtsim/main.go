@@ -8,6 +8,15 @@
 //	smtsim -mix 4ctx-MIX-A -telemetry run.jsonl -telemetry-window 10000
 //	smtsim -mix 4ctx-MIX-A -instructions 10000000 -debug-addr :6060
 //	smtsim -mix 4ctx-MIX-A -instructions 10000000 -shards 8 -shard-workers 4
+//	smtsim -spec run.json
+//	smtsim -mix 4ctx-MIX-A -policy FLUSH -dumpspec > run.json
+//
+// The workload, policy, seed, machine override, and shard shape resolve
+// into one versioned campaign spec (docs/campaign-service.md): -dumpspec
+// prints it, -spec loads one instead of the per-axis flags, and the same
+// JSON submits to the avfd campaign service unchanged. Observer flags
+// (-telemetry, -pipetrace, -cpistack, -obs-*) layer on top of a loaded
+// spec rather than living inside it.
 //
 // With -shards N the run is split into N deterministic intervals per
 // thread and simulated in parallel; committed-instruction counts stay
@@ -72,7 +81,9 @@ import (
 	"time"
 
 	"smtavf"
+	"smtavf/internal/campaign"
 	"smtavf/internal/cliopts"
+	"smtavf/internal/inject"
 	"smtavf/internal/obs"
 	"smtavf/internal/pipetrace"
 	"smtavf/internal/propagation"
@@ -85,18 +96,20 @@ var shut cliopts.Shutdown
 
 func main() {
 	var (
-		mixName = flag.String("mix", "", "Table 2 mix name, e.g. 4ctx-MEM-A")
-		benches = flag.String("bench", "", "comma-separated benchmark names (alternative to -mix)")
-		traces  = flag.String("trace", "", "comma-separated trace files recorded by tracegen (alternative to -mix/-bench)")
-		policy  = flag.String("policy", "ICOUNT", "fetch policy: ICOUNT, STALL, FLUSH, DG, PDG, DWarn, STALLP")
-		instrs  = flag.Uint64("instructions", 100_000, "total instructions to simulate")
-		warmup  = flag.Uint64("warmup", 0, "instructions committed before measurement begins")
-		phases  = flag.Uint64("phases", 0, "sample per-interval IPC/AVF every N cycles (0 = off)")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		list    = flag.Bool("list", false, "list available mixes and benchmarks, then exit")
-		cfgPath = flag.String("config", "", "JSON machine configuration to load (overrides defaults; Threads is set from the workload)")
-		dumpCfg = flag.Bool("dumpconfig", false, "print the effective machine configuration as JSON and exit")
-		asJSON  = flag.Bool("json", false, "emit the full results as JSON")
+		mixName  = flag.String("mix", "", "Table 2 mix name, e.g. 4ctx-MEM-A")
+		benches  = flag.String("bench", "", "comma-separated benchmark names (alternative to -mix)")
+		traces   = flag.String("trace", "", "comma-separated trace files recorded by tracegen (alternative to -mix/-bench)")
+		policy   = flag.String("policy", "ICOUNT", "fetch policy: ICOUNT, STALL, FLUSH, DG, PDG, DWarn, STALLP")
+		instrs   = flag.Uint64("instructions", 100_000, "total instructions to simulate")
+		warmup   = flag.Uint64("warmup", 0, "instructions committed before measurement begins")
+		phases   = flag.Uint64("phases", 0, "sample per-interval IPC/AVF every N cycles (0 = off)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		list     = flag.Bool("list", false, "list available mixes and benchmarks, then exit")
+		cfgPath  = flag.String("config", "", "JSON machine configuration to load (overrides defaults; Threads is set from the workload)")
+		dumpCfg  = flag.Bool("dumpconfig", false, "print the effective machine configuration as JSON and exit")
+		specPath = flag.String("spec", "", "load the run from this campaign-spec JSON file instead of the workload/policy flags (observer flags still apply)")
+		dumpSpec = flag.Bool("dumpspec", false, "print the effective campaign spec as JSON and exit (submit it to avfd or rerun with -spec)")
+		asJSON   = flag.Bool("json", false, "emit the full results as JSON")
 
 		logFlags cliopts.Log
 		tel      cliopts.Telemetry
@@ -126,22 +139,13 @@ func main() {
 	if err := tel.Validate(); err != nil {
 		fatal(err)
 	}
-	if err := inj.Validate(); err != nil {
-		fatal(err)
-	}
 	if err := prop.Validate(); err != nil {
 		fatal(err)
-	}
-	if prop.Enabled() && !inj.On {
-		fatal(fmt.Errorf("-propagation needs the strike campaign: pass -inject"))
 	}
 	if err := cpi.Validate(); err != nil {
 		fatal(err)
 	}
 	if err := shards.Validate(); err != nil {
-		fatal(err)
-	}
-	if err := obsFlags.Validate(shards.Sharded()); err != nil {
 		fatal(err)
 	}
 	if err := prof.Start(); err != nil {
@@ -162,44 +166,101 @@ func main() {
 		return
 	}
 
-	var names, paths []string
-	switch {
-	case *mixName != "":
-		m, err := smtavf.MixByName(*mixName)
+	// Resolve the run to one versioned campaign spec: either loaded from
+	// -spec, or assembled from the per-axis flags. Everything downstream —
+	// machine config, workload sources, shard shape, the strike campaign —
+	// derives from the spec, so a run submitted to avfd and a run typed
+	// here resolve identically.
+	var spec smtavf.CampaignSpec
+	if *specPath != "" {
+		spec, err = smtavf.ReadCampaignSpec(*specPath)
 		if err != nil {
 			fatal(err)
 		}
-		names = m.Benchmarks
-	case *benches != "":
-		names = strings.Split(*benches, ",")
-	case *traces != "":
-		paths = strings.Split(*traces, ",")
-	default:
-		fatal(fmt.Errorf("need -mix, -bench, or -trace (try -list)"))
+		if k := spec.Kind(); k != campaign.KindRun {
+			fatal(fmt.Errorf("%s: smtsim runs plain specs; submit %s specs to avfd or avfreport", *specPath, k))
+		}
+		// The spec's knobs replace the corresponding flags.
+		shards.N, shards.Workers = spec.Shards, spec.ShardWorkers
+		if shards.N < 1 {
+			shards.N = 1
+		}
+		if spec.Inject != nil {
+			inj.On = true
+			if spec.Inject.Every != 0 {
+				inj.Every = spec.Inject.Every
+			}
+			inj.Seed = spec.Inject.Seed
+			if spec.Inject.Stop.HalfWidth != 0 {
+				inj.CI = spec.Inject.Stop.HalfWidth
+			}
+			if spec.Inject.Stop.MaxStrikes != 0 {
+				inj.Strikes = spec.Inject.Stop.MaxStrikes
+			}
+		}
+		if spec.Instructions == 0 {
+			spec.Instructions = *instrs
+		}
+	} else {
+		spec = smtavf.CampaignSpec{
+			Mix:           *mixName,
+			Policy:        *policy,
+			Seed:          *seed,
+			Instructions:  *instrs,
+			Warmup:        *warmup,
+			PhaseInterval: *phases,
+			Shards:        shards.N,
+			ShardWorkers:  shards.Workers,
+		}
+		if *benches != "" {
+			spec.Benchmarks = strings.Split(*benches, ",")
+		}
+		if *traces != "" {
+			spec.TraceFiles = strings.Split(*traces, ",")
+		}
+		if spec.Mix == "" && spec.Benchmarks == nil && spec.TraceFiles == nil {
+			fatal(fmt.Errorf("need -mix, -bench, -trace, or -spec (try -list)"))
+		}
+		if *cfgPath != "" {
+			machine := smtavf.DefaultConfig(spec.Threads())
+			data, err := os.ReadFile(*cfgPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := json.Unmarshal(data, &machine); err != nil {
+				fatal(fmt.Errorf("%s: %w", *cfgPath, err))
+			}
+			spec.Machine = &machine
+		}
+		if inj.On {
+			spec.Inject = &campaign.InjectSpec{
+				Every: inj.Every,
+				Seed:  inj.Seed,
+				Stop:  inject.Stop{HalfWidth: inj.CI, MaxStrikes: inj.Strikes},
+			}
+		}
+	}
+	if err := inj.Validate(); err != nil {
+		fatal(err)
+	}
+	if prop.Enabled() && !inj.On {
+		fatal(fmt.Errorf("-propagation needs the strike campaign: pass -inject"))
+	}
+	if err := obsFlags.Validate(shards.Sharded()); err != nil {
+		fatal(err)
 	}
 
-	contexts := len(names)
-	if contexts == 0 {
-		contexts = len(paths)
-	}
-	cfg := smtavf.DefaultConfig(contexts)
-	if *cfgPath != "" {
-		data, err := os.ReadFile(*cfgPath)
+	if *dumpSpec {
+		data, err := spec.MarshalIndent()
 		if err != nil {
 			fatal(err)
 		}
-		if err := json.Unmarshal(data, &cfg); err != nil {
-			fatal(fmt.Errorf("%s: %w", *cfgPath, err))
-		}
-		cfg.Threads = contexts // the workload decides the context count
-		if cfg.Policy == nil {
-			cfg.Policy, _ = smtavf.PolicyByName("ICOUNT")
-		}
+		fmt.Println(string(data))
+		return
 	}
-	cfg.Seed = *seed
-	cfg.Warmup = *warmup
-	cfg.PhaseInterval = *phases
-	if err := cfg.SetPolicy(*policy); err != nil {
+
+	cfg, err := smtavf.SpecConfig(spec)
+	if err != nil {
 		fatal(err)
 	}
 	if *dumpCfg {
@@ -210,12 +271,9 @@ func main() {
 		fmt.Println(string(data))
 		return
 	}
-
-	opts := []smtavf.Option{smtavf.WithShards(shards.N, shards.Workers)}
-	if paths != nil {
-		opts = append(opts, smtavf.WithTraceFiles(paths...))
-	} else {
-		opts = append(opts, smtavf.WithBenchmarks(names...))
+	opts, err := smtavf.SpecOptions(spec)
+	if err != nil {
+		fatal(err)
 	}
 
 	// Campaign observability: the metrics registry behind /debug/metrics,
@@ -238,18 +296,15 @@ func main() {
 		Progress: prog,
 		Program:  "smtsim",
 	}))
-	workloads := names
-	if workloads == nil {
-		workloads = paths
-	}
+	workloads := spec.WorkloadIDs()
 	man := obs.NewManifest("run", "smtsim")
 	man.ConfigDigest = obs.ConfigDigest(cfg)
-	man.Seed = *seed
-	man.Policy = *policy
+	man.Seed = cfg.Seed
+	man.Policy = spec.PolicyName()
 	man.Workloads = workloads
 	man.Shards = shards.N
-	if *mixName != "" {
-		man.Extra = map[string]string{"mix": *mixName}
+	if spec.Mix != "" {
+		man.Extra = map[string]string{"mix": spec.Mix}
 	}
 	var (
 		runRes   *smtavf.Results
@@ -302,7 +357,7 @@ func main() {
 	// Fault-injection campaign: samples the run on a cycle grid, then the
 	// strike phase after the run cross-validates the tracker's AVF.
 	var camp *smtavf.FaultCampaign
-	campSeed := inj.CampaignSeed(*seed)
+	campSeed := inj.CampaignSeed(cfg.Seed)
 	if inj.On {
 		camp, err = smtavf.NewFaultCampaign(cfg, inj.Every, campSeed)
 		if err != nil {
@@ -369,16 +424,16 @@ func main() {
 		defer dbg.Close()
 	}
 
-	telemetry.RunManifest(logger, "smtsim", cfg, *seed, workloads,
-		"policy", *policy,
-		"instructions", *instrs,
-		"warmup", *warmup,
+	telemetry.RunManifest(logger, "smtsim", cfg, cfg.Seed, workloads,
+		"policy", spec.PolicyName(),
+		"instructions", spec.Instructions,
+		"warmup", cfg.Warmup,
 		"telemetry_window", tel.Window,
 		"shards", shards.N,
 	)
 
 	start := time.Now()
-	res, err := sim.Run(*instrs)
+	res, err := sim.Run(spec.Instructions)
 	if err != nil {
 		fatal(err)
 	}
@@ -413,13 +468,9 @@ func main() {
 	if camp != nil {
 		injStats = camp.RunStrikes(res.Cycles, smtavf.StopWhen(inj.CI, inj.Strikes))
 		runStats = injStats
-		workload := *mixName
-		if workload == "" {
-			workload = strings.Join(workloads, "+")
-		}
 		injXval = smtavf.CrossValidate(smtavf.CrossValMeta{
-			Workload: workload,
-			Policy:   *policy,
+			Workload: spec.WorkloadName(),
+			Policy:   spec.PolicyName(),
 			Seed:     campSeed,
 			Every:    inj.Every,
 			Cycles:   res.Cycles,
@@ -507,7 +558,7 @@ func main() {
 		}
 		fmt.Print(prov.FormatFates())
 	}
-	if *phases > 0 {
+	if cfg.PhaseInterval > 0 {
 		fmt.Println("  phases (cycle / IPC / IQ AVF / ROB AVF):")
 		for _, ph := range res.Phases {
 			fmt.Printf("    %10d  %6.3f  %6.2f%%  %6.2f%%\n",

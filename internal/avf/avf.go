@@ -48,6 +48,18 @@ func (s Struct) String() string {
 	return fmt.Sprintf("struct(%d)", int(s))
 }
 
+// ParseStruct inverts Struct.String: it returns the structure with the
+// given name, e.g. "IQ" or "LSQ_data" — the name a serialized campaign
+// spec or protection map carries.
+func ParseStruct(name string) (Struct, error) {
+	for s, n := range structNames {
+		if n == name {
+			return Struct(s), nil
+		}
+	}
+	return 0, fmt.Errorf("avf: unknown structure %q", name)
+}
+
 // Structs lists every instrumented structure in presentation order
 // (shared pipeline, shared memory, non-shared — the grouping of Figure 1).
 func Structs() []Struct {

@@ -1,0 +1,101 @@
+package campaign
+
+import (
+	"fmt"
+)
+
+// MaxPoints bounds a single submission's expansion — a guard against a
+// typo'd axis turning into a week of simulation.
+const MaxPoints = 4096
+
+// Matrix is the submission form of a campaign: one base Spec fanned out
+// over optional axes. Empty axes contribute a single "inherit the base"
+// element, so the expansion is the cross product of whatever is listed.
+type Matrix struct {
+	V int `json:"v"`
+	// Name labels the campaign in the service.
+	Name string `json:"name,omitempty"`
+	// Base is the spec every point starts from.
+	Base Spec `json:"base"`
+	// Axes: each listed value overrides the corresponding Base field.
+	Policies []string `json:"policies,omitempty"`
+	Mixes    []string `json:"mixes,omitempty"`
+	Seeds    []uint64 `json:"seeds,omitempty"`
+}
+
+// Points expands the matrix into its campaign points, deterministically:
+// mixes outermost, then policies, then seeds — the iteration order a
+// sweep table reads naturally. Every point is validated.
+func (m Matrix) Points() ([]Spec, error) {
+	if m.V != 0 && m.V != SpecVersion {
+		return nil, fmt.Errorf("campaign: matrix schema v%d is not supported (want v%d)", m.V, SpecVersion)
+	}
+	mixes := m.Mixes
+	if len(mixes) == 0 {
+		mixes = []string{""}
+	}
+	policies := m.Policies
+	if len(policies) == 0 {
+		policies = []string{""}
+	}
+	seeds := m.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{0}
+	}
+	n := len(mixes) * len(policies) * len(seeds)
+	if n > MaxPoints {
+		return nil, fmt.Errorf("campaign: matrix expands to %d points (max %d)", n, MaxPoints)
+	}
+	points := make([]Spec, 0, n)
+	for _, mix := range mixes {
+		for _, policy := range policies {
+			for _, seed := range seeds {
+				p := m.Base
+				p.V = SpecVersion
+				if mix != "" {
+					p.Mix = mix
+					p.Benchmarks = nil
+					p.TraceFiles = nil
+				}
+				if policy != "" {
+					p.Policy = policy
+				}
+				if seed != 0 {
+					p.Seed = seed
+				}
+				p.Name = pointName(m.Base.Name, p, len(mixes) > 1, len(policies) > 1, len(seeds) > 1)
+				if err := p.Validate(); err != nil {
+					return nil, fmt.Errorf("point %d (%s): %w", len(points), p.Name, err)
+				}
+				points = append(points, p)
+			}
+		}
+	}
+	return points, nil
+}
+
+// pointName labels an expanded point with the axes that vary, so streams
+// and status payloads read without cross-referencing indices.
+func pointName(base string, p Spec, byMix, byPolicy, bySeed bool) string {
+	name := base
+	add := func(part string) {
+		if name == "" {
+			name = part
+			return
+		}
+		name += "/" + part
+	}
+	if byMix {
+		add(p.WorkloadName())
+	}
+	if byPolicy {
+		add(p.PolicyName())
+	}
+	if bySeed {
+		add(fmt.Sprintf("seed%d", p.Seed))
+	}
+	if name == "" {
+		name = p.WorkloadName()
+	}
+	return name
+}

@@ -1,0 +1,100 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMatrixPoints(t *testing.T) {
+	m := Matrix{
+		Base:     Spec{Benchmarks: []string{"gcc", "mcf"}, Instructions: 1000},
+		Policies: []string{"ICOUNT", "STALL"},
+		Seeds:    []uint64{1, 2, 3},
+	}
+	points, err := m.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("got %d points, want 6", len(points))
+	}
+	// Deterministic: a second expansion is identical.
+	again, err := m.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(points, again) {
+		t.Fatal("expansion is not deterministic")
+	}
+	// Policies outermost-but-one, seeds innermost.
+	if points[0].Policy != "ICOUNT" || points[0].Seed != 1 {
+		t.Errorf("point 0 = %s/%d", points[0].Policy, points[0].Seed)
+	}
+	if points[2].Policy != "ICOUNT" || points[2].Seed != 3 {
+		t.Errorf("point 2 = %s/%d", points[2].Policy, points[2].Seed)
+	}
+	if points[3].Policy != "STALL" || points[3].Seed != 1 {
+		t.Errorf("point 3 = %s/%d", points[3].Policy, points[3].Seed)
+	}
+	// Every point inherits the base and is labelled by the varying axes.
+	for i, p := range points {
+		if p.Instructions != 1000 {
+			t.Errorf("point %d lost the base budget", i)
+		}
+		want := p.PolicyName() + "/seed" + string(rune('0'+p.Seed))
+		if p.Name != want {
+			t.Errorf("point %d name = %q, want %q", i, p.Name, want)
+		}
+	}
+}
+
+func TestMatrixSinglePoint(t *testing.T) {
+	points, err := Matrix{Base: Spec{Mix: "2ctx-CPU-A"}}.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("got %d points, want 1", len(points))
+	}
+	if points[0].Name != "2ctx-CPU-A" {
+		t.Errorf("singleton name = %q", points[0].Name)
+	}
+}
+
+func TestMatrixMixAxisReplacesSource(t *testing.T) {
+	m := Matrix{
+		Base:  Spec{Benchmarks: []string{"gcc"}},
+		Mixes: []string{"2ctx-CPU-A", "2ctx-MEM-A"},
+	}
+	points, err := m.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if len(p.Benchmarks) != 0 {
+			t.Errorf("mix axis left base benchmarks on %q", p.Name)
+		}
+	}
+	if points[0].Mix != "2ctx-CPU-A" || points[1].Mix != "2ctx-MEM-A" {
+		t.Errorf("mix order: %q, %q", points[0].Mix, points[1].Mix)
+	}
+}
+
+func TestMatrixRejectsInvalidPoint(t *testing.T) {
+	if _, err := (Matrix{Base: Spec{}}).Points(); err == nil {
+		t.Fatal("sourceless base expanded without error")
+	}
+	if _, err := (Matrix{V: 2, Base: Spec{Mix: "2ctx-CPU-A"}}).Points(); err == nil {
+		t.Fatal("unsupported version expanded without error")
+	}
+}
+
+func TestMatrixPointCap(t *testing.T) {
+	seeds := make([]uint64, MaxPoints+1)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	if _, err := (Matrix{Base: Spec{Mix: "2ctx-CPU-A"}, Seeds: seeds}).Points(); err == nil {
+		t.Fatal("oversized matrix expanded without error")
+	}
+}

@@ -1,0 +1,144 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testPoints(n int) []Spec {
+	points := make([]Spec, n)
+	for i := range points {
+		points[i] = Spec{V: SpecVersion, Mix: "2ctx-CPU-A", Seed: uint64(i + 1)}
+	}
+	return points
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := NewID(time.Now())
+	if err := st.Create(id, "trip", time.Now(), testPoints(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendResult(id, &Result{V: ResultVersion, Point: 1, Status: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	lc, err := st.Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.Name != "trip" || len(lc.Points) != 3 {
+		t.Fatalf("loaded %q with %d points", lc.Name, len(lc.Points))
+	}
+	if len(lc.Results) != 1 || lc.Results[1] == nil {
+		t.Fatalf("results = %v", lc.Results)
+	}
+	if lc.Cancelled {
+		t.Fatal("campaign is not cancelled")
+	}
+	ids, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != id {
+		t.Fatalf("list = %v", ids)
+	}
+}
+
+// TestStoreTruncatedResult simulates a SIGKILL mid-append: the trailing
+// partial line must be skipped, losing only that point.
+func TestStoreTruncatedResult(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := NewID(time.Now())
+	if err := st.Create(id, "", time.Now(), testPoints(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendResult(id, &Result{V: ResultVersion, Point: 0, Status: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, id, "results.jsonl")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"point":2,"sta`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	lc, err := st.Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lc.Results) != 1 || lc.Results[0] == nil {
+		t.Fatalf("tolerant load kept %v, want only point 0", lc.Results)
+	}
+}
+
+// TestStoreDuplicateResult: keep-first, so a point re-run after an
+// untimely kill cannot double-count.
+func TestStoreDuplicateResult(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := NewID(time.Now())
+	if err := st.Create(id, "", time.Now(), testPoints(2)); err != nil {
+		t.Fatal(err)
+	}
+	first := &Result{V: ResultVersion, Point: 0, Status: "ok", Cycles: 111}
+	second := &Result{V: ResultVersion, Point: 0, Status: "ok", Cycles: 222}
+	if err := st.AppendResult(id, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendResult(id, second); err != nil {
+		t.Fatal(err)
+	}
+	lc, err := st.Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lc.Results) != 1 || lc.Results[0].Cycles != 111 {
+		t.Fatalf("keep-first violated: %+v", lc.Results[0])
+	}
+}
+
+func TestStoreCancelMarker(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := NewID(time.Now())
+	if err := st.Create(id, "", time.Now(), testPoints(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.MarkCancelled(id); err != nil {
+		t.Fatal(err)
+	}
+	lc, err := st.Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lc.Cancelled {
+		t.Fatal("cancel marker did not survive the round trip")
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	now := time.Now()
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewID(now)
+		if seen[id] {
+			t.Fatalf("duplicate ID %s", id)
+		}
+		seen[id] = true
+	}
+}

@@ -33,8 +33,8 @@ type Log struct {
 
 // Register binds the logging flags.
 func (l *Log) Register(fs *flag.FlagSet) {
-	fs.StringVar(&l.Level, "log-level", "info", "structured log level on stderr: debug, info, warn, error")
-	fs.BoolVar(&l.JSON, "log-json", false, "emit structured logs as JSON instead of text")
+	fs.StringVar(&l.Level, "log-level", "info", help("log-level"))
+	fs.BoolVar(&l.JSON, "log-json", false, help("log-json"))
 }
 
 // Logger validates the level and builds the logger writing to w.
@@ -57,15 +57,15 @@ type Telemetry struct {
 
 // Register binds the telemetry flags every command shares.
 func (t *Telemetry) Register(fs *flag.FlagSet) {
-	fs.StringVar(&t.Path, "telemetry", "", "write a cycle-windowed telemetry series to this file (JSONL; .csv for CSV, .gz compresses)")
-	fs.Uint64Var(&t.Window, "telemetry-window", telemetry.DefaultWindowCycles, "telemetry sampling window in cycles")
-	fs.StringVar(&t.DebugAddr, "debug-addr", "", "serve /telemetry, /debug/vars and /debug/pprof on this address during the run (e.g. :6060)")
+	fs.StringVar(&t.Path, "telemetry", "", help("telemetry"))
+	fs.Uint64Var(&t.Window, "telemetry-window", telemetry.DefaultWindowCycles, help("telemetry-window"))
+	fs.StringVar(&t.DebugAddr, "debug-addr", "", help("debug-addr"))
 }
 
 // RegisterDir additionally binds -telemetry-dir (one series file per run),
 // for commands that execute many runs.
 func (t *Telemetry) RegisterDir(fs *flag.FlagSet) {
-	fs.StringVar(&t.Dir, "telemetry-dir", "", "record one cycle-windowed JSONL series per run into this directory")
+	fs.StringVar(&t.Dir, "telemetry-dir", "", help("telemetry-dir"))
 }
 
 // Enabled reports whether any telemetry sink was requested.
@@ -94,9 +94,9 @@ type Inject struct {
 
 // Register binds the full group, for commands that own the campaign.
 func (i *Inject) Register(fs *flag.FlagSet) {
-	fs.BoolVar(&i.On, "inject", false, "attach a statistical fault-injection campaign and cross-validate the AVF report against it")
-	fs.Uint64Var(&i.Every, "inject-every", 1, "campaign sample-grid pitch in cycles (1 = every cycle)")
-	fs.Uint64Var(&i.Seed, "inject-seed", 0, "campaign seed (0 = use -seed)")
+	fs.BoolVar(&i.On, "inject", false, help("inject"))
+	fs.Uint64Var(&i.Every, "inject-every", 1, help("inject-every"))
+	fs.Uint64Var(&i.Seed, "inject-seed", 0, help("inject-seed"))
 	i.RegisterStop(fs)
 }
 
@@ -104,9 +104,9 @@ func (i *Inject) Register(fs *flag.FlagSet) {
 // commands whose campaigns are implied by another flag (avfreport's
 // -crossval fanout).
 func (i *Inject) RegisterStop(fs *flag.FlagSet) {
-	fs.Float64Var(&i.CI, "inject-ci", 0.01, "target 99% confidence-interval half-width per structure; striking stops early once every structure is this tight")
-	fs.IntVar(&i.Strikes, "inject-strikes", 1<<20, "strike cap per structure (0 = CI-only stopping)")
-	fs.StringVar(&i.Report, "inject-report", "", "write the cross-validation report as JSONL to this file (.gz compresses)")
+	fs.Float64Var(&i.CI, "inject-ci", 0.01, help("inject-ci"))
+	fs.IntVar(&i.Strikes, "inject-strikes", 1<<20, help("inject-strikes"))
+	fs.StringVar(&i.Report, "inject-report", "", help("inject-report"))
 }
 
 // CampaignSeed resolves the campaign seed: -inject-seed, or the run seed
@@ -143,10 +143,10 @@ type Propagation struct {
 
 // Register binds the propagation flags.
 func (p *Propagation) Register(fs *flag.FlagSet) {
-	fs.BoolVar(&p.On, "propagation", false, "taint-track sampled strikes through the recorded dataflow and print the fault-propagation atlas (requires -inject)")
-	fs.StringVar(&p.Out, "propagation-out", "", "write the per-strike propagation traces as JSONL to this file (.gz compresses; enables -propagation)")
-	fs.IntVar(&p.Strikes, "propagation-strikes", 256, "strikes sampled into each structure for taint tracking")
-	fs.IntVar(&p.Top, "propagation-top", 10, "root-cause instructions shown in the atlas tables")
+	fs.BoolVar(&p.On, "propagation", false, help("propagation"))
+	fs.StringVar(&p.Out, "propagation-out", "", help("propagation-out"))
+	fs.IntVar(&p.Strikes, "propagation-strikes", 256, help("propagation-strikes"))
+	fs.IntVar(&p.Top, "propagation-top", 10, help("propagation-top"))
 }
 
 // Enabled reports whether the atlas was requested.
@@ -170,9 +170,9 @@ type CPIStack struct {
 
 // Register binds the CPI-stack flags.
 func (c *CPIStack) Register(fs *flag.FlagSet) {
-	fs.BoolVar(&c.On, "cpistack", false, "attribute every thread-cycle to a CPI-stack component and decompose structure occupancy by ACE fate; prints the stack and occupancy tables")
-	fs.StringVar(&c.Out, "cpistack-out", "", "write the windowed CPI-stack/occupancy series to this file (.csv for CSV, .json for Chrome trace_event counters, else JSONL, .gz compresses; enables -cpistack)")
-	fs.Uint64Var(&c.Window, "cpistack-window", cpistack.DefaultWindowCycles, "CPI-stack accounting window in cycles")
+	fs.BoolVar(&c.On, "cpistack", false, help("cpistack"))
+	fs.StringVar(&c.Out, "cpistack-out", "", help("cpistack-out"))
+	fs.Uint64Var(&c.Window, "cpistack-window", cpistack.DefaultWindowCycles, help("cpistack-window"))
 }
 
 // Enabled reports whether CPI-stack accounting was requested.
@@ -202,10 +202,10 @@ type PipeTrace struct {
 
 // Register binds the pipetrace flags.
 func (p *PipeTrace) Register(fs *flag.FlagSet) {
-	fs.StringVar(&p.Path, "pipetrace", "", "record per-uop pipeline lifecycles to this file (.kanata/.kan Kanata, .json Chrome trace_event, else JSONL; .gz compresses)")
-	fs.StringVar(&p.Format, "pipetrace-format", "", "force the -pipetrace format: kanata, chrome, or jsonl (default: by extension)")
-	fs.StringVar(&p.Window, "pipetrace-window", "", "record only uops fetched in this cycle window, as START:END (END 0 or absent = unbounded)")
-	fs.IntVar(&p.Top, "pipetrace-top", 0, "print the top-N per-PC AVF provenance hotspots per pipeline structure (enables recording)")
+	fs.StringVar(&p.Path, "pipetrace", "", help("pipetrace"))
+	fs.StringVar(&p.Format, "pipetrace-format", "", help("pipetrace-format"))
+	fs.StringVar(&p.Window, "pipetrace-window", "", help("pipetrace-window"))
+	fs.IntVar(&p.Top, "pipetrace-top", 0, help("pipetrace-top"))
 }
 
 // Enabled reports whether recording was requested.
@@ -269,8 +269,8 @@ type Profile struct {
 
 // Register binds the profiling flags.
 func (p *Profile) Register(fs *flag.FlagSet) {
-	fs.StringVar(&p.CPUPath, "cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
-	fs.StringVar(&p.MemPath, "memprofile", "", "write an allocation profile to this file at exit (inspect with go tool pprof)")
+	fs.StringVar(&p.CPUPath, "cpuprofile", "", help("cpuprofile"))
+	fs.StringVar(&p.MemPath, "memprofile", "", help("memprofile"))
 }
 
 // Start begins CPU profiling when -cpuprofile was given. Pair it with a
@@ -328,9 +328,9 @@ type Obs struct {
 
 // Register binds the observability flags.
 func (o *Obs) Register(fs *flag.FlagSet) {
-	fs.StringVar(&o.Ledger, "obs-ledger", "", "append one run-manifest record per run to this JSONL ledger (list with avfreport -runs)")
-	fs.DurationVar(&o.Heartbeat, "obs-heartbeat", obs.DefaultHeartbeat, "minimum wall-clock gap between progress heartbeat log lines (0 disables them)")
-	fs.StringVar(&o.Timeline, "obs-timeline", "", "write the sharded run's worker-utilization timeline as Chrome trace_event JSON to this file (requires -shards > 1)")
+	fs.StringVar(&o.Ledger, "obs-ledger", "", help("obs-ledger"))
+	fs.DurationVar(&o.Heartbeat, "obs-heartbeat", obs.DefaultHeartbeat, help("obs-heartbeat"))
+	fs.StringVar(&o.Timeline, "obs-timeline", "", help("obs-timeline"))
 }
 
 // Enabled reports whether any observability sink beyond the default
@@ -370,6 +370,36 @@ func (o *Obs) OpenLedger() (*obs.Ledger, error) {
 	return obs.OpenLedger(o.Ledger)
 }
 
+// Service is the campaign-service flag group (-addr, -dir, -workers),
+// used by avfd. Dir doubles as the resume root: campaigns checkpointed
+// there by a previous process are picked up on start.
+type Service struct {
+	Addr    string
+	Dir     string
+	Workers int
+}
+
+// Register binds the service flags.
+func (s *Service) Register(fs *flag.FlagSet) {
+	fs.StringVar(&s.Addr, "addr", ":8080", help("addr"))
+	fs.StringVar(&s.Dir, "dir", "avfd-data", help("dir"))
+	fs.IntVar(&s.Workers, "workers", 1, help("workers"))
+}
+
+// Validate rejects meaningless settings.
+func (s *Service) Validate() error {
+	if s.Addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	if s.Dir == "" {
+		return fmt.Errorf("-dir must not be empty")
+	}
+	if s.Workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d", s.Workers)
+	}
+	return nil
+}
+
 // Shards is the parallel-execution flag group (-shards, -shard-workers).
 type Shards struct {
 	N       int
@@ -378,8 +408,8 @@ type Shards struct {
 
 // Register binds the sharding flags.
 func (s *Shards) Register(fs *flag.FlagSet) {
-	fs.IntVar(&s.N, "shards", 1, "split the run into this many deterministic intervals per thread and simulate them in parallel (1 = monolithic; see docs/sharding.md)")
-	fs.IntVar(&s.Workers, "shard-workers", 0, "worker goroutines for -shards (0 = GOMAXPROCS)")
+	fs.IntVar(&s.N, "shards", 1, help("shards"))
+	fs.IntVar(&s.Workers, "shard-workers", 0, help("shard-workers"))
 }
 
 // Sharded reports whether a parallel run was requested.

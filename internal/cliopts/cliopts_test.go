@@ -218,10 +218,21 @@ func TestShutdown(t *testing.T) {
 		t.Fatalf("second Finish re-ran closers: %v", order)
 	}
 
+	// Done flips exactly when shutdown runs.
+	if !s.Done() {
+		t.Fatal("Done false after Finish")
+	}
+	if (&Shutdown{}).Done() {
+		t.Fatal("fresh Shutdown reports Done")
+	}
+
 	// Nil receivers and nil closers are safe.
 	var nilS *Shutdown
 	nilS.Defer("x", func() error { return nil })
 	nilS.Final(func(string) {})
 	nilS.Finish("ok", nil)
 	(&Shutdown{}).Defer("nil fn", nil)
+	if nilS.Done() {
+		t.Fatal("nil Shutdown reports Done")
+	}
 }

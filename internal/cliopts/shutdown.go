@@ -74,6 +74,19 @@ func (s *Shutdown) run(status string, logger *slog.Logger) {
 	}
 }
 
+// Done reports whether shutdown has already run — via Finish or the
+// signal handler. A server's main goroutine checks it when its listener
+// closes: if the signal path is mid-exit, returning from main would race
+// it to the process exit code.
+func (s *Shutdown) Done() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}
+
 // Install starts the signal handler: on SIGINT or SIGTERM the registered
 // closers are flushed, the final hook runs with status "interrupted", and
 // the process exits 130 (the shell convention for death-by-SIGINT). Call

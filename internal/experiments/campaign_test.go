@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"smtavf/internal/avf"
+	"smtavf/internal/campaign"
+	"smtavf/internal/core"
+	"smtavf/internal/inject"
+)
+
+// adapterOpts keeps the adapter runs fast; the comparison only needs the
+// two paths to agree, not to converge.
+func adapterOpts() Options {
+	return Options{Base: 4000, Seed: 3}
+}
+
+// TestSpecAdaptersMatch pins the deprecated per-kind specs to the unified
+// campaign.Spec path: each old entry point must produce bit-identical
+// results to Runner.Campaign over the adapter conversion (the same
+// guarantee TestNewMatchesDeprecatedConstructors gives the facade
+// constructors).
+func TestSpecAdaptersMatch(t *testing.T) {
+	var protection core.ProtectionModes
+	protection[avf.IQ] = core.ProtectECC
+
+	t.Run("crossval", func(t *testing.T) {
+		spec := CrossValSpec{
+			Benchmarks: []string{"gcc", "mcf"},
+			Policy:     "STALL",
+			Seeds:      []uint64{1, 2},
+			Every:      4,
+			Stop:       inject.Stop{MaxStrikes: 200},
+			Protection: protection,
+		}
+		pooled, perSeed, err := NewRunner(adapterOpts()).CrossVal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := NewRunner(adapterOpts()).Campaign(spec.Campaign())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(pooled, res.CrossVal) {
+			t.Errorf("pooled reports diverge:\n old %+v\n new %+v", pooled, res.CrossVal)
+		}
+		if !reflect.DeepEqual(perSeed, res.CrossValSeeds) {
+			t.Errorf("per-seed reports diverge")
+		}
+		if res.Kind != campaign.KindCrossVal {
+			t.Errorf("kind = %s", res.Kind)
+		}
+	})
+
+	t.Run("propagation", func(t *testing.T) {
+		spec := PropagationSpec{
+			Benchmarks: []string{"gcc", "mcf"},
+			Policy:     "FLUSH",
+			Seed:       5,
+			Strikes:    32,
+			Protection: protection,
+		}
+		atlas, title, err := NewRunner(adapterOpts()).Propagation(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := NewRunner(adapterOpts()).Campaign(spec.Campaign())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if title != res.Title {
+			t.Errorf("title %q != %q", title, res.Title)
+		}
+		if !reflect.DeepEqual(atlas, res.Atlas) {
+			t.Errorf("atlases diverge: old %d/%d strikes, new %d/%d",
+				atlas.Strikes, atlas.Resolved, res.Atlas.Strikes, res.Atlas.Resolved)
+		}
+		if res.Propagation == nil || res.Propagation.Strikes != atlas.Strikes {
+			t.Errorf("wire summary = %+v", res.Propagation)
+		}
+	})
+
+	t.Run("explain", func(t *testing.T) {
+		spec := ExplainSpec{
+			Benchmarks: []string{"gcc", "mcf"},
+			Policies:   []string{"ICOUNT", "STALL"},
+			Window:     2048,
+		}
+		tables, title, err := NewRunner(adapterOpts()).Explain(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := NewRunner(adapterOpts()).Campaign(spec.Campaign())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if title != res.Title {
+			t.Errorf("title %q != %q", title, res.Title)
+		}
+		if !reflect.DeepEqual(tables, TablesFromCampaign(res.Tables)) {
+			t.Errorf("tables diverge: %d vs %d", len(tables), len(res.Tables))
+		}
+	})
+}
+
+// TestCampaignRunKinds covers the plain-run executor: monolithic vs
+// sharded agreement within the documented tolerance, and the attached
+// strike campaign.
+func TestCampaignRunKinds(t *testing.T) {
+	base := campaign.Spec{Benchmarks: []string{"gcc", "mcf"}, Instructions: 40_000, Seed: 2, NoWarmup: true}
+
+	mono, err := NewRunner(adapterOpts()).Campaign(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.Kind != campaign.KindRun || mono.Status != "ok" || mono.Cycles == 0 {
+		t.Fatalf("monolithic result = %+v", mono)
+	}
+	if mono.Instructions < base.Instructions {
+		t.Errorf("committed %d, want at least the quota %d", mono.Instructions, base.Instructions)
+	}
+
+	// The documented tolerance is an engine contract: two shardings of the
+	// same plan agree. (A monolithic run uses an aggregate instruction
+	// limit, so its committed workload mix differs — that comparison is
+	// out of scope here, as it is for smtsim.)
+	sharded := base
+	sharded.Shards = 4
+	sh4, err := NewRunner(adapterOpts()).Campaign(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded.Shards = 2
+	sh2, err := NewRunner(adapterOpts()).Campaign(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh4.Instructions != base.Instructions || sh2.Instructions != base.Instructions {
+		t.Errorf("engine commits inexact: %d and %d, want %d", sh4.Instructions, sh2.Instructions, base.Instructions)
+	}
+	name, delta := campaign.MaxAVFDelta(sh2, sh4)
+	if delta > 0.08 {
+		t.Errorf("sharded AVF diverges: %s off by %.4f", name, delta)
+	}
+
+	injected := base
+	injected.Inject = &campaign.InjectSpec{Every: 4, Stop: inject.Stop{MaxStrikes: 100}}
+	inj, err := NewRunner(adapterOpts()).Campaign(injected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Strikes == 0 || inj.CrossVal == nil {
+		t.Fatalf("inject run result = strikes %d, crossval %v", inj.Strikes, inj.CrossVal)
+	}
+	// The simulation itself must be unperturbed by the observer.
+	if inj.Cycles != mono.Cycles {
+		t.Errorf("inject observer perturbed the run: %d vs %d cycles", inj.Cycles, mono.Cycles)
+	}
+}
+
+// TestCampaignRejectsZeroQuota: a spec with no budget and a runner with
+// no budget rule must not silently run forever.
+func TestCampaignErrors(t *testing.T) {
+	r := NewRunner(adapterOpts())
+	if _, err := r.Campaign(campaign.Spec{}); err == nil {
+		t.Error("sourceless spec ran")
+	}
+	if _, err := r.Campaign(campaign.Spec{Mix: "no-such-mix"}); err == nil {
+		t.Error("unknown mix ran")
+	}
+	if _, err := r.Campaign(campaign.Spec{Benchmarks: []string{"no-such-bench"}}); err == nil {
+		t.Error("unknown benchmark ran")
+	}
+}

@@ -1,19 +1,20 @@
 package experiments
 
 import (
-	"fmt"
-
-	"smtavf/internal/avf"
+	"smtavf/internal/campaign"
 	"smtavf/internal/core"
 	"smtavf/internal/crossval"
 	"smtavf/internal/inject"
-	"smtavf/internal/trace"
-	"smtavf/internal/workload"
 )
 
 // CrossValSpec describes one ACE-vs-injection cross-validation
 // experiment: a workload, a fetch policy, and the fanout of campaign
 // seeds to pool.
+//
+// Deprecated: build a campaign.Spec with a CrossVal section instead (or
+// convert with the Campaign method) and run it through Runner.Campaign;
+// docs/api.md maps the fields. This type remains as a bit-identical
+// adapter, pinned by TestSpecAdaptersMatch.
 type CrossValSpec struct {
 	// Mix is a Table 2 mix name (e.g. "4ctx-MIX-A"); alternatively list
 	// Benchmarks directly.
@@ -34,36 +35,18 @@ type CrossValSpec struct {
 	Protection core.ProtectionModes
 }
 
-// benchmarks resolves the workload names.
-func (s CrossValSpec) benchmarks() ([]string, error) {
-	if s.Mix == "" {
-		if len(s.Benchmarks) == 0 {
-			return nil, fmt.Errorf("experiments: crossval spec needs Mix or Benchmarks")
-		}
-		return s.Benchmarks, nil
+// Campaign converts the deprecated spec to its campaign.Spec equivalent.
+func (s CrossValSpec) Campaign() campaign.Spec {
+	return campaign.Spec{
+		V:            campaign.SpecVersion,
+		Mix:          s.Mix,
+		Benchmarks:   s.Benchmarks,
+		Policy:       s.Policy,
+		Instructions: s.Instructions,
+		Protection:   campaign.ProtectionMap(s.Protection),
+		Inject:       &campaign.InjectSpec{Every: s.Every, Stop: s.Stop},
+		CrossVal:     &campaign.CrossValSpec{Seeds: s.Seeds},
 	}
-	for _, m := range workload.Mixes() {
-		if m.Name() == s.Mix {
-			return m.Benchmarks, nil
-		}
-	}
-	return nil, fmt.Errorf("experiments: unknown mix %q", s.Mix)
-}
-
-// workloadName is the label the report carries.
-func (s CrossValSpec) workloadName() string {
-	if s.Mix != "" {
-		return s.Mix
-	}
-	names, _ := s.benchmarks()
-	name := ""
-	for i, b := range names {
-		if i > 0 {
-			name += "+"
-		}
-		name += b
-	}
-	return name
 }
 
 // CrossVal runs the seed fanout concurrently (one simulation + campaign
@@ -72,90 +55,12 @@ func (s CrossValSpec) workloadName() string {
 // AVFs average, and the confidence interval tightens by roughly
 // sqrt(len(Seeds)). Runs are not memoized — each seed is a distinct
 // simulation.
+//
+// Deprecated: use Runner.Campaign with spec.Campaign().
 func (r *Runner) CrossVal(spec CrossValSpec) (pooled *crossval.Report, perSeed []*crossval.Report, err error) {
-	names, err := spec.benchmarks()
+	res, err := r.Campaign(spec.Campaign())
 	if err != nil {
 		return nil, nil, err
 	}
-	if spec.Policy == "" {
-		spec.Policy = "ICOUNT"
-	}
-	if spec.Every == 0 {
-		spec.Every = 1
-	}
-	seeds := spec.Seeds
-	if len(seeds) == 0 {
-		seeds = []uint64{1}
-	}
-	perSeed = make([]*crossval.Report, len(seeds))
-	err = forEach(len(seeds), func(i int) error {
-		rep, err := r.crossValSeed(spec, names, seeds[i])
-		if err != nil {
-			return fmt.Errorf("seed %d: %w", seeds[i], err)
-		}
-		perSeed[i] = rep
-		return nil
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	pooled, err = crossval.Pool(perSeed)
-	if err != nil {
-		return nil, nil, err
-	}
-	return pooled, perSeed, nil
-}
-
-// crossValSeed runs one simulation with a campaign attached and builds
-// its agreement report.
-func (r *Runner) crossValSeed(spec CrossValSpec, names []string, seed uint64) (*crossval.Report, error) {
-	cfg := core.DefaultConfig(len(names))
-	cfg.Seed = seed
-	cfg.Warmup = r.opts.Warmup
-	if err := cfg.SetPolicy(spec.Policy); err != nil {
-		return nil, err
-	}
-	if r.opts.Configure != nil {
-		r.opts.Configure(&cfg)
-	}
-	profiles := make([]trace.Profile, 0, len(names))
-	for _, b := range names {
-		p, err := workload.Profile(b)
-		if err != nil {
-			return nil, err
-		}
-		profiles = append(profiles, p)
-	}
-	camp, err := inject.NewCampaign(core.StructBits(cfg), spec.Every, seed)
-	if err != nil {
-		return nil, err
-	}
-	camp.SetProtection(spec.Protection.Detections())
-	proc, err := core.New(cfg, profiles)
-	if err != nil {
-		return nil, err
-	}
-	proc.AttachSink(camp)
-	quota := spec.Instructions
-	if quota == 0 {
-		quota = r.budget(len(names))
-	}
-	res, err := proc.Run(core.Limits{TotalInstructions: quota})
-	if err != nil {
-		return nil, err
-	}
-	stats := camp.RunStrikes(res.Cycles, spec.Stop)
-	var tracker [avf.NumStructs]float64
-	for s := range tracker {
-		tracker[s] = res.StructAVF(avf.Struct(s))
-	}
-	meta := crossval.Meta{
-		Workload: spec.workloadName(),
-		Policy:   spec.Policy,
-		Seed:     seed,
-		Seeds:    1,
-		Every:    spec.Every,
-		Cycles:   res.Cycles,
-	}
-	return crossval.Build(meta, tracker, stats), nil
+	return res.CrossVal, res.CrossValSeeds, nil
 }

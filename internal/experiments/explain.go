@@ -1,20 +1,23 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
 
 	"smtavf/internal/avf"
+	"smtavf/internal/campaign"
 	"smtavf/internal/core"
 	"smtavf/internal/cpistack"
-	"smtavf/internal/trace"
-	"smtavf/internal/workload"
 )
 
 // ExplainSpec describes one explainability experiment: a workload run
 // under each listed fetch policy with the CPI-stack/occupancy observer
 // attached, so per-policy AVF differences can be read against where the
 // cycles went and how full the structures were.
+//
+// Deprecated: build a campaign.Spec with an Explain section instead (or
+// convert with the Campaign method) and run it through Runner.Campaign;
+// docs/api.md maps the fields. This type remains as a bit-identical
+// adapter, pinned by TestSpecAdaptersMatch.
 type ExplainSpec struct {
 	// Mix is a Table 2 mix name; alternatively list Benchmarks directly.
 	Mix        string
@@ -32,6 +35,18 @@ type ExplainSpec struct {
 	Window uint64
 }
 
+// Campaign converts the deprecated spec to its campaign.Spec equivalent.
+func (s ExplainSpec) Campaign() campaign.Spec {
+	return campaign.Spec{
+		V:            campaign.SpecVersion,
+		Mix:          s.Mix,
+		Benchmarks:   s.Benchmarks,
+		Seed:         s.Seed,
+		Instructions: s.Instructions,
+		Explain:      &campaign.ExplainSpec{Policies: s.Policies, Window: s.Window},
+	}
+}
+
 // explainRun is one policy's worth of raw material for the tables.
 type explainRun struct {
 	policy string
@@ -45,64 +60,16 @@ type explainRun struct {
 // table, and an occupancy-versus-AVF correlation summary. Explain runs
 // are not memoized — the observer holds windowed state, so each policy
 // uses its own dedicated simulation.
+//
+// Deprecated: use Runner.Campaign with spec.Campaign(); the tables ride
+// on Result.Tables (TablesFromCampaign converts them back) and the title
+// on Result.Title.
 func (r *Runner) Explain(spec ExplainSpec) ([]*Table, string, error) {
-	names, err := CrossValSpec{Mix: spec.Mix, Benchmarks: spec.Benchmarks}.benchmarks()
+	res, err := r.Campaign(spec.Campaign())
 	if err != nil {
 		return nil, "", err
 	}
-	if len(spec.Policies) == 0 {
-		spec.Policies = []string{"ICOUNT", "STALL", "FLUSH"}
-	}
-	seed := spec.Seed
-	if seed == 0 {
-		seed = r.opts.Seed
-	}
-	window := spec.Window
-	if window == 0 {
-		window = cpistack.DefaultWindowCycles
-	}
-	quota := spec.Instructions
-	if quota == 0 {
-		quota = r.budget(len(names))
-	}
-	profiles := make([]trace.Profile, 0, len(names))
-	for _, b := range names {
-		p, err := workload.Profile(b)
-		if err != nil {
-			return nil, "", err
-		}
-		profiles = append(profiles, p)
-	}
-	title := CrossValSpec{Mix: spec.Mix, Benchmarks: spec.Benchmarks}.workloadName()
-	runs := make([]explainRun, 0, len(spec.Policies))
-	for _, policy := range spec.Policies {
-		cfg := core.DefaultConfig(len(names))
-		cfg.Seed = seed
-		cfg.Warmup = r.opts.Warmup
-		if err := cfg.SetPolicy(policy); err != nil {
-			return nil, "", err
-		}
-		if r.opts.Configure != nil {
-			r.opts.Configure(&cfg)
-		}
-		proc, err := core.New(cfg, profiles)
-		if err != nil {
-			return nil, "", err
-		}
-		obs := cpistack.New(cpistack.Options{WindowCycles: window})
-		proc.SetCPIStack(obs)
-		res, err := proc.Run(core.Limits{TotalInstructions: quota})
-		if err != nil {
-			return nil, "", fmt.Errorf("explain run %s under %s: %w", title, policy, err)
-		}
-		runs = append(runs, explainRun{policy: policy, obs: obs, res: res})
-	}
-	tables := []*Table{explainStackTable(title, runs)}
-	for _, run := range runs {
-		tables = append(tables, explainOccupancyTable(title, run))
-	}
-	tables = append(tables, explainCorrelationTable(title, runs))
-	return tables, title, nil
+	return TablesFromCampaign(res.Tables), res.Title, nil
 }
 
 // explainStackTable builds the stacked-CPI chart: the share of all

@@ -1,19 +1,19 @@
 package experiments
 
 import (
-	"fmt"
-
-	"smtavf/internal/avf"
+	"smtavf/internal/campaign"
 	"smtavf/internal/core"
-	"smtavf/internal/inject"
 	"smtavf/internal/propagation"
-	"smtavf/internal/trace"
-	"smtavf/internal/workload"
 )
 
 // PropagationSpec describes one fault-propagation atlas experiment: a
 // workload, a fetch policy, a strike campaign, and how many strikes per
 // structure to taint-track.
+//
+// Deprecated: build a campaign.Spec with a Propagation section instead
+// (or convert with the Campaign method) and run it through
+// Runner.Campaign; docs/api.md maps the fields. This type remains as a
+// bit-identical adapter, pinned by TestSpecAdaptersMatch.
 type PropagationSpec struct {
 	// Mix is a Table 2 mix name; alternatively list Benchmarks directly.
 	Mix        string
@@ -35,72 +35,34 @@ type PropagationSpec struct {
 	Options propagation.Options
 }
 
+// Campaign converts the deprecated spec to its campaign.Spec equivalent.
+func (s PropagationSpec) Campaign() campaign.Spec {
+	return campaign.Spec{
+		V:            campaign.SpecVersion,
+		Mix:          s.Mix,
+		Benchmarks:   s.Benchmarks,
+		Policy:       s.Policy,
+		Seed:         s.Seed,
+		Instructions: s.Instructions,
+		Protection:   campaign.ProtectionMap(s.Protection),
+		Inject:       &campaign.InjectSpec{Every: s.Every},
+		Propagation:  &campaign.PropagationSpec{Strikes: s.Strikes, Options: s.Options},
+	}
+}
+
 // Propagation runs the workload with a fault-injection campaign and the
 // propagation tracer attached, samples Strikes strikes into every
 // structure, and taint-tracks each through the recorded dataflow. It
 // returns the aggregated atlas and the run title. Propagation runs are
 // not memoized — the tracer holds per-uop state, so they use their own
 // (single) simulation.
+//
+// Deprecated: use Runner.Campaign with spec.Campaign(); the atlas rides
+// on Result.Atlas and the title on Result.Title.
 func (r *Runner) Propagation(spec PropagationSpec) (*propagation.Atlas, string, error) {
-	names, err := CrossValSpec{Mix: spec.Mix, Benchmarks: spec.Benchmarks}.benchmarks()
+	res, err := r.Campaign(spec.Campaign())
 	if err != nil {
 		return nil, "", err
 	}
-	if spec.Policy == "" {
-		spec.Policy = "ICOUNT"
-	}
-	if spec.Every == 0 {
-		spec.Every = 1
-	}
-	if spec.Strikes <= 0 {
-		spec.Strikes = 256
-	}
-	seed := spec.Seed
-	if seed == 0 {
-		seed = r.opts.Seed
-	}
-	cfg := core.DefaultConfig(len(names))
-	cfg.Seed = seed
-	cfg.Warmup = r.opts.Warmup
-	if err := cfg.SetPolicy(spec.Policy); err != nil {
-		return nil, "", err
-	}
-	if r.opts.Configure != nil {
-		r.opts.Configure(&cfg)
-	}
-	profiles := make([]trace.Profile, 0, len(names))
-	for _, b := range names {
-		p, err := workload.Profile(b)
-		if err != nil {
-			return nil, "", err
-		}
-		profiles = append(profiles, p)
-	}
-	camp, err := inject.NewCampaign(core.StructBits(cfg), spec.Every, seed)
-	if err != nil {
-		return nil, "", err
-	}
-	camp.SetProtection(spec.Protection.Detections())
-	proc, err := core.New(cfg, profiles)
-	if err != nil {
-		return nil, "", err
-	}
-	proc.AttachSink(camp)
-	tracer := propagation.New(spec.Options)
-	proc.SetPropagation(tracer)
-	quota := spec.Instructions
-	if quota == 0 {
-		quota = r.budget(len(names))
-	}
-	title := CrossValSpec{Mix: spec.Mix, Benchmarks: spec.Benchmarks}.workloadName() +
-		" under " + spec.Policy
-	res, err := proc.Run(core.Limits{TotalInstructions: quota})
-	if err != nil {
-		return nil, "", fmt.Errorf("propagation run %s: %w", title, err)
-	}
-	var strikes []inject.Strike
-	for _, s := range avf.Structs() {
-		strikes = append(strikes, camp.SampleStrikes(s, res.Cycles, spec.Strikes)...)
-	}
-	return tracer.Analyze(strikes), title, nil
+	return res.Atlas, res.Title, nil
 }

@@ -88,14 +88,14 @@ func (o Outcome) Corrupting() bool { return o != Masked }
 type Stop struct {
 	// HalfWidth is the target CI half-width on each AVF estimate
 	// (absolute AVF units; 0.02 means ±2 AVF points).
-	HalfWidth float64
+	HalfWidth float64 `json:"half_width,omitempty"`
 	// MaxStrikes caps the strikes per structure (default 1<<20).
-	MaxStrikes int
+	MaxStrikes int `json:"max_strikes,omitempty"`
 	// Confidence is the two-sided CI level (default 0.99).
-	Confidence float64
+	Confidence float64 `json:"confidence,omitempty"`
 	// Batch is the number of strikes drawn per structure between CI
 	// checks (default 512).
-	Batch int
+	Batch int `json:"batch,omitempty"`
 }
 
 // StopWhen builds the standard stopping rule: sample until every

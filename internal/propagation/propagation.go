@@ -52,16 +52,16 @@ import (
 type Options struct {
 	// Cap bounds the retained node buffer; once reached, further uops are
 	// dropped and counted (Dropped). 0 selects DefaultCap.
-	Cap int
+	Cap int `json:"cap,omitempty"`
 	// MaxHops bounds the breadth-first taint expansion depth of one
 	// strike. 0 selects DefaultMaxHops.
-	MaxHops int
+	MaxHops int `json:"max_hops,omitempty"`
 	// MaxNodes bounds the tainted-node set of one strike; a trace that
 	// hits it is marked Truncated. 0 selects DefaultMaxNodes.
-	MaxNodes int
+	MaxNodes int `json:"max_nodes,omitempty"`
 	// MaxRecordedHops bounds the per-trace serialized hop list (the edge
 	// counters stay exact past it). 0 selects DefaultMaxRecordedHops.
-	MaxRecordedHops int
+	MaxRecordedHops int `json:"max_recorded_hops,omitempty"`
 }
 
 // Defaults for Options fields left zero.

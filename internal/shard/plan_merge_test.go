@@ -1,0 +1,192 @@
+package shard
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"smtavf/internal/core"
+)
+
+// runIntervals simulates each planned interval independently — the same
+// per-interval results the engine's pool produces, exposed so the merge
+// tests can recombine arbitrary subsets.
+func runIntervals(t *testing.T, eng *Engine, plans []interval) ([]*core.Results, []core.Checkpoint) {
+	t.Helper()
+	warm := splitEven(eng.cfg.Warmup, eng.cfg.Threads)
+	base := time.Now()
+	parts := make([]*core.Results, len(plans))
+	cps := make([]core.Checkpoint, len(plans))
+	for j, iv := range plans {
+		res, cp, err := eng.runShard(0, j, base, iv, warm, false)
+		if err != nil {
+			t.Fatalf("interval %d: %v", j, err)
+		}
+		parts[j] = res
+		cps[j] = cp
+	}
+	return parts, cps
+}
+
+// TestPlanSingleShard: one shard degenerates to the monolithic plan — a
+// single interval starting at zero covering each thread's full quota —
+// and merging a single part is the identity, not a recomputation.
+func TestPlanSingleShard(t *testing.T) {
+	quotas := []uint64{10, 7, 1}
+	ivs, err := plan(quotas, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 1 {
+		t.Fatalf("single-shard plan has %d intervals", len(ivs))
+	}
+	if !reflect.DeepEqual(ivs[0].start, []uint64{0, 0, 0}) {
+		t.Errorf("single-shard starts %v, want zeros", ivs[0].start)
+	}
+	if !reflect.DeepEqual(ivs[0].length, quotas) {
+		t.Errorf("single-shard lengths %v, want the quotas %v", ivs[0].length, quotas)
+	}
+
+	res := &core.Results{Threads: 3}
+	if got := mergeResults([]*core.Results{res}); got != res {
+		t.Error("merging one part did not return it unchanged")
+	}
+}
+
+// TestPlanTrailingInterval pins the boundary of the zero-length rule: with
+// the remainder assigned to the low indices the trailing interval is the
+// short one, but it may never be empty — a quota of exactly `shards`
+// instructions still yields all-length-1 intervals, and one instruction
+// fewer is rejected naming the offending thread (a zero-length interval
+// cannot be expressed as a per-thread limit, where 0 means unlimited).
+func TestPlanTrailingInterval(t *testing.T) {
+	ivs, err := plan([]uint64{4, 9}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ivs[len(ivs)-1]
+	if !reflect.DeepEqual(last.start, []uint64{3, 7}) || !reflect.DeepEqual(last.length, []uint64{1, 2}) {
+		t.Errorf("trailing interval start %v length %v, want {3 7} {1 2}", last.start, last.length)
+	}
+	// Intervals tile each thread's quota: contiguous, nonempty, exact.
+	quotas := []uint64{4, 9}
+	for tid, q := range quotas {
+		var pos uint64
+		for j, iv := range ivs {
+			if iv.start[tid] != pos {
+				t.Errorf("thread %d interval %d starts at %d, want %d", tid, j, iv.start[tid], pos)
+			}
+			if iv.length[tid] == 0 {
+				t.Errorf("thread %d interval %d has zero length", tid, j)
+			}
+			pos += iv.length[tid]
+		}
+		if pos != q {
+			t.Errorf("thread %d intervals cover %d instructions, want %d", tid, pos, q)
+		}
+	}
+
+	_, err = plan([]uint64{4, 3}, 2, 4)
+	if err == nil || !strings.Contains(err.Error(), "thread 1") {
+		t.Errorf("quota below shard count: err = %v, want rejection naming thread 1", err)
+	}
+}
+
+// TestMergePartialShardSet: merging the full interval set reproduces the
+// engine's own report bit-for-bit, and merging only a completed prefix —
+// what a cancelled or interrupted campaign leaves behind — still sums
+// every integer counter exactly and recomputes the rates over the partial
+// window.
+func TestMergePartialShardSet(t *testing.T) {
+	cfg := core.DefaultConfig(4)
+	eng, err := New(cfg, mixFactory(t, cfg, equivMix), Options{Shards: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quotas := splitEven(equivTotal, cfg.Threads)
+	plans, err := plan(quotas, cfg.Threads, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, _ := runIntervals(t, eng, plans)
+
+	full, err := eng.RunPerThread(quotas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mergeResults(parts), full) {
+		t.Fatal("merge of the independently-run intervals diverges from the engine's report")
+	}
+
+	done := parts[:2]
+	partial := mergeResults(done)
+	var wantCycles, wantTotal uint64
+	wantCommitted := make([]uint64, cfg.Threads)
+	for j, p := range done {
+		wantCycles += p.Cycles
+		wantTotal += p.Total
+		for tid := range wantCommitted {
+			wantCommitted[tid] += plans[j].length[tid]
+		}
+	}
+	if partial.Cycles != wantCycles || partial.Total != wantTotal {
+		t.Errorf("partial merge cycles/total = %d/%d, want %d/%d",
+			partial.Cycles, partial.Total, wantCycles, wantTotal)
+	}
+	if !reflect.DeepEqual(partial.Committed, wantCommitted) {
+		t.Errorf("partial merge commits %v, want the planned interval lengths %v",
+			partial.Committed, wantCommitted)
+	}
+	for s, v := range partial.AVF.Total {
+		if v < 0 || v > 1 {
+			t.Errorf("partial merge AVF[%d] = %v outside [0, 1]", s, v)
+		}
+	}
+	if partial.IPC() <= 0 {
+		t.Errorf("partial merge IPC = %v, want positive", partial.IPC())
+	}
+}
+
+// TestCheckpointResumeDeterminism is the property avfd's restart path
+// leans on: the plan is a pure function of (quotas, shards), and a fresh
+// engine re-running only the not-yet-done suffix intervals reproduces
+// them — same boundary checkpoints, and a combined prefix+suffix merge
+// bit-identical to the uninterrupted run.
+func TestCheckpointResumeDeterminism(t *testing.T) {
+	cfg := core.DefaultConfig(4)
+	quotas := splitEven(equivTotal, cfg.Threads)
+	plansA, err := plan(quotas, cfg.Threads, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plansB, err := plan(quotas, cfg.Threads, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plansA, plansB) {
+		t.Fatal("identical (quotas, shards) produced different plans")
+	}
+
+	engA, err := New(cfg, mixFactory(t, cfg, equivMix), Options{Shards: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, cps := runIntervals(t, engA, plansA)
+
+	// "Restart": a new engine picks up at interval 2 with no memory of the
+	// first process beyond the deterministic plan.
+	engB, err := New(cfg, mixFactory(t, cfg, equivMix), Options{Shards: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, resumedCPs := runIntervals(t, engB, plansA[2:])
+	if !reflect.DeepEqual(resumedCPs, cps[2:]) {
+		t.Error("resumed intervals reconstructed different boundary checkpoints")
+	}
+
+	combined := append(append([]*core.Results(nil), parts[:2]...), resumed...)
+	if !reflect.DeepEqual(mergeResults(combined), mergeResults(parts)) {
+		t.Error("prefix + resumed suffix merge diverges from the uninterrupted merge")
+	}
+}
