@@ -20,8 +20,8 @@ type benchBaseline struct {
 	} `json:"benchmarks"`
 }
 
-// baselineCyclesPerSec reads the recorded cycles/s of the named benchmark.
-func baselineCyclesPerSec(t *testing.T, name string) float64 {
+// baselineEntry reads the named benchmark's record from BENCH_baseline.json.
+func baselineEntry(t *testing.T, name string) (cyclesPerSec float64, allocsPerOp uint64) {
 	t.Helper()
 	data, err := os.ReadFile("BENCH_baseline.json")
 	if err != nil {
@@ -33,32 +33,41 @@ func baselineCyclesPerSec(t *testing.T, name string) float64 {
 	}
 	for _, b := range base.Benchmarks {
 		if b.Name == name {
-			if cps, ok := b.Metrics["cycles/s"]; ok {
-				return cps
+			cps, ok := b.Metrics["cycles/s"]
+			if !ok {
+				t.Fatalf("BENCH_baseline.json: %s has no cycles/s metric", name)
 			}
-			t.Fatalf("BENCH_baseline.json: %s has no cycles/s metric", name)
+			return cps, b.AllocsPerOp
 		}
 	}
 	t.Fatalf("BENCH_baseline.json: no entry for %s", name)
-	return 0
+	return 0, 0
 }
 
-// TestBenchRegression guards the hot-loop speed: the optimized simulator
-// must stay within 10% of the baseline cycle rate. The baseline was
+// TestBenchRegression guards the hot loop on two axes: the optimized
+// simulator must stay within 10% of the baseline cycle rate, and its
+// allocation count must not grow more than 25% over the recorded
+// allocs_per_op — allocation creep is how a "zero-allocation" steady state
+// quietly erodes, and ns/op alone hides it on fast hosts. The baseline was
 // recorded on the CI runner class; regenerate BENCH_baseline.json when the
 // machine class or the simulated microarchitecture intentionally changes.
 func TestBenchRegression(t *testing.T) {
 	if os.Getenv("SMTAVF_ASSERT_BENCH") == "" {
 		t.Skip("set SMTAVF_ASSERT_BENCH=1 to gate on BENCH_baseline.json (absolute speed is host-dependent)")
 	}
-	want := baselineCyclesPerSec(t, "BenchmarkSimulatorCycles")
+	wantCPS, wantAllocs := baselineEntry(t, "BenchmarkSimulatorCycles")
 	res := testing.Benchmark(BenchmarkSimulatorCycles)
 	got, ok := res.Extra["cycles/s"]
 	if !ok {
 		t.Fatal("BenchmarkSimulatorCycles reported no cycles/s metric")
 	}
-	t.Logf("cycles/s: measured %.0f, baseline %.0f (%.2fx)", got, want, got/want)
-	if got < 0.9*want {
-		t.Errorf("cycles/s regressed >10%%: measured %.0f vs baseline %.0f", got, want)
+	t.Logf("cycles/s: measured %.0f, baseline %.0f (%.2fx)", got, wantCPS, got/wantCPS)
+	if got < 0.9*wantCPS {
+		t.Errorf("cycles/s regressed >10%%: measured %.0f vs baseline %.0f", got, wantCPS)
+	}
+	gotAllocs := uint64(res.AllocsPerOp())
+	t.Logf("allocs/op: measured %d, baseline %d", gotAllocs, wantAllocs)
+	if wantAllocs > 0 && gotAllocs*4 > wantAllocs*5 {
+		t.Errorf("allocs/op grew >25%%: measured %d vs baseline %d", gotAllocs, wantAllocs)
 	}
 }

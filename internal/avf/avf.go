@@ -78,17 +78,69 @@ type Tracker struct {
 	unace   [NumStructs][]uint64
 	sink    Sink
 	rebase  uint64 // intervals are clipped to start no earlier than this
+
+	// pend holds batched occupancy deltas not yet folded into ace/unace:
+	// bit-cycle products indexed (s×threads+tid)×2, +1 for ACE. AddSpan
+	// accumulates here with no accumulator dispatch and no sink check;
+	// every reader drains first, so totals stay exact — uint64 additions
+	// commute, making the deferral invisible (docs/performance.md).
+	pend []uint64
 }
 
 // NewTracker builds a tracker for the given thread count; bits[s] is the
 // total bit capacity of structure s (entries × bits per entry).
 func NewTracker(threads int, bits [NumStructs]uint64) *Tracker {
-	t := &Tracker{threads: threads, bits: bits}
+	t := &Tracker{threads: threads, bits: bits, pend: make([]uint64, NumStructs*threads*2)}
 	for s := 0; s < NumStructs; s++ {
 		t.ace[s] = make([]uint64, threads)
 		t.unace[s] = make([]uint64, threads)
 	}
 	return t
+}
+
+// AddSpan records 'bits' bits of structure s resident over [start, end)
+// into the pending batch: the fast path of the no-sink classification. It
+// clips against the rebase point and forms the same bits×cycles product as
+// AddInterval, but defers the accumulator dispatch to the next drain.
+// Callers must route spans through AddInterval instead whenever a sink is
+// attached (HasSink) — the batch carries totals only, never interval
+// positions.
+func (t *Tracker) AddSpan(s Struct, tid int, bits, start, end uint64, ace bool) {
+	if start < t.rebase {
+		start = t.rebase
+	}
+	if end <= start {
+		return
+	}
+	i := (int(s)*t.threads + tid) * 2
+	if ace {
+		i++
+	}
+	t.pend[i] += bits * (end - start)
+}
+
+// HasSink reports whether a positioned-interval sink is attached. Batched
+// call sites check it to fall back to AddInterval, which forwards interval
+// positions the batch cannot carry.
+func (t *Tracker) HasSink() bool { return t.sink != nil }
+
+// drain folds the pending batched bit-cycles into the accumulators.
+// Every reader calls it first, so the batch is never observable.
+func (t *Tracker) drain() {
+	for s := 0; s < NumStructs; s++ {
+		base := s * t.threads * 2
+		for tid := 0; tid < t.threads; tid++ {
+			i := base + tid*2
+			if c := t.pend[i]; c != 0 {
+				t.unace[s][tid] += c
+				t.pend[i] = 0
+			}
+			if c := t.pend[i+1]; c != 0 {
+				t.ace[s][tid] += c
+				t.pend[i+1] = 0
+			}
+		}
+	}
 }
 
 // Threads returns the number of thread contexts tracked.
@@ -116,6 +168,7 @@ func (t *Tracker) Add(s Struct, tid int, bits, cycles uint64, ace bool) {
 // AVF returns the architectural vulnerability factor of structure s over a
 // run of totalCycles cycles.
 func (t *Tracker) AVF(s Struct, totalCycles uint64) float64 {
+	t.drain()
 	den := float64(t.bits[s]) * float64(totalCycles)
 	if den == 0 {
 		return 0
@@ -130,6 +183,7 @@ func (t *Tracker) AVF(s Struct, totalCycles uint64) float64 {
 // ThreadAVF returns the AVF contribution of thread tid to structure s; the
 // contributions over all threads sum to AVF(s).
 func (t *Tracker) ThreadAVF(s Struct, tid int, totalCycles uint64) float64 {
+	t.drain()
 	den := float64(t.bits[s]) * float64(totalCycles)
 	if den == 0 {
 		return 0
@@ -140,6 +194,7 @@ func (t *Tracker) ThreadAVF(s Struct, tid int, totalCycles uint64) float64 {
 // Occupancy returns the fraction of (bits × cycles) of structure s holding
 // any tracked state, ACE or not — a utilization diagnostic.
 func (t *Tracker) Occupancy(s Struct, totalCycles uint64) float64 {
+	t.drain()
 	den := float64(t.bits[s]) * float64(totalCycles)
 	if den == 0 {
 		return 0
@@ -155,11 +210,13 @@ func (t *Tracker) Occupancy(s Struct, totalCycles uint64) float64 {
 // contributed by thread tid (vulnerability feedback for the VAware fetch
 // policy).
 func (t *Tracker) ThreadACEBitCycles(s Struct, tid int) uint64 {
+	t.drain()
 	return t.ace[s][tid]
 }
 
 // ACEBitCycles returns the raw ACE numerator of structure s (all threads).
 func (t *Tracker) ACEBitCycles(s Struct) uint64 {
+	t.drain()
 	var num uint64
 	for _, v := range t.ace[s] {
 		num += v
@@ -171,6 +228,7 @@ func (t *Tracker) ACEBitCycles(s Struct) uint64 {
 // ACE plus un-ACE bit-cycles over all threads. Telemetry windows diff it
 // between samples to report per-interval occupancy.
 func (t *Tracker) OccupiedBitCycles(s Struct) uint64 {
+	t.drain()
 	var num uint64
 	for tid := 0; tid < t.threads; tid++ {
 		num += t.ace[s][tid] + t.unace[s][tid]

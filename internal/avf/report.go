@@ -22,6 +22,7 @@ type Report struct {
 
 // Snapshot extracts a Report covering totalCycles cycles.
 func (t *Tracker) Snapshot(totalCycles uint64) Report {
+	t.drain()
 	r := Report{
 		Cycles:    totalCycles,
 		Threads:   t.threads,

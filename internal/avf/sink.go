@@ -87,6 +87,7 @@ type RebaseObserver interface {
 // cycles-since-rebase. An attached Sink that implements RebaseObserver is
 // notified after the accumulators reset.
 func (t *Tracker) Rebase(cycle uint64) {
+	t.drain() // pre-rebase spans must be zeroed with everything else
 	t.rebase = cycle
 	for s := 0; s < NumStructs; s++ {
 		for tid := range t.ace[s] {

@@ -3,6 +3,7 @@ package core
 import (
 	"smtavf/internal/cpistack"
 	"smtavf/internal/isa"
+	"smtavf/internal/pipeline"
 )
 
 // cpiPrev snapshots one thread's cumulative counters so the per-cycle
@@ -26,6 +27,7 @@ type cpiPrev struct {
 // detaches.
 func (p *Processor) SetCPIStack(o *cpistack.Observer) {
 	p.cpi = o
+	p.refreshObservers()
 	if o == nil {
 		p.cpiComps = nil
 		p.cpiPrev = nil
@@ -94,11 +96,12 @@ func (p *Processor) cpiAccount() {
 // the deepest level it missed to (CountedL1/CountedL2 clear at writeback,
 // so they are exactly "miss still outstanding").
 func (p *Processor) cpiStall(t *thread, prev *cpiPrev, stalled bool) cpistack.Component {
-	if u := t.rob.Head(); u != nil && !u.Executed && u.Class == isa.Load {
-		if u.CountedL2 {
+	if u := t.rob.Head(); u != pipeline.NoUID &&
+		p.pool.Flags[u]&pipeline.FExecuted == 0 && p.pool.Ins[u].Class == isa.Load {
+		if p.pool.Flags[u]&pipeline.FCountedL2 != 0 {
 			return cpistack.CompL2Miss
 		}
-		if u.CountedL1 {
+		if p.pool.Flags[u]&pipeline.FCountedL1 != 0 {
 			return cpistack.CompDCacheMiss
 		}
 	}

@@ -30,10 +30,12 @@ type Source struct {
 
 // Processor is the simulated SMT machine.
 type Processor struct {
-	cfg    Config
-	policy fetch.Policy
+	cfg        Config
+	policy     fetch.Policy
+	policyPure bool // policy has no per-Order state; fetch may skip idle cycles
 
 	threads []*thread
+	pool    *pipeline.Pool
 	iq      *pipeline.IQ
 	rf      *pipeline.RegFile
 	fus     *pipeline.FUPool
@@ -50,7 +52,14 @@ type Processor struct {
 
 	now      uint64
 	gseq     uint64
-	inflight []*pipeline.Uop // issued, not yet written back
+	inflight []pipeline.UID // issued, not yet written back
+
+	// Writeback early-exit state (docs/performance.md): the earliest
+	// ReadyAt among in-flight uops, and the count of squashed uops parked
+	// on inflight awaiting release. When no result can land this cycle and
+	// nothing is pending release, writeback skips its scan entirely.
+	wbMinReady uint64
+	wbSquashed int
 
 	commitRR   int
 	dispatchRR int
@@ -105,8 +114,15 @@ type Processor struct {
 	// collects the FLUSH-triggering loads of one issue pass.
 	fetchStates []fetch.ThreadState
 	fetchOrder  []int
-	issueBuf    []*pipeline.Uop
-	flushBuf    []*pipeline.Uop
+	issueBuf    []pipeline.UID
+	flushBuf    []pipeline.UID
+
+	// anyObs is set while a pipetrace/propagation/cpistack observer is
+	// attached; only then do the classification sites materialize pool
+	// slots into the observer-facing obsUop scratch (the side-table rule
+	// of docs/performance.md).
+	anyObs bool
+	obsUop pipeline.Uop
 }
 
 // New builds a processor running one synthetic benchmark per context.
@@ -151,11 +167,16 @@ func NewFromSources(cfg Config, srcs []Source) (*Processor, error) {
 	}
 
 	trk := avf.NewTracker(cfg.Threads, StructBits(cfg))
+	// Pre-size the uop pool to the machine's worst-case in-flight
+	// population: per thread the front-end queue, ROB, and a front-end
+	// pipe's worth of slack (squashed uops can linger on inflight briefly).
+	pool := pipeline.NewPool(cfg.Threads * (cfg.FetchQueue + cfg.ROBSize + cfg.FrontEndDepth))
 	p := &Processor{
 		cfg:        cfg,
 		policy:     cfg.Policy,
-		iq:         pipeline.NewIQ(cfg.IQSize, cfg.Threads, cfg.IQPartition),
-		rf:         pipeline.NewRegFile(cfg.IntPhysRegs, cfg.FPPhysRegs, cfg.Threads, trk, cfg.Bits),
+		pool:       pool,
+		iq:         pipeline.NewIQ(pool, cfg.IQSize, cfg.Threads, cfg.IQPartition),
+		rf:         pipeline.NewRegFile(pool, cfg.IntPhysRegs, cfg.FPPhysRegs, cfg.Threads, trk, cfg.Bits),
 		fus:        pipeline.NewFUPool(cfg.FUCounts),
 		l1MissPred: branch.NewMissPredictor(cfg.MissPredEntries),
 		l2MissPred: branch.NewMissPredictor(cfg.MissPredEntries),
@@ -176,14 +197,15 @@ func NewFromSources(cfg Config, srcs []Source) (*Processor, error) {
 			wrong = trace.NewWrongPath(trace.Profile{Name: src.Gen.Name()}, cfg.Seed+uint64(i))
 		}
 		t := &thread{
-			id:     i,
-			stream: trace.NewStream(src.Gen),
-			wrong:  wrong,
-			offset: threadOffset(i),
-			fetchQ: newUopQueue(cfg.FetchQueue),
-			rob:    pipeline.NewROB(cfg.ROBSize),
-			lsq:    pipeline.NewLSQ(cfg.LSQSize),
-			ras:    branch.NewRAS(cfg.RASEntries),
+			id:       i,
+			stream:   trace.NewStream(src.Gen),
+			wrong:    wrong,
+			offset:   threadOffset(i),
+			fetchQ:   newUopQueue(cfg.FetchQueue),
+			rob:      pipeline.NewROB(pool, cfg.ROBSize),
+			lsq:      pipeline.NewLSQ(pool, cfg.LSQSize),
+			ras:      branch.NewRAS(cfg.RASEntries),
+			wpBranch: pipeline.NoUID,
 		}
 		p.threads = append(p.threads, t)
 		p.btbs = append(p.btbs, branch.NewBTB(cfg.BTBEntries, cfg.BTBWays))
@@ -192,10 +214,13 @@ func NewFromSources(cfg Config, srcs []Source) (*Processor, error) {
 	// Writeback-driven wakeup: a register write that satisfies a waiting
 	// IQ entry's last operand moves it to the ready set.
 	p.rf.SetWake(p.iq.MarkReady)
+	p.wbMinReady = ^uint64(0)
+	_, stateful := cfg.Policy.(fetch.Stateful)
+	p.policyPure = !stateful
 	p.fetchStates = make([]fetch.ThreadState, cfg.Threads)
 	p.fetchOrder = make([]int, 0, cfg.Threads)
-	p.issueBuf = make([]*pipeline.Uop, 0, cfg.IQSize)
-	p.flushBuf = make([]*pipeline.Uop, 0, cfg.Threads)
+	p.issueBuf = make([]pipeline.UID, 0, cfg.IQSize)
+	p.flushBuf = make([]pipeline.UID, 0, cfg.Threads)
 	return p, nil
 }
 
@@ -397,6 +422,7 @@ func (p *Processor) done() bool {
 // same-cycle structural hazards resolve like hardware: commit frees
 // resources, writeback wakes consumers, issue drains the IQ, dispatch
 // refills it, fetch replenishes the front end.
+
 func (p *Processor) step() {
 	p.commit()
 	p.writeback()
@@ -427,6 +453,13 @@ func (p *Processor) AttachSink(s avf.Sink) { p.trk.SetSink(s) }
 func (p *Processor) SetPipeTrace(r *pipetrace.Recorder) {
 	p.rec = r
 	r.SetBits(p.cfg.Bits)
+	p.refreshObservers()
+}
+
+// refreshObservers recomputes the any-observer-attached flag after a
+// Set* call; the classification sites skip materialization while clear.
+func (p *Processor) refreshObservers() {
+	p.anyObs = p.rec != nil || p.prop != nil || p.cpi != nil
 }
 
 // SetPropagation attaches a fault-propagation tracer; it observes the
@@ -436,6 +469,7 @@ func (p *Processor) SetPipeTrace(r *pipetrace.Recorder) {
 func (p *Processor) SetPropagation(t *propagation.Tracer) {
 	p.prop = t
 	t.Configure(p.cfg.Bits, p.cfg.DL1, p.cfg.Threads)
+	p.refreshObservers()
 }
 
 // closeAccounting finalizes every open residency interval at the end of a
@@ -444,25 +478,54 @@ func (p *Processor) SetPropagation(t *propagation.Tracer) {
 // resident entries. partialTail switches the in-flight classification to
 // un-ACE (see Limits.PartialTail).
 func (p *Processor) closeAccounting(partialTail bool) {
+	pl := p.pool
 	for _, t := range p.threads {
 		for t.rob.Len() > 0 {
 			u := t.rob.PopTail(p.now)
-			if u.InIQ {
+			if pl.Flags[u]&pipeline.FInIQ != 0 {
 				p.iq.Remove(u, p.now)
 				p.rf.Unwatch(u)
 			}
-			if u.LSQIdx >= 0 {
+			if pl.Meta[u].LSQIdx >= 0 {
 				t.lsq.PopTail(p.now)
 			}
-			unACE := u.WrongPath || partialTail
-			u.Classify(p.trk, p.cfg.Bits, unACE)
-			p.rec.Record(u, p.now, unACE)
-			p.prop.Record(u, p.now, unACE)
-			p.cpi.Record(u, unACE)
+			unACE := pl.Flags[u]&pipeline.FWrongPath != 0 || partialTail
+			p.classifyUop(u, unACE)
+			p.recordObservers(u, unACE)
 		}
 	}
 	p.rf.CloseAccounting(p.now)
 	p.dl1.CloseAccounting(p.now)
 	p.itlb.CloseAccounting(p.now)
 	p.dtlb.CloseAccounting(p.now)
+}
+
+// classifyUop retires slot u's residency accounting. With no interval
+// sink attached it takes the batched occupancy path (Pool.ClassifyBatch →
+// Tracker.AddSpan), which accumulates bit-cycle deltas and never emits
+// positioned intervals; with a sink (a fault-injection campaign or the
+// CPI-stack observer) it emits every interval through Pool.Classify in the
+// classic order. The check is per-call, so a sink attached mid-run switches
+// paths at the next classification with no pending-state handoff — the
+// tracker drains its batch on first read.
+func (p *Processor) classifyUop(u pipeline.UID, squashed bool) {
+	if p.trk.HasSink() {
+		p.pool.Classify(p.trk, p.cfg.Bits, u, squashed)
+	} else {
+		p.pool.ClassifyBatch(p.trk, p.cfg.Bits, u, squashed)
+	}
+}
+
+// recordObservers materializes slot u into the observer-facing scratch
+// view and reports it to every attached observer at a classification site.
+// When nothing is attached the pool slot is never materialized — the
+// side-table rule that keeps the bare hot loop free of struct traffic.
+func (p *Processor) recordObservers(u pipeline.UID, squashed bool) {
+	if !p.anyObs {
+		return
+	}
+	p.pool.Materialize(u, &p.obsUop)
+	p.rec.Record(&p.obsUop, p.now, squashed)
+	p.prop.Record(&p.obsUop, p.now, squashed)
+	p.cpi.Record(&p.obsUop, squashed)
 }

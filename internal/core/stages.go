@@ -16,6 +16,7 @@ import (
 // their previous register mapping and classify their residencies as ACE or
 // un-ACE.
 func (p *Processor) commit() {
+	pl := p.pool
 	budget := p.cfg.CommitWidth
 	n := len(p.threads)
 	start := p.commitRR
@@ -24,38 +25,37 @@ func (p *Processor) commit() {
 		t := p.threads[(start+i)%n]
 		for budget > 0 && !t.finished {
 			u := t.rob.Head()
-			if u == nil || !u.Executed {
+			if u == pipeline.NoUID || pl.Flags[u]&pipeline.FExecuted == 0 {
 				break
 			}
-			if u.Class == isa.Store {
+			in := &pl.Ins[u]
+			if in.Class == isa.Store {
 				if !p.dl1.TryPort(p.now) {
 					break // store port busy: retry next cycle
 				}
-				p.dl1.Access(p.now, u.Addr, int(u.Size), true, t.id)
+				p.dl1.Access(p.now, in.Addr, int(in.Size), true, t.id)
 			}
-			if u.Seq != t.nextCommit || u.WrongPath {
+			if in.Seq != t.nextCommit || pl.Flags[u]&pipeline.FWrongPath != 0 {
 				// The commit stream must be exactly the program's dynamic
 				// instruction order; any gap means squash/refetch broke.
 				panic(fmt.Sprintf("core: thread %d commits seq %d (wrongPath=%v), want %d",
-					t.id, u.Seq, u.WrongPath, t.nextCommit))
+					t.id, in.Seq, pl.Flags[u]&pipeline.FWrongPath != 0, t.nextCommit))
 			}
 			t.nextCommit++
-			if u.LSQIdx >= 0 {
+			if pl.Meta[u].LSQIdx >= 0 {
 				t.lsq.PopHead(u, p.now)
 			}
 			t.rob.PopHead(p.now)
-			if u.PhysDest >= 0 {
-				p.rf.CommitFree(u.OldPhysDest, p.now)
+			if pl.Meta[u].PhysDest >= 0 {
+				p.rf.CommitFree(int(pl.Meta[u].OldPhysDest), p.now)
 			}
-			u.Classify(p.trk, p.cfg.Bits, false)
-			p.rec.Record(u, p.now, false)
-			p.prop.Record(u, p.now, false)
-			p.cpi.Record(u, false)
+			p.classifyUop(u, false)
+			p.recordObservers(u, false)
 			t.committed++
 			p.totalCommitted++
 			p.telCommitted.Inc()
 			p.lastCommitCycle = p.now
-			t.stream.Release(u.Seq + 1)
+			t.stream.Release(in.Seq + 1)
 			t.releaseUop(u) // committed: out of every structure; recycle
 			budget--
 			if t.quota > 0 && t.committed >= t.quota {
@@ -70,53 +70,92 @@ func (p *Processor) commit() {
 // become visible to consumers, outstanding-miss counters resolve, and
 // mispredicted branches trigger recovery.
 func (p *Processor) writeback() {
+	// Event-driven skip: no in-flight result is due before wbMinReady, and
+	// squashed uops awaiting release are counted, so a cycle with neither
+	// touches nothing the scan below would change.
+	if p.wbSquashed == 0 && p.now < p.wbMinReady {
+		return
+	}
+	pl := p.pool
 	keep := p.inflight[:0]
+	minReady := ^uint64(0)
 	for _, u := range p.inflight {
-		if u.Squashed {
+		if pl.Flags[u]&pipeline.FSquashed != 0 {
 			// The squash classified and recorded it already, but it was
 			// mid-execution then, so its release was deferred to here.
-			p.threads[u.TID].releaseUop(u)
+			p.threads[pl.TID[u]].releaseUop(u)
+			p.wbSquashed--
 			continue
 		}
-		if u.ReadyAt > p.now {
+		if r := pl.Meta[u].ReadyAt; r > p.now {
 			keep = append(keep, u)
+			if r < minReady {
+				minReady = r
+			}
 			continue
 		}
-		u.Executed = true
-		t := p.threads[u.TID]
-		if u.PhysDest >= 0 {
-			p.rf.Write(u.PhysDest, p.now)
+		pl.Flags[u] |= pipeline.FExecuted
+		t := p.threads[pl.TID[u]]
+		if d := pl.Meta[u].PhysDest; d >= 0 {
+			p.rf.Write(int(d), p.now)
 		}
-		if u.Class == isa.Load {
-			u.DataAt = p.now // datum lands in the LSQ data array
+		switch pl.Ins[u].Class {
+		case isa.Load:
+			pl.Res[u].DataAt = p.now // datum lands in the LSQ data array
 			p.resolveMissCounters(t, u)
+		case isa.Store:
+			p.wakeSleepers(t)
 		}
 		if t.wpBranch == u {
 			p.recoverMispredict(t, u)
 		}
 	}
 	p.inflight = keep
+	// A recovery above may have squashed entries already kept this scan;
+	// wbSquashed counts them, so the next cycle still scans and releases
+	// them — minReady only has to be a lower bound on undisturbed results.
+	p.wbMinReady = minReady
+}
+
+// wakeSleepers returns thread t's parked loads to the IQ ready set after a
+// store execution — the only event that can clear their disambiguation
+// block. Loads still blocked simply park again at their next selection;
+// stale entries (squashed loads, recycled slots) are filtered by the flag
+// guard, so a spurious wake costs one recheck and nothing else.
+func (p *Processor) wakeSleepers(t *thread) {
+	s := t.lsq.Sleepers()
+	if len(s) == 0 {
+		return
+	}
+	pl := p.pool
+	for _, ld := range s {
+		fl := pl.Flags[ld]
+		if fl&pipeline.FSleeping != 0 && fl&pipeline.FInIQ != 0 && fl&pipeline.FInReady == 0 {
+			pl.Flags[ld] = fl &^ pipeline.FSleeping
+			p.iq.MarkReady(ld)
+		}
+	}
+	t.lsq.ClearSleepers()
 }
 
 // resolveMissCounters drops the outstanding/predicted miss counts a load
 // contributed, at resolution or squash.
-func (p *Processor) resolveMissCounters(t *thread, u *pipeline.Uop) {
-	if u.CountedL1 {
+func (p *Processor) resolveMissCounters(t *thread, u pipeline.UID) {
+	fl := p.pool.Flags[u]
+	if fl&pipeline.FCountedL1 != 0 {
 		t.outL1--
-		u.CountedL1 = false
 	}
-	if u.CountedL2 {
+	if fl&pipeline.FCountedL2 != 0 {
 		t.outL2--
-		u.CountedL2 = false
 	}
-	if u.PredL1 {
+	if fl&pipeline.FPredL1 != 0 {
 		t.predL1--
-		u.PredL1 = false
 	}
-	if u.PredL2 {
+	if fl&pipeline.FPredL2 != 0 {
 		t.predL2--
-		u.PredL2 = false
 	}
+	p.pool.Flags[u] = fl &^ (pipeline.FCountedL1 | pipeline.FCountedL2 |
+		pipeline.FPredL1 | pipeline.FPredL2)
 }
 
 // issue selects up to IssueWidth ready instructions from the IQ, oldest
@@ -124,6 +163,11 @@ func (p *Processor) resolveMissCounters(t *thread, u *pipeline.Uop) {
 // the DL1 (or forward from an older store); the FLUSH policy's squash
 // triggers here, when a load discovers an L2 miss.
 func (p *Processor) issue() {
+	if p.iq.ReadyLen() == 0 {
+		p.flushBuf = p.flushBuf[:0]
+		return
+	}
+	pl := p.pool
 	// Snapshot the ready set (register operands available, oldest first):
 	// issuing removes entries from the set mid-loop, so iterate a copy in
 	// the reusable scratch buffer.
@@ -134,9 +178,10 @@ func (p *Processor) issue() {
 		if budget == 0 {
 			break
 		}
-		t := p.threads[u.TID]
+		t := p.threads[pl.TID[u]]
+		class := pl.Ins[u].Class
 		forwarded := false
-		if u.Class == isa.Load {
+		if class == isa.Load {
 			// One disambiguation check per load per cycle: a wait keeps
 			// the load in the ready set without consuming issue budget.
 			// ForwardCheck only reads Executed flags and LSQ membership,
@@ -144,61 +189,73 @@ func (p *Processor) issue() {
 			// selection time equals the old check-then-recheck.
 			fwd, wait := t.lsq.ForwardCheck(u)
 			if wait {
-				continue // older store address/data unknown
+				// Older store address/data unknown. Park the load out of
+				// the ready set: only a store execution in this thread can
+				// unblock it, so writeback re-wakes it then instead of
+				// this loop re-checking it every cycle.
+				p.iq.Unready(u)
+				pl.Flags[u] |= pipeline.FSleeping
+				t.lsq.AddSleeper(u)
+				continue
 			}
 			forwarded = fwd
 			if !forwarded && !p.dl1.TryPort(p.now) {
 				continue // no load port this cycle
 			}
 		}
-		if !p.fus.TryIssue(u.Class, p.now) {
+		if !p.fus.TryIssue(class, p.now) {
 			continue
 		}
 		p.iq.Remove(u, p.now)
-		u.Issued = true
-		u.IssuedAt = p.now
-		if !u.WrongPath {
-			p.rf.Read(u.PhysSrc1, p.now)
-			p.rf.Read(u.PhysSrc2, p.now)
+		pl.Flags[u] |= pipeline.FIssued
+		pl.Res[u].IssuedAt = p.now
+		if pl.Flags[u]&pipeline.FWrongPath == 0 {
+			p.rf.Read(int(pl.Meta[u].PhysSrc1), p.now)
+			p.rf.Read(int(pl.Meta[u].PhysSrc2), p.now)
 		}
-		lat := uint64(u.Class.Latency())
-		switch u.Class {
+		lat := uint64(class.Latency())
+		switch class {
 		case isa.Load:
-			pen, _ := p.dtlb.Access(p.now, u.Addr, t.id)
+			addr := pl.Ins[u].Addr
+			pen, _ := p.dtlb.Access(p.now, addr, t.id)
 			if forwarded {
-				u.ReadyAt = p.now + lat + uint64(pen)
-				u.Forwarded = true
+				pl.Meta[u].ReadyAt = p.now + lat + uint64(pen)
+				pl.Flags[u] |= pipeline.FForwarded
 				t.loadForwards++
 			} else {
-				res := p.dl1.Access(p.now+lat+uint64(pen), u.Addr, int(u.Size), false, t.id)
-				u.ReadyAt = res.Ready
-				u.DL1Kind = int(res.Kind)
+				res := p.dl1.Access(p.now+lat+uint64(pen), addr, int(pl.Ins[u].Size), false, t.id)
+				pl.Meta[u].ReadyAt = res.Ready
+				pl.Meta[u].DL1Kind = int32(res.Kind)
 				t.dl1Loads++
 				if res.Kind != mem.Hit {
-					u.CountedL1 = true
+					pl.Flags[u] |= pipeline.FCountedL1
 					t.outL1++
 					t.dl1LoadMisses++
 				}
 				if res.Kind == mem.L2Miss {
-					u.CountedL2 = true
+					pl.Flags[u] |= pipeline.FCountedL2
 					t.outL2++
 					t.l2LoadMisses++
-					if p.policy.FlushOnL2Miss() && !u.WrongPath {
+					if p.policy.FlushOnL2Miss() && pl.Flags[u]&pipeline.FWrongPath == 0 {
 						flushLoads = append(flushLoads, u)
 					}
 				}
-				p.l1MissPred.Update(u.PC, res.Kind != mem.Hit)
-				p.l2MissPred.Update(u.PC, res.Kind == mem.L2Miss)
+				pc := pl.Ins[u].PC
+				p.l1MissPred.Update(pc, res.Kind != mem.Hit)
+				p.l2MissPred.Update(pc, res.Kind == mem.L2Miss)
 			}
 		case isa.Store:
-			pen, _ := p.dtlb.Access(p.now, u.Addr, t.id)
-			u.ReadyAt = p.now + lat + uint64(pen)
-			u.DataAt = u.ReadyAt // store datum waits in the LSQ data array
+			pen, _ := p.dtlb.Access(p.now, pl.Ins[u].Addr, t.id)
+			pl.Meta[u].ReadyAt = p.now + lat + uint64(pen)
+			pl.Res[u].DataAt = pl.Meta[u].ReadyAt // store datum waits in the LSQ data array
 		default:
-			u.ReadyAt = p.now + lat
+			pl.Meta[u].ReadyAt = p.now + lat
 		}
-		u.FUCycles += uint64(u.Class.Latency())
+		pl.Res[u].FUCycles += lat
 		p.inflight = append(p.inflight, u)
+		if pl.Meta[u].ReadyAt < p.wbMinReady {
+			p.wbMinReady = pl.Meta[u].ReadyAt
+		}
 		budget--
 	}
 	p.flushBuf = flushLoads
@@ -206,20 +263,21 @@ func (p *Processor) issue() {
 	// thread refetches it when the miss returns (fetch is gated by the
 	// policy while outL2 > 0). Oldest flush per thread wins.
 	for _, u := range flushLoads {
-		t := p.threads[u.TID]
-		if u.Squashed {
+		t := p.threads[pl.TID[u]]
+		if pl.Flags[u]&pipeline.FSquashed != 0 {
 			continue // an older flush already removed it
 		}
-		u.FlushLoad = true
+		pl.Flags[u] |= pipeline.FFlushLoad
 		t.flushes++
 		p.telFlushes.Inc()
-		p.squashThread(t, u.GSeq)
+		p.squashThread(t, pl.GSeq[u])
 	}
 }
 
 // dispatch renames and inserts front-end instructions into the IQ, ROB,
 // and LSQ, round-robin across threads up to DispatchWidth.
 func (p *Processor) dispatch() {
+	pl := p.pool
 	budget := p.cfg.DispatchWidth
 	n := len(p.threads)
 	start := p.dispatchRR
@@ -228,14 +286,15 @@ func (p *Processor) dispatch() {
 		t := p.threads[(start+i)%n]
 		for budget > 0 && t.fetchQ.len() > 0 {
 			u := t.fetchQ.front()
-			if u.FrontReady > p.now {
+			if pl.Meta[u].FrontReady > p.now {
 				break
 			}
+			class := pl.Ins[u].Class
 			if t.rob.Full() {
 				t.robFullStalls++
 				break
 			}
-			if u.Class.IsMem() && t.lsq.Full() {
+			if class.IsMem() && t.lsq.Full() {
 				t.lsqFullStalls++
 				break
 			}
@@ -243,13 +302,13 @@ func (p *Processor) dispatch() {
 				t.iqFullStalls++
 				break
 			}
-			if !p.rf.CanRename(u.Dest) {
+			if !p.rf.CanRename(pl.Ins[u].Dest) {
 				t.renameStalls++
 				break
 			}
 			p.rf.Rename(u, p.now)
 			t.rob.Push(u, p.now)
-			if u.Class.IsMem() {
+			if class.IsMem() {
 				t.lsq.Push(u, p.now)
 			}
 			p.iq.Insert(u, p.now)
@@ -272,6 +331,21 @@ func (p *Processor) dispatch() {
 func (p *Processor) fetchStage() {
 	if p.now&(vulnWindow-1) == 0 {
 		p.updateVulnFeedback()
+	}
+	// Event-driven skip: when no thread could fetch this cycle, building
+	// the policy snapshot is pure overhead. Stateful policies (RR's turn
+	// counter) still need their Order call every cycle.
+	if p.policyPure {
+		fetchable := false
+		for _, t := range p.threads {
+			if !t.done() && p.now >= t.stallUntil && t.fetchQ.len() < p.cfg.FetchQueue {
+				fetchable = true
+				break
+			}
+		}
+		if !fetchable {
+			return
+		}
 	}
 	states := p.fetchStates
 	for i, t := range p.threads {
@@ -325,6 +399,7 @@ func (p *Processor) updateVulnFeedback() {
 // fetchThread pulls up to max instructions for thread t, stopping at a
 // predicted-taken branch, a front-end stall, or the fetch-queue limit.
 func (p *Processor) fetchThread(t *thread, max int) int {
+	pl := p.pool
 	fetched := 0
 	for fetched < max && t.fetchQ.len() < p.cfg.FetchQueue {
 		// Address of the next instruction, in this thread's address space.
@@ -332,7 +407,7 @@ func (p *Processor) fetchThread(t *thread, max int) int {
 		if t.wrongPath {
 			pc = t.wrongPathPC
 		} else {
-			pc = t.stream.Peek().PC + t.offset
+			pc = t.stream.PeekPC() + t.offset
 		}
 
 		// Instruction-fetch memory access, once per cache line.
@@ -352,15 +427,18 @@ func (p *Processor) fetchThread(t *thread, max int) int {
 			}
 		}
 
-		// Materialize the instruction.
-		var in isa.Instruction
+		// Recycle a pool slot from the thread's free list and materialize
+		// the instruction straight into its record; ResetState then zeroes
+		// every other stale field before the new identity lands.
+		u := t.acquireUop(pl)
+		in := &pl.Ins[u]
 		if t.wrongPath {
-			in = t.wrong.Next(t.wrongPathPC)
+			t.wrong.NextInto(t.wrongPathPC, in)
 			if in.Class.IsMem() {
 				in.Addr += t.offset
 			}
 		} else {
-			in = t.stream.Next()
+			t.stream.NextInto(in)
 			in.PC += t.offset
 			if in.Class.IsMem() {
 				in.Addr += t.offset
@@ -369,72 +447,60 @@ func (p *Processor) fetchThread(t *thread, max int) int {
 				in.Target += t.offset
 			}
 		}
-		// Recycle a uop from the thread's pool; the full-struct assignment
-		// zeroes every stale field before the new identity lands.
-		u := t.acquireUop()
-		*u = pipeline.Uop{
-			Instruction: in,
-			TID:         t.id,
-			GSeq:        p.gseq,
-			FetchedAt:   p.now,
-			WrongPath:   t.wrongPath,
-			FrontReady:  p.now + uint64(p.cfg.FrontEndDepth),
-			PhysDest:    -1,
-			OldPhysDest: -1,
-			IQIdx:       -1,
-			LSQIdx:      -1,
-		}
+		pl.ResetState(u, int32(t.id), p.gseq, p.now, t.wrongPath,
+			p.now+uint64(p.cfg.FrontEndDepth))
 		p.gseq++
 
-		if u.Class.IsCTI() {
+		if in.Class.IsCTI() {
 			p.predictCTI(t, u)
 		}
-		if u.Class == isa.Load && !t.wrongPath {
-			if p.l1MissPred.Predict(u.PC) {
-				u.PredL1 = true
+		if in.Class == isa.Load && !t.wrongPath {
+			if p.l1MissPred.Predict(in.PC) {
+				pl.Flags[u] |= pipeline.FPredL1
 				t.predL1++
 			}
-			if p.l2MissPred.Predict(u.PC) {
-				u.PredL2 = true
+			if p.l2MissPred.Predict(in.PC) {
+				pl.Flags[u] |= pipeline.FPredL2
 				t.predL2++
 			}
 		}
 
 		t.fetchQ.pushBack(u)
 		t.fetched++
-		if u.WrongPath {
+		if t.wrongPath {
 			t.wrongPathFetch++
 		}
 		fetched++
 
-		if !u.Class.IsCTI() {
+		if !in.Class.IsCTI() {
 			if t.wrongPath {
-				t.wrongPathPC = u.PC + 4
+				t.wrongPathPC = in.PC + 4
 			}
 			continue
 		}
 		// Control transfer: steer the fetch PC and end the fetch group on
 		// a predicted-taken branch.
-		if u.Mispred {
+		fl := pl.Flags[u]
+		if fl&pipeline.FMispred != 0 {
 			// Oracle says the prediction is wrong: everything younger is
 			// wrong-path until this branch resolves.
 			t.wrongPath = true
 			t.wpBranch = u
-			if u.PredTaken && u.PredTarget != 0 {
-				t.wrongPathPC = u.PredTarget
+			if fl&pipeline.FPredTaken != 0 && pl.Meta[u].PredTarget != 0 {
+				t.wrongPathPC = pl.Meta[u].PredTarget
 			} else {
-				t.wrongPathPC = u.PC + 4
+				t.wrongPathPC = in.PC + 4
 			}
 			break
 		}
 		if t.wrongPath {
-			if u.PredTaken && u.PredTarget != 0 {
-				t.wrongPathPC = u.PredTarget
+			if fl&pipeline.FPredTaken != 0 && pl.Meta[u].PredTarget != 0 {
+				t.wrongPathPC = pl.Meta[u].PredTarget
 			} else {
-				t.wrongPathPC = u.PC + 4
+				t.wrongPathPC = in.PC + 4
 			}
 		}
-		if u.PredTaken {
+		if fl&pipeline.FPredTaken != 0 {
 			break // taken branch ends the fetch group
 		}
 	}
@@ -445,68 +511,67 @@ func (p *Processor) fetchThread(t *thread, max int) int {
 // gshare direction (conditional branches), BTB target, RAS for
 // calls/returns. For correct-path uops the oracle outcome decides Mispred
 // and trains the predictors; wrong-path CTIs only steer the wrong-path PC.
-func (p *Processor) predictCTI(t *thread, u *pipeline.Uop) {
+func (p *Processor) predictCTI(t *thread, u pipeline.UID) {
+	pl := p.pool
+	in := &pl.Ins[u]
+	wrongPath := pl.Flags[u]&pipeline.FWrongPath != 0
 	btb := p.btbs[t.id]
-	switch u.Class {
+	switch in.Class {
 	case isa.Branch:
-		pred := p.gshares[t.id].Predict(0, u.PC)
-		u.PredTaken = pred
+		pred := p.gshares[t.id].Predict(0, in.PC)
 		if pred {
-			if tgt, ok := btb.Lookup(u.PC); ok {
-				u.PredTarget = tgt
-			} else {
-				// Predicted taken with no target: the front end cannot
-				// redirect, so it behaves as a not-taken prediction.
-				u.PredTaken = false
+			if tgt, ok := btb.Lookup(in.PC); ok {
+				pl.Flags[u] |= pipeline.FPredTaken
+				pl.Meta[u].PredTarget = tgt
 			}
+			// Predicted taken with no target: the front end cannot
+			// redirect, so it behaves as a not-taken prediction.
 		}
 	case isa.Call:
-		u.PredTaken = true
-		if tgt, ok := btb.Lookup(u.PC); ok {
-			u.PredTarget = tgt
-		} else {
-			u.PredTaken = false
+		if tgt, ok := btb.Lookup(in.PC); ok {
+			pl.Flags[u] |= pipeline.FPredTaken
+			pl.Meta[u].PredTarget = tgt
 		}
 		// Wrong-path calls do not touch the RAS: hardware checkpoints the
 		// stack at each branch and restores it on a squash, which this
 		// models without the checkpoint bookkeeping.
-		if !u.WrongPath {
-			t.ras.Push(u.PC + 4)
+		if !wrongPath {
+			t.ras.Push(in.PC + 4)
 		}
 	case isa.Return:
-		if u.WrongPath {
-			u.PredTaken = true
-			u.PredTarget = u.PC + 4 // arbitrary; the uop is squashed anyway
+		if wrongPath {
+			pl.Flags[u] |= pipeline.FPredTaken
+			pl.Meta[u].PredTarget = in.PC + 4 // arbitrary; the uop is squashed anyway
 			break
 		}
 		if tgt, ok := t.ras.Pop(); ok {
-			u.PredTaken = true
-			u.PredTarget = tgt
+			pl.Flags[u] |= pipeline.FPredTaken
+			pl.Meta[u].PredTarget = tgt
 		}
 	}
-	if u.WrongPath {
+	if wrongPath {
 		return
 	}
-	u.Mispred = u.PredTaken != u.Taken ||
-		(u.Taken && u.PredTarget != u.Target)
-	t.branches++
-	if u.Mispred {
+	predTaken := pl.Flags[u]&pipeline.FPredTaken != 0
+	if predTaken != in.Taken || (in.Taken && pl.Meta[u].PredTarget != in.Target) {
+		pl.Flags[u] |= pipeline.FMispred
 		t.mispredicts++
 	}
-	if u.Class == isa.Branch {
-		p.gshares[t.id].Update(0, u.PC, u.Taken)
+	t.branches++
+	if in.Class == isa.Branch {
+		p.gshares[t.id].Update(0, in.PC, in.Taken)
 	}
-	if u.Taken && u.Class != isa.Return {
-		btb.Insert(u.PC, u.Target)
+	if in.Taken && in.Class != isa.Return {
+		btb.Insert(in.PC, in.Target)
 	}
 }
 
 // recoverMispredict squashes thread t's wrong path once the mispredicted
 // branch u resolves and redirects fetch to the correct path.
-func (p *Processor) recoverMispredict(t *thread, u *pipeline.Uop) {
+func (p *Processor) recoverMispredict(t *thread, u pipeline.UID) {
 	t.wrongPath = false
-	t.wpBranch = nil
-	p.squashThread(t, u.GSeq)
+	t.wpBranch = pipeline.NoUID
+	p.squashThread(t, p.pool.GSeq[u])
 	if next := p.now + 1; next > t.stallUntil {
 		t.stallUntil = next // redirect bubble
 		t.stallICache = false
@@ -518,68 +583,68 @@ func (p *Processor) recoverMispredict(t *thread, u *pipeline.Uop) {
 // classifies its residencies un-ACE; and rewinds the trace stream so the
 // squashed correct-path instructions are refetched.
 func (p *Processor) squashThread(t *thread, afterGSeq uint64) {
+	pl := p.pool
 	// Front end: drop queued uops (no structure residency yet).
 	var rewindTo uint64
 	haveRewind := false
-	note := func(u *pipeline.Uop) {
-		if !u.WrongPath && (!haveRewind || u.Seq < rewindTo) {
-			rewindTo = u.Seq
+	note := func(u pipeline.UID) {
+		if pl.Flags[u]&pipeline.FWrongPath == 0 &&
+			(!haveRewind || pl.Ins[u].Seq < rewindTo) {
+			rewindTo = pl.Ins[u].Seq
 			haveRewind = true
 		}
 	}
 	for t.fetchQ.len() > 0 {
 		u := t.fetchQ.back()
-		if u.GSeq <= afterGSeq {
+		if pl.GSeq[u] <= afterGSeq {
 			break
 		}
 		t.fetchQ.popBack()
 		note(u)
-		u.Squashed = true
-		p.rec.Record(u, p.now, true)
-		p.prop.Record(u, p.now, true)
-		p.cpi.Record(u, true)
-		if u.PredL1 {
+		pl.Flags[u] |= pipeline.FSquashed
+		p.recordObservers(u, true)
+		if pl.Flags[u]&pipeline.FPredL1 != 0 {
 			t.predL1--
 		}
-		if u.PredL2 {
+		if pl.Flags[u]&pipeline.FPredL2 != 0 {
 			t.predL2--
 		}
 		if u == t.wpBranch {
 			// The pending mispredicted branch itself was squashed (a
 			// FLUSH landed underneath it); leave wrong-path mode.
 			t.wrongPath = false
-			t.wpBranch = nil
+			t.wpBranch = pipeline.NoUID
 		}
 		t.releaseUop(u) // never dispatched: in no structure
 	}
 	// Back end: roll the ROB back from the tail.
-	for t.rob.Len() > 0 && t.rob.Tail().GSeq > afterGSeq {
+	for t.rob.Len() > 0 && pl.GSeq[t.rob.Tail()] > afterGSeq {
 		u := t.rob.PopTail(p.now)
-		if u.InIQ {
+		if pl.Flags[u]&pipeline.FInIQ != 0 {
 			p.iq.Remove(u, p.now)
 			p.rf.Unwatch(u)
 		}
-		if u.LSQIdx >= 0 {
+		if pl.Meta[u].LSQIdx >= 0 {
 			t.lsq.PopTail(p.now)
 		}
 		p.rf.Rollback(u, p.now)
 		p.resolveMissCounters(t, u)
 		note(u)
-		u.Squashed = true
-		u.Classify(p.trk, p.cfg.Bits, true)
-		p.rec.Record(u, p.now, true)
-		p.prop.Record(u, p.now, true)
-		p.cpi.Record(u, true)
+		pl.Flags[u] |= pipeline.FSquashed
+		p.classifyUop(u, true)
+		p.recordObservers(u, true)
 		t.squashedUops++
 		p.telSquashed.Inc()
 		if u == t.wpBranch {
 			t.wrongPath = false
-			t.wpBranch = nil
+			t.wpBranch = pipeline.NoUID
 		}
-		if !u.Issued || u.Executed {
+		if pl.Flags[u]&pipeline.FIssued == 0 || pl.Flags[u]&pipeline.FExecuted != 0 {
+			t.releaseUop(u)
+		} else {
 			// Mid-execution uops (issued, result pending) stay on
 			// p.inflight; writeback releases them when it drops them.
-			t.releaseUop(u)
+			p.wbSquashed++
 		}
 	}
 	if haveRewind {

@@ -22,23 +22,23 @@ func threadOffset(tid int) uint64 {
 }
 
 // uopQueue is a fixed-capacity ring deque holding the front-end fetch
-// queue. A plain slice re-sliced from the front (fetchQ = fetchQ[1:])
-// walks its backing array forward and forces a fresh allocation every few
-// dispatch groups; the ring reuses one array for the whole run.
+// queue. It stores pool ids; a plain slice re-sliced from the front walks
+// its backing array forward and forces a fresh allocation every few
+// dispatch groups, while the ring reuses one array for the whole run.
 type uopQueue struct {
-	buf  []*pipeline.Uop
+	buf  []pipeline.UID
 	head int
 	n    int
 }
 
 func newUopQueue(capacity int) uopQueue {
-	return uopQueue{buf: make([]*pipeline.Uop, capacity)}
+	return uopQueue{buf: make([]pipeline.UID, capacity)}
 }
 
-func (q *uopQueue) len() int             { return q.n }
-func (q *uopQueue) front() *pipeline.Uop { return q.buf[q.head] }
-func (q *uopQueue) back() *pipeline.Uop  { return q.buf[(q.head+q.n-1)%len(q.buf)] }
-func (q *uopQueue) pushBack(u *pipeline.Uop) {
+func (q *uopQueue) len() int            { return q.n }
+func (q *uopQueue) front() pipeline.UID { return q.buf[q.head] }
+func (q *uopQueue) back() pipeline.UID  { return q.buf[(q.head+q.n-1)%len(q.buf)] }
+func (q *uopQueue) pushBack(u pipeline.UID) {
 	if q.n == len(q.buf) {
 		panic("core: fetch queue overflow")
 	}
@@ -46,18 +46,16 @@ func (q *uopQueue) pushBack(u *pipeline.Uop) {
 	q.n++
 }
 
-func (q *uopQueue) popFront() *pipeline.Uop {
+func (q *uopQueue) popFront() pipeline.UID {
 	u := q.buf[q.head]
-	q.buf[q.head] = nil
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--
 	return u
 }
 
-func (q *uopQueue) popBack() *pipeline.Uop {
+func (q *uopQueue) popBack() pipeline.UID {
 	i := (q.head + q.n - 1) % len(q.buf)
 	u := q.buf[i]
-	q.buf[i] = nil
 	q.n--
 	return u
 }
@@ -81,17 +79,17 @@ type thread struct {
 	stallICache   bool     // current stallUntil is an IL1/ITLB miss (CPI stack)
 	lastFetchLine uint64   // last IL1 line touched (access per line)
 
-	// pool recycles this thread's uops: fetch acquires, the classification
-	// sites release (docs/performance.md has the ownership rule). Pooling
-	// is per-thread so a thread's uops are reused in a deterministic order
-	// regardless of the other threads' progress.
-	pool []*pipeline.Uop
+	// free recycles this thread's pool slots: fetch acquires, the
+	// classification sites release (docs/performance.md has the ownership
+	// rule). The free list is per-thread so a thread's slots are reused in
+	// a deterministic order regardless of the other threads' progress.
+	free []pipeline.UID
 
 	// Wrong-path mode: set between fetching a mispredicted CTI and its
 	// resolution; while set, fetch synthesizes wrong-path uops.
 	wrongPath   bool
 	wrongPathPC uint64
-	wpBranch    *pipeline.Uop
+	wpBranch    pipeline.UID // NoUID when no mispredicted branch is pending
 
 	// Fetch-policy inputs.
 	outL1, outL2   int // outstanding (unresolved) L1 / L2 data misses
@@ -122,24 +120,23 @@ type thread struct {
 	lsqFullStalls  uint64
 }
 
-// acquireUop returns a zeroed uop, recycling the thread's free list when
+// acquireUop returns a pool slot id, recycling the thread's free list when
 // possible. The caller owns it until it hands it back with releaseUop at a
-// classification site.
-func (t *thread) acquireUop() *pipeline.Uop {
-	if n := len(t.pool); n > 0 {
-		u := t.pool[n-1]
-		t.pool[n-1] = nil
-		t.pool = t.pool[:n-1]
+// classification site; the slot's fields are stale until Pool.Reset.
+func (t *thread) acquireUop(pool *pipeline.Pool) pipeline.UID {
+	if n := len(t.free); n > 0 {
+		u := t.free[n-1]
+		t.free = t.free[:n-1]
 		return u
 	}
-	return new(pipeline.Uop)
+	return pool.Alloc()
 }
 
-// releaseUop returns u to the free list. u must have left every pipeline
-// structure and waiter list, and the flight recorder must already have
-// copied it; the next acquireUop may hand the same memory out again.
-func (t *thread) releaseUop(u *pipeline.Uop) {
-	t.pool = append(t.pool, u)
+// releaseUop returns slot u to the free list. u must have left every
+// pipeline structure and waiter list, and the flight recorder must already
+// have copied it; the next acquireUop may hand the same slot out again.
+func (t *thread) releaseUop(u pipeline.UID) {
+	t.free = append(t.free, u)
 }
 
 // icount is the ICOUNT fetch-policy metric: instructions in the front end

@@ -213,6 +213,15 @@ func (StallP) Order(ts []ThreadState, dst []int) []int {
 // FlushOnL2Miss implements Policy.
 func (StallP) FlushOnL2Miss() bool { return false }
 
+// Stateful marks a policy whose Order call mutates internal state. The
+// core's fetch stage must then call Order every cycle — even cycles where
+// no thread can fetch — or the mutation schedule (and with it the fetch
+// interleaving) would depend on when the core chose to skip.
+type Stateful interface {
+	// OrderMutates is a marker; it carries no behavior.
+	OrderMutates()
+}
+
 // RoundRobin is the original SMT fetch scheme (Tullsen et al., ISCA
 // 1995): threads take strict turns regardless of pipeline state. It
 // predates ICOUNT and serves as the historical baseline. Unlike the other
@@ -221,6 +230,10 @@ func (StallP) FlushOnL2Miss() bool { return false }
 type RoundRobin struct {
 	turn int
 }
+
+// OrderMutates marks RoundRobin as Stateful: each Order call with two or
+// more active threads advances the turn counter.
+func (*RoundRobin) OrderMutates() {}
 
 // Name implements Policy.
 func (*RoundRobin) Name() string { return "RR" }

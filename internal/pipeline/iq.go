@@ -10,26 +10,30 @@ package pipeline
 // order. The core marks an entry ready at dispatch when its operands are
 // already available, or later through the register file's writeback wakeup
 // (RegFile.WatchSources / RegFile.Write); both paths land in MarkReady.
-// Uop.IQIdx tracks each entry's slot so Remove is O(1), and membership in
+// Pool.IQIdx tracks each entry's slot so Remove is O(1), and membership in
 // the ready set is O(log n) maintenance instead of an O(n log n) rebuild.
+// Both arrays hold pool ids, so the queue carries no GC-visible pointers.
 type IQ struct {
+	pool     *Pool
 	capacity int
-	entries  []*Uop
-	ready    []*Uop // register-ready entries in ascending GSeq (issue order)
+	entries  []UID
+	ready    []UID // register-ready entries in ascending GSeq (issue order)
 	// perThread counts occupied entries per thread, for the ICOUNT fetch
 	// policy and for static-partition ablations.
 	perThread []int
 	partition int // per-thread entry cap; 0 = fully shared
 }
 
-// NewIQ builds an issue queue with the given capacity for the given number
-// of threads. partition, if nonzero, statically caps each thread's share
-// (the reliability-aware IQ-partition ablation of DESIGN.md §8).
-func NewIQ(capacity, threads, partition int) *IQ {
+// NewIQ builds an issue queue over pool with the given capacity for the
+// given number of threads. partition, if nonzero, statically caps each
+// thread's share (the reliability-aware IQ-partition ablation of
+// DESIGN.md §8).
+func NewIQ(pool *Pool, capacity, threads, partition int) *IQ {
 	return &IQ{
+		pool:      pool,
 		capacity:  capacity,
-		entries:   make([]*Uop, 0, capacity),
-		ready:     make([]*Uop, 0, capacity),
+		entries:   make([]UID, 0, capacity),
+		ready:     make([]UID, 0, capacity),
 		perThread: make([]int, threads),
 		partition: partition,
 	}
@@ -58,39 +62,41 @@ func (q *IQ) CanInsert(tid int) bool {
 // Insert places u in the queue at cycle now. The caller must have checked
 // CanInsert, and must follow up with MarkReady once u's register operands
 // are all available (immediately, or via the register file's wakeup).
-func (q *IQ) Insert(u *Uop, now uint64) {
-	if !q.CanInsert(u.TID) {
+func (q *IQ) Insert(u UID, now uint64) {
+	p := q.pool
+	if !q.CanInsert(int(p.TID[u])) {
 		panic("pipeline: IQ insert without capacity")
 	}
-	u.InIQ = true
-	u.InReady = false
-	u.EnterIQ = now
-	u.IQIdx = len(q.entries)
+	p.Flags[u] = p.Flags[u]&^FInReady | FInIQ
+	p.Res[u].EnterIQ = now
+	p.Meta[u].IQIdx = int32(len(q.entries))
 	q.entries = append(q.entries, u)
-	q.perThread[u.TID]++
+	q.perThread[p.TID[u]]++
 }
 
 // MarkReady adds the resident entry u to the ready set. Idempotence is the
 // caller's problem: u must not already be in the set.
-func (q *IQ) MarkReady(u *Uop) {
-	if !u.InIQ || u.InReady {
+func (q *IQ) MarkReady(u UID) {
+	p := q.pool
+	if p.Flags[u]&FInIQ == 0 || p.Flags[u]&FInReady != 0 {
 		panic("pipeline: MarkReady of a non-resident or already-ready entry")
 	}
-	i := q.readySearch(u.GSeq)
-	q.ready = append(q.ready, nil)
+	i := q.readySearch(p.GSeq[u])
+	q.ready = append(q.ready, 0)
 	copy(q.ready[i+1:], q.ready[i:])
 	q.ready[i] = u
-	u.InReady = true
+	p.Flags[u] |= FInReady
 }
 
 // readySearch returns the insertion index of gseq in the ready set (the
 // count of ready entries with a smaller GSeq). GSeqs are unique, so this
 // also locates an existing member exactly.
 func (q *IQ) readySearch(gseq uint64) int {
+	gs := q.pool.GSeq
 	lo, hi := 0, len(q.ready)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if q.ready[mid].GSeq < gseq {
+		if gs[q.ready[mid]] < gseq {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -102,48 +108,58 @@ func (q *IQ) readySearch(gseq uint64) int {
 // AppendReady appends the ready entries to dst, oldest first, and returns
 // the extended slice. The core copies the set into its own scratch buffer
 // because issuing removes entries from the set mid-iteration.
-func (q *IQ) AppendReady(dst []*Uop) []*Uop {
+func (q *IQ) AppendReady(dst []UID) []UID {
 	return append(dst, q.ready...)
 }
 
-// ReadyLen returns the size of the ready set (tests).
+// ReadyLen returns the size of the ready set.
 func (q *IQ) ReadyLen() int { return len(q.ready) }
+
+// Unready takes resident entry u back out of the ready set without removing
+// it from the queue — the load-sleep path (docs/performance.md): a load
+// blocked on an older store's unknown address parks until a store of its
+// thread executes, instead of being re-scanned every cycle. The caller
+// re-wakes it with MarkReady.
+func (q *IQ) Unready(u UID) {
+	q.dropReady(u)
+	q.pool.Flags[u] &^= FInReady
+}
 
 // remove deletes entry i, closing its residency at cycle now.
 func (q *IQ) remove(i int, now uint64) {
+	p := q.pool
 	u := q.entries[i]
-	u.InIQ = false
-	u.IQIdx = -1
-	u.IQCycles += now - u.EnterIQ
-	q.perThread[u.TID]--
+	inReady := p.Flags[u]&FInReady != 0
+	p.Flags[u] &^= FInIQ | FInReady
+	p.Meta[u].IQIdx = -1
+	p.Res[u].IQCycles += now - p.Res[u].EnterIQ
+	q.perThread[p.TID[u]]--
 	last := len(q.entries) - 1
 	q.entries[i] = q.entries[last]
-	q.entries[i].IQIdx = i
-	q.entries[last] = nil
+	p.Meta[q.entries[i]].IQIdx = int32(i)
 	q.entries = q.entries[:last]
-	if u.InReady {
+	if inReady {
 		q.dropReady(u)
 	}
 }
 
-// dropReady removes u from the ready set.
-func (q *IQ) dropReady(u *Uop) {
-	i := q.readySearch(u.GSeq)
+// dropReady removes u from the ready set. The FInReady flag is already
+// cleared by the caller.
+func (q *IQ) dropReady(u UID) {
+	i := q.readySearch(q.pool.GSeq[u])
 	if i >= len(q.ready) || q.ready[i] != u {
 		panic("pipeline: ready set out of sync")
 	}
 	copy(q.ready[i:], q.ready[i+1:])
-	q.ready[len(q.ready)-1] = nil
 	q.ready = q.ready[:len(q.ready)-1]
-	u.InReady = false
 }
 
 // Remove deletes u from the queue, closing its residency at cycle now. If
 // u is still watching register operands (it was removed by a squash rather
 // than issued), the caller must also drop it from the register file's
 // waiter lists with RegFile.Unwatch.
-func (q *IQ) Remove(u *Uop, now uint64) {
-	i := u.IQIdx
+func (q *IQ) Remove(u UID, now uint64) {
+	i := int(q.pool.Meta[u].IQIdx)
 	if i < 0 || i >= len(q.entries) || q.entries[i] != u {
 		panic("pipeline: IQ remove of absent entry")
 	}
@@ -151,22 +167,23 @@ func (q *IQ) Remove(u *Uop, now uint64) {
 }
 
 // SquashThread removes every entry of thread tid with GSeq > after,
-// closing residencies at cycle now, and returns the removed uops. As with
-// Remove, entries still watching operands must be unwatched by the caller.
-func (q *IQ) SquashThread(tid int, after uint64, now uint64) []*Uop {
-	var out []*Uop
+// closing residencies at cycle now, and appends the removed uops to dst.
+// As with Remove, entries still watching operands must be unwatched by the
+// caller.
+func (q *IQ) SquashThread(tid int, after uint64, now uint64, dst []UID) []UID {
+	p := q.pool
 	for i := 0; i < len(q.entries); {
 		u := q.entries[i]
-		if u.TID == tid && u.GSeq > after {
+		if int(p.TID[u]) == tid && p.GSeq[u] > after {
 			q.remove(i, now)
-			out = append(out, u)
+			dst = append(dst, u)
 			continue
 		}
 		i++
 	}
-	return out
+	return dst
 }
 
 // Occupied returns the entries currently in the queue (unsorted); callers
 // must not mutate queue membership through it.
-func (q *IQ) Occupied() []*Uop { return q.entries }
+func (q *IQ) Occupied() []UID { return q.entries }

@@ -2,19 +2,69 @@ package pipeline
 
 import "smtavf/internal/isa"
 
+// uidRing is a fixed-capacity FIFO of pool ids in age order, used by the
+// LSQ's disambiguation index. Entries enter at the back (dispatch) and
+// leave from either end (commit from the front, squash from the back).
+type uidRing struct {
+	buf  []UID
+	head int
+	n    int
+}
+
+func (r *uidRing) front() UID { return r.buf[r.head] }
+func (r *uidRing) back() UID  { return r.buf[(r.head+r.n-1)%len(r.buf)] }
+func (r *uidRing) at(i int) UID {
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+func (r *uidRing) pushBack(u UID) {
+	r.buf[(r.head+r.n)%len(r.buf)] = u
+	r.n++
+}
+
+func (r *uidRing) popFront() {
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+}
+
+func (r *uidRing) popBack() {
+	r.n--
+}
+
 // LSQ is one thread's load/store queue (paper Table 1: 48 entries per
 // thread): memory uops in program order. Its tag array (addresses) and
 // data array (store data and returned load data) are AVF tracked
 // separately, matching the paper's LSQ_tag and LSQ_data series.
 type LSQ struct {
-	buf  []*Uop
+	pool *Pool
+	buf  []UID
 	head int
 	n    int
+
+	// Disambiguation index (docs/performance.md): stores resident in the
+	// queue in age order, and the subset not yet known executed. The wait
+	// test is O(1) — the front of unexec, after lazily dropping executed
+	// stores, is the oldest store whose address/data is still unknown —
+	// and the forward scan walks only the stores older than the load
+	// instead of every entry.
+	stores uidRing
+	unexec uidRing
+
+	// sleepers holds loads parked by the core because ForwardCheck said
+	// wait. Entries may be stale (squashed, recycled slots) — the core
+	// validates flags before re-waking, so staleness only costs a spurious
+	// recheck, never a wrong issue.
+	sleepers []UID
 }
 
-// NewLSQ builds a load/store queue with the given capacity.
-func NewLSQ(capacity int) *LSQ {
-	return &LSQ{buf: make([]*Uop, capacity)}
+// NewLSQ builds a load/store queue over pool with the given capacity.
+func NewLSQ(pool *Pool, capacity int) *LSQ {
+	return &LSQ{
+		pool:   pool,
+		buf:    make([]UID, capacity),
+		stores: uidRing{buf: make([]UID, capacity)},
+		unexec: uidRing{buf: make([]UID, capacity)},
+	}
 }
 
 // Len returns the number of occupied entries.
@@ -27,52 +77,80 @@ func (q *LSQ) Capacity() int { return len(q.buf) }
 func (q *LSQ) Full() bool { return q.n == len(q.buf) }
 
 // Push appends the memory uop u at the tail at cycle now.
-func (q *LSQ) Push(u *Uop, now uint64) {
+func (q *LSQ) Push(u UID, now uint64) {
 	if q.Full() {
 		panic("pipeline: LSQ push when full")
 	}
-	u.EnterLSQ = now
-	u.LSQIdx = (q.head + q.n) % len(q.buf)
-	q.buf[u.LSQIdx] = u
+	p := q.pool
+	p.Res[u].EnterLSQ = now
+	idx := (q.head + q.n) % len(q.buf)
+	p.Meta[u].LSQIdx = int32(idx)
+	q.buf[idx] = u
 	q.n++
+	if p.Ins[u].Class == isa.Store {
+		q.stores.pushBack(u)
+		q.unexec.pushBack(u)
+	}
 }
 
 // PopHead removes the oldest entry, which must be u, closing its tag and
 // data residencies at cycle now.
-func (q *LSQ) PopHead(u *Uop, now uint64) {
+func (q *LSQ) PopHead(u UID, now uint64) {
 	if q.n == 0 || q.buf[q.head] != u {
 		panic("pipeline: LSQ pop out of order")
 	}
 	q.closeEntry(u, now)
-	q.buf[q.head] = nil
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--
+	if q.pool.Ins[u].Class == isa.Store {
+		q.stores.popFront()
+		// The oldest entry is the oldest store, so if it still sits on the
+		// unexecuted index it can only be at the front.
+		if q.unexec.n > 0 && q.unexec.front() == u {
+			q.unexec.popFront()
+		}
+	}
 }
 
 // PopTail removes the youngest entry (squash rollback), closing residency.
-func (q *LSQ) PopTail(now uint64) *Uop {
+func (q *LSQ) PopTail(now uint64) UID {
 	if q.n == 0 {
 		panic("pipeline: LSQ tail pop when empty")
 	}
-	i := (q.head + q.n - 1) % len(q.buf)
-	u := q.buf[i]
+	u := q.buf[(q.head+q.n-1)%len(q.buf)]
 	q.closeEntry(u, now)
-	q.buf[i] = nil
 	q.n--
+	if q.pool.Ins[u].Class == isa.Store {
+		q.stores.popBack()
+		if q.unexec.n > 0 && q.unexec.back() == u {
+			q.unexec.popBack()
+		}
+	}
 	return u
 }
 
-func (q *LSQ) closeEntry(u *Uop, now uint64) {
-	u.LSQTagCycles += now - u.EnterLSQ
-	if u.DataAt > 0 && now > u.DataAt {
-		u.LSQDataCycles += now - u.DataAt
+func (q *LSQ) closeEntry(u UID, now uint64) {
+	p := q.pool
+	p.Res[u].LSQTagCycles += now - p.Res[u].EnterLSQ
+	if d := p.Res[u].DataAt; d > 0 && now > d {
+		p.Res[u].LSQDataCycles += now - d
 	}
 }
 
-// Tail returns the youngest entry, or nil when empty.
-func (q *LSQ) Tail() *Uop {
+// AddSleeper parks load u until a store of this thread executes.
+func (q *LSQ) AddSleeper(u UID) { q.sleepers = append(q.sleepers, u) }
+
+// Sleepers returns the parked loads; the caller wakes the valid ones and
+// must follow with ClearSleepers.
+func (q *LSQ) Sleepers() []UID { return q.sleepers }
+
+// ClearSleepers empties the parked-load list.
+func (q *LSQ) ClearSleepers() { q.sleepers = q.sleepers[:0] }
+
+// Tail returns the youngest entry, or NoUID when empty.
+func (q *LSQ) Tail() UID {
 	if q.n == 0 {
-		return nil
+		return NoUID
 	}
 	return q.buf[(q.head+q.n-1)%len(q.buf)]
 }
@@ -84,22 +162,30 @@ func (q *LSQ) Tail() *Uop {
 //   - wait=true when some older store's address or data is still unknown,
 //     so the load cannot safely access the cache yet (conservative memory
 //     disambiguation, which needs no misspeculation recovery).
-func (q *LSQ) ForwardCheck(ld *Uop) (forward, wait bool) {
-	for i := 0; i < q.n; i++ {
-		u := q.buf[(q.head+i)%len(q.buf)]
-		if u == ld {
+func (q *LSQ) ForwardCheck(ld UID) (forward, wait bool) {
+	p := q.pool
+	// Drop executed stores from the front of the unexecuted index
+	// (amortized O(1): each store is popped once). The surviving front is
+	// the oldest store whose address/data is still unknown.
+	for q.unexec.n > 0 && p.Flags[q.unexec.front()]&FExecuted != 0 {
+		q.unexec.popFront()
+	}
+	gseq := p.GSeq[ld]
+	if q.unexec.n > 0 && p.GSeq[q.unexec.front()] < gseq {
+		return false, true
+	}
+	// Every store older than ld has executed: scan them for an address
+	// match. Any match forwards — the original full scan kept the
+	// youngest, but the result is a plain bool either way.
+	addr := p.Ins[ld].Addr
+	for i := 0; i < q.stores.n; i++ {
+		s := q.stores.at(i)
+		if p.GSeq[s] >= gseq {
 			break
 		}
-		if u.Class != isa.Store {
-			continue
-		}
-		if !u.Executed {
-			// Address/data not yet computed: possible conflict.
-			return false, true
-		}
-		if u.Addr == ld.Addr {
-			forward = true // youngest prior match wins; keep scanning
+		if p.Ins[s].Addr == addr {
+			return true, false
 		}
 	}
-	return forward, false
+	return false, false
 }

@@ -7,11 +7,13 @@ import (
 	"smtavf/internal/isa"
 )
 
-func newUop(tid int, gseq uint64, class isa.Class) *Uop {
-	return &Uop{
-		Instruction: isa.Instruction{Class: class, Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone},
-		TID:         tid, GSeq: gseq, PhysDest: -1, OldPhysDest: -1, IQIdx: -1, LSQIdx: -1,
-	}
+// newUop allocates a pool slot with the given identity, the test analogue
+// of the fetch stage's acquire+Reset.
+func newUop(p *Pool, tid int, gseq uint64, class isa.Class) UID {
+	u := p.Alloc()
+	in := isa.Instruction{Class: class, Src1: isa.RegNone, Src2: isa.RegNone, Dest: isa.RegNone}
+	p.Reset(u, &in, int32(tid), gseq, 0, false, 0)
+	return u
 }
 
 func trackerFor(threads int) *avf.Tracker {
@@ -25,25 +27,27 @@ func trackerFor(threads int) *avf.Tracker {
 // --- IQ ---
 
 func TestIQInsertRemoveResidency(t *testing.T) {
-	q := NewIQ(4, 1, 0)
-	u := newUop(0, 1, isa.IntALU)
+	p := NewPool(8)
+	q := NewIQ(p, 4, 1, 0)
+	u := newUop(p, 0, 1, isa.IntALU)
 	q.Insert(u, 10)
-	if !u.InIQ || q.Len() != 1 || q.ThreadCount(0) != 1 {
+	if !p.Has(u, FInIQ) || q.Len() != 1 || q.ThreadCount(0) != 1 {
 		t.Fatal("insert bookkeeping wrong")
 	}
 	q.Remove(u, 25)
-	if u.InIQ || q.Len() != 0 || q.ThreadCount(0) != 0 {
+	if p.Has(u, FInIQ) || q.Len() != 0 || q.ThreadCount(0) != 0 {
 		t.Fatal("remove bookkeeping wrong")
 	}
-	if u.IQCycles != 15 {
-		t.Fatalf("IQ residency %d, want 15", u.IQCycles)
+	if p.Res[u].IQCycles != 15 {
+		t.Fatalf("IQ residency %d, want 15", p.Res[u].IQCycles)
 	}
 }
 
 func TestIQCapacity(t *testing.T) {
-	q := NewIQ(2, 1, 0)
-	q.Insert(newUop(0, 1, isa.IntALU), 0)
-	q.Insert(newUop(0, 2, isa.IntALU), 0)
+	p := NewPool(8)
+	q := NewIQ(p, 2, 1, 0)
+	q.Insert(newUop(p, 0, 1, isa.IntALU), 0)
+	q.Insert(newUop(p, 0, 2, isa.IntALU), 0)
 	if q.CanInsert(0) {
 		t.Fatal("full IQ accepts inserts")
 	}
@@ -52,13 +56,14 @@ func TestIQCapacity(t *testing.T) {
 			t.Fatal("over-insert did not panic")
 		}
 	}()
-	q.Insert(newUop(0, 3, isa.IntALU), 0)
+	q.Insert(newUop(p, 0, 3, isa.IntALU), 0)
 }
 
 func TestIQPartition(t *testing.T) {
-	q := NewIQ(8, 2, 2)
-	q.Insert(newUop(0, 1, isa.IntALU), 0)
-	q.Insert(newUop(0, 2, isa.IntALU), 0)
+	p := NewPool(8)
+	q := NewIQ(p, 8, 2, 2)
+	q.Insert(newUop(p, 0, 1, isa.IntALU), 0)
+	q.Insert(newUop(p, 0, 2, isa.IntALU), 0)
 	if q.CanInsert(0) {
 		t.Fatal("partition cap not enforced")
 	}
@@ -68,10 +73,11 @@ func TestIQPartition(t *testing.T) {
 }
 
 func TestIQReadyOldestFirst(t *testing.T) {
-	q := NewIQ(8, 1, 0)
-	u3 := newUop(0, 3, isa.IntALU)
-	u1 := newUop(0, 1, isa.IntALU)
-	u2 := newUop(0, 2, isa.IntALU)
+	p := NewPool(8)
+	q := NewIQ(p, 8, 1, 0)
+	u3 := newUop(p, 0, 3, isa.IntALU)
+	u1 := newUop(p, 0, 1, isa.IntALU)
+	u2 := newUop(p, 0, 2, isa.IntALU)
 	q.Insert(u3, 0)
 	q.Insert(u1, 0)
 	q.Insert(u2, 0)
@@ -88,28 +94,30 @@ func TestIQReadyTieAcrossThreads(t *testing.T) {
 	// Oldest-first selection is global: with equal per-thread ages the
 	// unique GSeq (global fetch order) breaks the tie, so thread 1's
 	// earlier-fetched uop outranks thread 0's later one.
-	q := NewIQ(8, 2, 0)
-	t1a := newUop(1, 4, isa.IntALU)
-	t0a := newUop(0, 5, isa.IntALU)
-	t1b := newUop(1, 6, isa.IntALU)
-	t0b := newUop(0, 7, isa.IntALU)
-	for _, u := range []*Uop{t0b, t1b, t0a, t1a} {
+	p := NewPool(8)
+	q := NewIQ(p, 8, 2, 0)
+	t1a := newUop(p, 1, 4, isa.IntALU)
+	t0a := newUop(p, 0, 5, isa.IntALU)
+	t1b := newUop(p, 1, 6, isa.IntALU)
+	t0b := newUop(p, 0, 7, isa.IntALU)
+	for _, u := range []UID{t0b, t1b, t0a, t1a} {
 		q.Insert(u, 0)
 		q.MarkReady(u)
 	}
 	cand := q.AppendReady(nil)
-	want := []*Uop{t1a, t0a, t1b, t0b}
+	want := []UID{t1a, t0a, t1b, t0b}
 	for i, u := range want {
 		if cand[i] != u {
 			t.Fatalf("ready[%d] = GSeq %d (tid %d), want GSeq %d (tid %d)",
-				i, cand[i].GSeq, cand[i].TID, u.GSeq, u.TID)
+				i, p.GSeq[cand[i]], p.TID[cand[i]], p.GSeq[u], p.TID[u])
 		}
 	}
 }
 
 func TestIQMarkReadyMisusePanics(t *testing.T) {
-	q := NewIQ(4, 1, 0)
-	u := newUop(0, 1, isa.IntALU)
+	p := NewPool(8)
+	q := NewIQ(p, 4, 1, 0)
+	u := newUop(p, 0, 1, isa.IntALU)
 	mustPanic(t, func() { q.MarkReady(u) }) // not resident
 	q.Insert(u, 0)
 	q.MarkReady(u)
@@ -117,15 +125,16 @@ func TestIQMarkReadyMisusePanics(t *testing.T) {
 }
 
 func TestIQRemoveDropsReady(t *testing.T) {
-	q := NewIQ(8, 1, 0)
-	u1 := newUop(0, 1, isa.IntALU)
-	u2 := newUop(0, 2, isa.IntALU)
+	p := NewPool(8)
+	q := NewIQ(p, 8, 1, 0)
+	u1 := newUop(p, 0, 1, isa.IntALU)
+	u2 := newUop(p, 0, 2, isa.IntALU)
 	q.Insert(u1, 0)
 	q.Insert(u2, 0)
 	q.MarkReady(u1)
 	q.MarkReady(u2)
 	q.Remove(u1, 5)
-	if u1.InReady || q.ReadyLen() != 1 {
+	if p.Has(u1, FInReady) || q.ReadyLen() != 1 {
 		t.Fatal("Remove left the entry in the ready set")
 	}
 	if cand := q.AppendReady(nil); len(cand) != 1 || cand[0] != u2 {
@@ -139,8 +148,9 @@ func TestIQRemoveDropsReady(t *testing.T) {
 }
 
 func TestIQPartitionReleasedOnRemove(t *testing.T) {
-	q := NewIQ(8, 2, 1)
-	u := newUop(0, 1, isa.IntALU)
+	p := NewPool(8)
+	q := NewIQ(p, 8, 2, 1)
+	u := newUop(p, 0, 1, isa.IntALU)
 	q.Insert(u, 0)
 	if q.CanInsert(0) {
 		t.Fatal("partition cap of 1 not enforced")
@@ -152,24 +162,25 @@ func TestIQPartitionReleasedOnRemove(t *testing.T) {
 }
 
 func TestIQSquashThread(t *testing.T) {
-	q := NewIQ(8, 2, 0)
-	keep := newUop(0, 1, isa.IntALU)
-	gone := newUop(0, 5, isa.IntALU)
-	other := newUop(1, 9, isa.IntALU)
+	p := NewPool(8)
+	q := NewIQ(p, 8, 2, 0)
+	keep := newUop(p, 0, 1, isa.IntALU)
+	gone := newUop(p, 0, 5, isa.IntALU)
+	other := newUop(p, 1, 9, isa.IntALU)
 	q.Insert(keep, 0)
 	q.Insert(gone, 0)
 	q.Insert(other, 0)
 	// Mid-wakeup squash: one victim already woken, survivors woken too.
 	q.MarkReady(gone)
 	q.MarkReady(other)
-	removed := q.SquashThread(0, 1, 10)
+	removed := q.SquashThread(0, 1, 10, nil)
 	if len(removed) != 1 || removed[0] != gone {
 		t.Fatalf("squash removed %v", removed)
 	}
 	if q.Len() != 2 || q.ThreadCount(0) != 1 || q.ThreadCount(1) != 1 {
 		t.Fatal("squash bookkeeping wrong")
 	}
-	if gone.InReady || gone.InIQ {
+	if p.Has(gone, FInReady) || p.Has(gone, FInIQ) {
 		t.Fatal("squashed entry still marked resident/ready")
 	}
 	if cand := q.AppendReady(nil); len(cand) != 1 || cand[0] != other {
@@ -183,20 +194,22 @@ func TestIQSquashThread(t *testing.T) {
 }
 
 func TestIQRemoveAbsentPanics(t *testing.T) {
-	q := NewIQ(4, 1, 0)
+	p := NewPool(8)
+	q := NewIQ(p, 4, 1, 0)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic")
 		}
 	}()
-	q.Remove(newUop(0, 1, isa.IntALU), 0)
+	q.Remove(newUop(p, 0, 1, isa.IntALU), 0)
 }
 
 // --- ROB ---
 
 func TestROBFIFO(t *testing.T) {
-	r := NewROB(3)
-	u1, u2, u3 := newUop(0, 1, isa.IntALU), newUop(0, 2, isa.IntALU), newUop(0, 3, isa.IntALU)
+	p := NewPool(8)
+	r := NewROB(p, 3)
+	u1, u2, u3 := newUop(p, 0, 1, isa.IntALU), newUop(p, 0, 2, isa.IntALU), newUop(p, 0, 3, isa.IntALU)
 	r.Push(u1, 0)
 	r.Push(u2, 0)
 	r.Push(u3, 0)
@@ -206,10 +219,10 @@ func TestROBFIFO(t *testing.T) {
 	if r.Head() != u1 || r.Tail() != u3 || r.At(1) != u2 {
 		t.Fatal("ordering wrong")
 	}
-	if got := r.PopHead(10); got != u1 || got.ROBCycles != 10 {
+	if got := r.PopHead(10); got != u1 || p.Res[u1].ROBCycles != 10 {
 		t.Fatal("pop head wrong")
 	}
-	if got := r.PopTail(20); got != u3 || got.ROBCycles != 20 {
+	if got := r.PopTail(20); got != u3 || p.Res[u3].ROBCycles != 20 {
 		t.Fatal("pop tail wrong")
 	}
 	if r.Len() != 1 {
@@ -218,9 +231,10 @@ func TestROBFIFO(t *testing.T) {
 }
 
 func TestROBWrapAround(t *testing.T) {
-	r := NewROB(2)
+	p := NewPool(16)
+	r := NewROB(p, 2)
 	for i := uint64(0); i < 10; i++ {
-		u := newUop(0, i, isa.IntALU)
+		u := newUop(p, 0, i, isa.IntALU)
 		r.Push(u, 0)
 		if got := r.PopHead(1); got != u {
 			t.Fatalf("wrap iteration %d broken", i)
@@ -229,11 +243,12 @@ func TestROBWrapAround(t *testing.T) {
 }
 
 func TestROBPanics(t *testing.T) {
-	r := NewROB(1)
+	p := NewPool(8)
+	r := NewROB(p, 1)
 	mustPanic(t, func() { r.PopHead(0) })
 	mustPanic(t, func() { r.PopTail(0) })
-	r.Push(newUop(0, 1, isa.IntALU), 0)
-	mustPanic(t, func() { r.Push(newUop(0, 2, isa.IntALU), 0) })
+	r.Push(newUop(p, 0, 1, isa.IntALU), 0)
+	mustPanic(t, func() { r.Push(newUop(p, 0, 2, isa.IntALU), 0) })
 	mustPanic(t, func() { r.At(1) })
 }
 
@@ -250,47 +265,50 @@ func mustPanic(t *testing.T, f func()) {
 // --- LSQ ---
 
 func TestLSQResidencyAccounting(t *testing.T) {
-	q := NewLSQ(4)
-	ld := newUop(0, 1, isa.Load)
+	p := NewPool(8)
+	q := NewLSQ(p, 4)
+	ld := newUop(p, 0, 1, isa.Load)
 	q.Push(ld, 10)
-	ld.DataAt = 30 // datum arrives
+	p.Res[ld].DataAt = 30 // datum arrives
 	q.PopHead(ld, 50)
-	if ld.LSQTagCycles != 40 {
-		t.Fatalf("tag residency %d, want 40", ld.LSQTagCycles)
+	if p.Res[ld].LSQTagCycles != 40 {
+		t.Fatalf("tag residency %d, want 40", p.Res[ld].LSQTagCycles)
 	}
-	if ld.LSQDataCycles != 20 {
-		t.Fatalf("data residency %d, want 20", ld.LSQDataCycles)
+	if p.Res[ld].LSQDataCycles != 20 {
+		t.Fatalf("data residency %d, want 20", p.Res[ld].LSQDataCycles)
 	}
 }
 
 func TestLSQPopOrderEnforced(t *testing.T) {
-	q := NewLSQ(4)
-	a, b := newUop(0, 1, isa.Load), newUop(0, 2, isa.Store)
+	p := NewPool(8)
+	q := NewLSQ(p, 4)
+	a, b := newUop(p, 0, 1, isa.Load), newUop(p, 0, 2, isa.Store)
 	q.Push(a, 0)
 	q.Push(b, 0)
 	mustPanic(t, func() { q.PopHead(b, 10) })
 }
 
 func TestLSQForwarding(t *testing.T) {
-	q := NewLSQ(8)
-	st := newUop(0, 1, isa.Store)
-	st.Addr = 0x1000
-	ld := newUop(0, 2, isa.Load)
-	ld.Addr = 0x1000
+	p := NewPool(8)
+	q := NewLSQ(p, 8)
+	st := newUop(p, 0, 1, isa.Store)
+	p.Ins[st].Addr = 0x1000
+	ld := newUop(p, 0, 2, isa.Load)
+	p.Ins[ld].Addr = 0x1000
 	q.Push(st, 0)
 	q.Push(ld, 0)
 	// Store not yet executed: the load must wait.
 	if _, wait := q.ForwardCheck(ld); !wait {
 		t.Fatal("load did not wait for an unresolved older store")
 	}
-	st.Executed = true
+	p.Set(st, FExecuted)
 	fwd, wait := q.ForwardCheck(ld)
 	if wait || !fwd {
 		t.Fatalf("forward=%v wait=%v, want forwarding", fwd, wait)
 	}
 	// A different address: no forwarding, no wait.
-	ld2 := newUop(0, 3, isa.Load)
-	ld2.Addr = 0x2000
+	ld2 := newUop(p, 0, 3, isa.Load)
+	p.Ins[ld2].Addr = 0x2000
 	q.Push(ld2, 0)
 	fwd, wait = q.ForwardCheck(ld2)
 	if fwd || wait {
@@ -299,12 +317,13 @@ func TestLSQForwarding(t *testing.T) {
 }
 
 func TestLSQForwardOnlyOlderStores(t *testing.T) {
-	q := NewLSQ(8)
-	ld := newUop(0, 1, isa.Load)
-	ld.Addr = 0x1000
-	st := newUop(0, 2, isa.Store) // younger than the load
-	st.Addr = 0x1000
-	st.Executed = true
+	p := NewPool(8)
+	q := NewLSQ(p, 8)
+	ld := newUop(p, 0, 1, isa.Load)
+	p.Ins[ld].Addr = 0x1000
+	st := newUop(p, 0, 2, isa.Store) // younger than the load
+	p.Ins[st].Addr = 0x1000
+	p.Set(st, FExecuted)
 	q.Push(ld, 0)
 	q.Push(st, 0)
 	if fwd, wait := q.ForwardCheck(ld); fwd || wait {
@@ -313,11 +332,12 @@ func TestLSQForwardOnlyOlderStores(t *testing.T) {
 }
 
 func TestLSQPopTail(t *testing.T) {
-	q := NewLSQ(4)
-	a, b := newUop(0, 1, isa.Load), newUop(0, 2, isa.Store)
+	p := NewPool(8)
+	q := NewLSQ(p, 4)
+	a, b := newUop(p, 0, 1, isa.Load), newUop(p, 0, 2, isa.Store)
 	q.Push(a, 0)
 	q.Push(b, 5)
-	if got := q.PopTail(15); got != b || b.LSQTagCycles != 10 {
+	if got := q.PopTail(15); got != b || p.Res[b].LSQTagCycles != 10 {
 		t.Fatal("pop tail wrong")
 	}
 	if q.Tail() != a {
@@ -327,119 +347,113 @@ func TestLSQPopTail(t *testing.T) {
 
 // --- RegFile ---
 
+// renameUop builds a pool slot with the given architectural operands and
+// renames it.
+func renameUop(p *Pool, rf *RegFile, gseq uint64, class isa.Class, src1, src2, dest isa.RegID, now uint64) UID {
+	u := p.Alloc()
+	in := isa.Instruction{Class: class, Src1: src1, Src2: src2, Dest: dest}
+	p.Reset(u, &in, 0, gseq, now, false, now)
+	rf.Rename(u, now)
+	return u
+}
+
 func TestRenameAndReadiness(t *testing.T) {
-	rf := NewRegFile(64, 64, 1, nil, DefaultBits())
-	u := newUop(0, 1, isa.IntALU)
-	u.Src1, u.Src2, u.Dest = 1, 2, 3
-	rf.Rename(u, 0)
-	if u.PhysSrc1 < 0 || u.PhysSrc2 < 0 || u.PhysDest < 0 {
+	p := NewPool(8)
+	rf := NewRegFile(p, 64, 64, 1, nil, DefaultBits())
+	u := renameUop(p, rf, 1, isa.IntALU, 1, 2, 3, 0)
+	if p.Meta[u].PhysSrc1 < 0 || p.Meta[u].PhysSrc2 < 0 || p.Meta[u].PhysDest < 0 {
 		t.Fatal("rename incomplete")
 	}
 	// Initial architectural registers are ready; the new dest is not.
-	if !rf.Ready(u.PhysSrc1) || rf.Ready(u.PhysDest) {
+	if !rf.Ready(int(p.Meta[u].PhysSrc1)) || rf.Ready(int(p.Meta[u].PhysDest)) {
 		t.Fatal("readiness wrong after rename")
 	}
-	rf.Write(u.PhysDest, 5)
-	if !rf.Ready(u.PhysDest) {
+	rf.Write(int(p.Meta[u].PhysDest), 5)
+	if !rf.Ready(int(p.Meta[u].PhysDest)) {
 		t.Fatal("writeback did not set ready")
 	}
 	// A consumer renamed later must see the new mapping.
-	v := newUop(0, 2, isa.IntALU)
-	v.Src1, v.Dest = 3, 4
-	rf.Rename(v, 6)
-	if v.PhysSrc1 != u.PhysDest {
+	v := renameUop(p, rf, 2, isa.IntALU, 3, isa.RegNone, 4, 6)
+	if p.Meta[v].PhysSrc1 != p.Meta[u].PhysDest {
 		t.Fatal("consumer not mapped to producer's register")
 	}
 }
 
 func TestRegFileWakeup(t *testing.T) {
-	rf := NewRegFile(64, 64, 1, nil, DefaultBits())
-	var woken []*Uop
-	rf.SetWake(func(u *Uop) { woken = append(woken, u) })
+	p := NewPool(8)
+	rf := NewRegFile(p, 64, 64, 1, nil, DefaultBits())
+	var woken []UID
+	rf.SetWake(func(u UID) { woken = append(woken, u) })
 
-	prod := newUop(0, 1, isa.IntALU)
-	prod.Dest = 3
-	rf.Rename(prod, 0)
+	prod := renameUop(p, rf, 1, isa.IntALU, isa.RegNone, isa.RegNone, 3, 0)
 
 	// Both sources name the producer's unready register: two waiter-list
 	// slots, one wake when the single write drains both.
-	cons := newUop(0, 2, isa.IntALU)
-	cons.Src1, cons.Src2 = 3, 3
-	rf.Rename(cons, 0)
+	cons := renameUop(p, rf, 2, isa.IntALU, 3, 3, isa.RegNone, 0)
 	if n := rf.WatchSources(cons); n != 2 {
 		t.Fatalf("WatchSources = %d, want 2", n)
 	}
-	rf.Write(prod.PhysDest, 5)
+	rf.Write(int(p.Meta[prod].PhysDest), 5)
 	if len(woken) != 1 || woken[0] != cons {
 		t.Fatalf("woken = %v, want exactly [cons]", woken)
 	}
-	if cons.WaitCount != 0 || cons.Src1Wait || cons.Src2Wait {
+	if p.Meta[cons].WaitCount != 0 || p.Has(cons, FSrc1Wait) || p.Has(cons, FSrc2Wait) {
 		t.Fatal("wait state not cleared by wakeup")
 	}
 
 	// Ready operands need no watch: the caller marks the uop ready itself.
-	imm := newUop(0, 3, isa.IntALU)
-	imm.Src1 = 1 // initial architectural state, ready at cycle 0
-	rf.Rename(imm, 6)
+	imm := renameUop(p, rf, 3, isa.IntALU, 1, isa.RegNone, isa.RegNone, 6)
 	if n := rf.WatchSources(imm); n != 0 {
 		t.Fatalf("WatchSources of ready operands = %d, want 0", n)
 	}
 }
 
 func TestRegFileUnwatch(t *testing.T) {
-	rf := NewRegFile(64, 64, 1, nil, DefaultBits())
+	p := NewPool(8)
+	rf := NewRegFile(p, 64, 64, 1, nil, DefaultBits())
 	woken := 0
-	rf.SetWake(func(*Uop) { woken++ })
+	rf.SetWake(func(UID) { woken++ })
 
-	prod := newUop(0, 1, isa.IntALU)
-	prod.Dest = 3
-	rf.Rename(prod, 0)
-
-	stay := newUop(0, 2, isa.IntALU)
-	stay.Src1 = 3
-	rf.Rename(stay, 0)
-	gone := newUop(0, 3, isa.IntALU)
-	gone.Src1 = 3
-	rf.Rename(gone, 0)
+	prod := renameUop(p, rf, 1, isa.IntALU, isa.RegNone, isa.RegNone, 3, 0)
+	stay := renameUop(p, rf, 2, isa.IntALU, 3, isa.RegNone, isa.RegNone, 0)
+	gone := renameUop(p, rf, 3, isa.IntALU, 3, isa.RegNone, isa.RegNone, 0)
 	rf.WatchSources(stay)
 	rf.WatchSources(gone)
 
 	// A squash drops gone from the list; the write must wake only stay.
 	rf.Unwatch(gone)
-	if gone.WaitCount != 0 || gone.Src1Wait {
+	if p.Meta[gone].WaitCount != 0 || p.Has(gone, FSrc1Wait) {
 		t.Fatal("Unwatch left wait state set")
 	}
 	rf.Unwatch(gone) // idempotent on a non-watching uop
-	rf.Write(prod.PhysDest, 5)
+	rf.Write(int(p.Meta[prod].PhysDest), 5)
 	if woken != 1 {
 		t.Fatalf("woken %d uops, want 1", woken)
 	}
 }
 
 func TestRenameExhaustionAndCommitFree(t *testing.T) {
-	rf := NewRegFile(33, 32, 1, nil, DefaultBits()) // one spare int reg
-	u := newUop(0, 1, isa.IntALU)
-	u.Dest = 5
-	if !rf.CanRename(u.Dest) {
+	p := NewPool(8)
+	rf := NewRegFile(p, 33, 32, 1, nil, DefaultBits()) // one spare int reg
+	if !rf.CanRename(isa.RegID(5)) {
 		t.Fatal("one spare register should allow a rename")
 	}
-	rf.Rename(u, 0)
+	u := renameUop(p, rf, 1, isa.IntALU, isa.RegNone, isa.RegNone, 5, 0)
 	if rf.CanRename(isa.RegID(6)) {
 		t.Fatal("pool exhausted but rename allowed")
 	}
 	// Committing u frees the old mapping of r5.
-	rf.CommitFree(u.OldPhysDest, 10)
+	rf.CommitFree(int(p.Meta[u].OldPhysDest), 10)
 	if !rf.CanRename(isa.RegID(6)) {
 		t.Fatal("commit did not free a register")
 	}
 }
 
 func TestRollbackRestoresMapping(t *testing.T) {
-	rf := NewRegFile(64, 64, 1, nil, DefaultBits())
+	p := NewPool(8)
+	rf := NewRegFile(p, 64, 64, 1, nil, DefaultBits())
 	before := rf.Mapping(0, 7)
-	u := newUop(0, 1, isa.IntALU)
-	u.Dest = 7
-	rf.Rename(u, 0)
+	u := renameUop(p, rf, 1, isa.IntALU, isa.RegNone, isa.RegNone, 7, 0)
 	if rf.Mapping(0, 7) == before {
 		t.Fatal("rename did not change mapping")
 	}
@@ -455,18 +469,15 @@ func TestRollbackRestoresMapping(t *testing.T) {
 func TestRegisterAVFLifetime(t *testing.T) {
 	trk := trackerFor(1)
 	bits := DefaultBits()
-	rf := NewRegFile(64, 64, 1, trk, bits)
-	u := newUop(0, 1, isa.IntALU)
-	u.Dest = 3
-	rf.Rename(u, 100) // alloc at 100
-	rf.Write(u.PhysDest, 150)
-	rf.Read(u.PhysDest, 180)
-	rf.Read(u.PhysDest, 220) // last read
+	p := NewPool(8)
+	rf := NewRegFile(p, 64, 64, 1, trk, bits)
+	u := renameUop(p, rf, 1, isa.IntALU, isa.RegNone, isa.RegNone, 3, 100) // alloc at 100
+	rf.Write(int(p.Meta[u].PhysDest), 150)
+	rf.Read(int(p.Meta[u].PhysDest), 180)
+	rf.Read(int(p.Meta[u].PhysDest), 220) // last read
 	// Free it by committing an overwriting instruction.
-	v := newUop(0, 2, isa.IntALU)
-	v.Dest = 3
-	rf.Rename(v, 230)
-	rf.CommitFree(v.OldPhysDest, 300) // frees u's register
+	v := renameUop(p, rf, 2, isa.IntALU, isa.RegNone, isa.RegNone, 3, 230)
+	rf.CommitFree(int(p.Meta[v].OldPhysDest), 300) // frees u's register
 	// ACE interval: write(150) → last read(220) = 70 cycles.
 	if got := trk.ACEBitCycles(avf.Reg); got != 70*bits.RegEntry {
 		t.Fatalf("register ACE bit-cycles = %d, want %d", got, 70*bits.RegEntry)
@@ -475,12 +486,11 @@ func TestRegisterAVFLifetime(t *testing.T) {
 
 func TestSquashedRegisterEntirelyUnACE(t *testing.T) {
 	trk := trackerFor(1)
-	rf := NewRegFile(64, 64, 1, trk, DefaultBits())
-	u := newUop(0, 1, isa.IntALU)
-	u.Dest = 3
-	rf.Rename(u, 100)
-	rf.Write(u.PhysDest, 150)
-	rf.Read(u.PhysDest, 180)
+	p := NewPool(8)
+	rf := NewRegFile(p, 64, 64, 1, trk, DefaultBits())
+	u := renameUop(p, rf, 1, isa.IntALU, isa.RegNone, isa.RegNone, 3, 100)
+	rf.Write(int(p.Meta[u].PhysDest), 150)
+	rf.Read(int(p.Meta[u].PhysDest), 180)
 	rf.Rollback(u, 200)
 	if got := trk.ACEBitCycles(avf.Reg); got != 0 {
 		t.Fatalf("squashed register counted ACE: %d", got)
@@ -489,30 +499,27 @@ func TestSquashedRegisterEntirelyUnACE(t *testing.T) {
 
 func TestNeverReadRegisterUnACEAfterWrite(t *testing.T) {
 	trk := trackerFor(1)
-	rf := NewRegFile(64, 64, 1, trk, DefaultBits())
-	u := newUop(0, 1, isa.IntALU)
-	u.Dest = 3
-	rf.Rename(u, 100)
-	rf.Write(u.PhysDest, 150)
-	v := newUop(0, 2, isa.IntALU)
-	v.Dest = 3
-	rf.Rename(v, 160)
-	rf.CommitFree(v.OldPhysDest, 300)
+	p := NewPool(8)
+	rf := NewRegFile(p, 64, 64, 1, trk, DefaultBits())
+	u := renameUop(p, rf, 1, isa.IntALU, isa.RegNone, isa.RegNone, 3, 100)
+	rf.Write(int(p.Meta[u].PhysDest), 150)
+	v := renameUop(p, rf, 2, isa.IntALU, isa.RegNone, isa.RegNone, 3, 160)
+	rf.CommitFree(int(p.Meta[v].OldPhysDest), 300)
 	if got := trk.ACEBitCycles(avf.Reg); got != 0 {
 		t.Fatalf("never-read register counted ACE: %d", got)
 	}
 }
 
 func TestRegFileTooSmallPanics(t *testing.T) {
-	mustPanic(t, func() { NewRegFile(63, 64, 2, nil, DefaultBits()) })
+	p := NewPool(8)
+	mustPanic(t, func() { NewRegFile(p, 63, 64, 2, nil, DefaultBits()) })
 }
 
 func TestFPBankSeparate(t *testing.T) {
-	rf := NewRegFile(64, 64, 1, nil, DefaultBits())
-	u := newUop(0, 1, isa.FPALU)
-	u.Dest = isa.FirstFPReg + 3
-	rf.Rename(u, 0)
-	if u.PhysDest < 64 {
+	p := NewPool(8)
+	rf := NewRegFile(p, 64, 64, 1, nil, DefaultBits())
+	u := renameUop(p, rf, 1, isa.FPALU, isa.RegNone, isa.RegNone, isa.FirstFPReg+3, 0)
+	if p.Meta[u].PhysDest < 64 {
 		t.Fatal("FP destination allocated from the integer bank")
 	}
 	if rf.FreeCount(true) != 31 || rf.FreeCount(false) != 32 {
@@ -523,10 +530,11 @@ func TestFPBankSeparate(t *testing.T) {
 func TestCloseAccountingCoversLiveRegisters(t *testing.T) {
 	trk := trackerFor(1)
 	bits := DefaultBits()
-	rf := NewRegFile(64, 64, 1, trk, bits)
+	p := NewPool(8)
+	rf := NewRegFile(p, 64, 64, 1, trk, bits)
 	// Architectural register read late in the run: ACE from 0 to the read.
-	p := rf.Mapping(0, 9)
-	rf.Read(p, 500)
+	pr := rf.Mapping(0, 9)
+	rf.Read(pr, 500)
 	rf.CloseAccounting(1000)
 	if got := trk.ACEBitCycles(avf.Reg); got != 500*bits.RegEntry {
 		t.Fatalf("live register ACE = %d, want %d", got, 500*bits.RegEntry)
@@ -589,14 +597,15 @@ func TestFUUtilization(t *testing.T) {
 	}
 }
 
-// --- Uop classification ---
+// --- Classification ---
 
 func TestClassifyACE(t *testing.T) {
 	trk := trackerFor(1)
 	bits := DefaultBits()
-	u := newUop(0, 1, isa.IntALU)
-	u.IQCycles, u.ROBCycles, u.FUCycles = 10, 20, 1
-	u.Classify(trk, bits, false)
+	p := NewPool(8)
+	u := newUop(p, 0, 1, isa.IntALU)
+	p.Res[u].IQCycles, p.Res[u].ROBCycles, p.Res[u].FUCycles = 10, 20, 1
+	p.Classify(trk, bits, u, false)
 	if trk.ACEBitCycles(avf.IQ) != 10*bits.IQEntry {
 		t.Fatal("IQ classification wrong")
 	}
@@ -611,19 +620,20 @@ func TestClassifyACE(t *testing.T) {
 func TestClassifyUnACECases(t *testing.T) {
 	for _, tc := range []struct {
 		name string
-		mod  func(*Uop)
+		mod  func(p *Pool, u UID)
 		sq   bool
 	}{
-		{"nop", func(u *Uop) { u.Class = isa.NOP }, false},
-		{"dead", func(u *Uop) { u.Dead = true }, false},
-		{"wrongpath", func(u *Uop) { u.WrongPath = true }, false},
-		{"squashed", func(u *Uop) {}, true},
+		{"nop", func(p *Pool, u UID) { p.Ins[u].Class = isa.NOP }, false},
+		{"dead", func(p *Pool, u UID) { p.Ins[u].Dead = true }, false},
+		{"wrongpath", func(p *Pool, u UID) { p.Set(u, FWrongPath) }, false},
+		{"squashed", func(p *Pool, u UID) {}, true},
 	} {
 		trk := trackerFor(1)
-		u := newUop(0, 1, isa.IntALU)
-		u.IQCycles = 10
-		tc.mod(u)
-		u.Classify(trk, DefaultBits(), tc.sq)
+		p := NewPool(8)
+		u := newUop(p, 0, 1, isa.IntALU)
+		p.Res[u].IQCycles = 10
+		tc.mod(p, u)
+		p.Classify(trk, DefaultBits(), u, tc.sq)
 		if trk.ACEBitCycles(avf.IQ) != 0 {
 			t.Errorf("%s counted ACE", tc.name)
 		}
@@ -636,13 +646,38 @@ func TestClassifyUnACECases(t *testing.T) {
 func TestClassifyMemResidencies(t *testing.T) {
 	trk := trackerFor(1)
 	bits := DefaultBits()
-	u := newUop(0, 1, isa.Load)
-	u.LSQTagCycles, u.LSQDataCycles = 30, 12
-	u.Classify(trk, bits, false)
+	p := NewPool(8)
+	u := newUop(p, 0, 1, isa.Load)
+	p.Res[u].LSQTagCycles, p.Res[u].LSQDataCycles = 30, 12
+	p.Classify(trk, bits, u, false)
 	if trk.ACEBitCycles(avf.LSQTag) != 30*bits.LSQTagEntry {
 		t.Fatal("LSQ tag classification wrong")
 	}
 	if trk.ACEBitCycles(avf.LSQData) != 12*bits.LSQDataEntry {
 		t.Fatal("LSQ data classification wrong")
+	}
+}
+
+// --- Materialize / observer view ---
+
+func TestMaterializeRoundTrip(t *testing.T) {
+	p := NewPool(8)
+	u := newUop(p, 2, 7, isa.Load)
+	p.Ins[u].Addr = 0x1234
+	p.Set(u, FIssued|FExecuted|FCountedL1)
+	p.Res[u].EnterIQ, p.Res[u].IQCycles = 100, 5
+	p.Res[u].EnterROB, p.Res[u].ROBCycles = 100, 9
+	p.Res[u].IssuedAt, p.Res[u].FUCycles = 105, 1
+	var view Uop
+	p.Materialize(u, &view)
+	if view.TID != 2 || view.GSeq != 7 || view.Addr != 0x1234 {
+		t.Fatal("identity fields wrong")
+	}
+	if !view.Issued || !view.Executed || !view.CountedL1 || view.Squashed {
+		t.Fatal("flag fields wrong")
+	}
+	res := view.Residencies(DefaultBits())
+	if res[0].End-res[0].Start != 5 || res[1].End-res[1].Start != 9 || res[4].End-res[4].Start != 1 {
+		t.Fatalf("residencies wrong: %+v", res)
 	}
 }

@@ -24,6 +24,7 @@ type physReg struct {
 // — ACE from writeback to its last read, and un-ACE from the last read
 // until it is freed.
 type RegFile struct {
+	pool      *Pool
 	nInt, nFP int
 	regs      []physReg
 	freeInt   []int
@@ -36,26 +37,27 @@ type RegFile struct {
 	// Event-driven wakeup (docs/performance.md): waiters[p] holds the IQ
 	// entries blocked on physical register p. Write drains the list and
 	// calls wake on every entry whose WaitCount reaches zero, so the issue
-	// stage never polls operand readiness.
-	waiters [][]*Uop
-	wake    func(*Uop)
+	// stage never polls operand readiness. The lists hold pool ids.
+	waiters [][]UID
+	wake    func(UID)
 }
 
 // NewRegFile builds a pool of nInt+nFP physical registers shared by
 // 'threads' contexts and maps every architectural register to an initial
 // physical register holding architectural state (ready at cycle 0).
 // The pool must hold at least threads×64 registers.
-func NewRegFile(nInt, nFP, threads int, trk *avf.Tracker, bits Bits) *RegFile {
+func NewRegFile(pool *Pool, nInt, nFP, threads int, trk *avf.Tracker, bits Bits) *RegFile {
 	if nInt < threads*isa.NumIntRegs || nFP < threads*isa.NumFPRegs {
 		panic("pipeline: physical register pool smaller than architectural state")
 	}
 	rf := &RegFile{
+		pool:    pool,
 		nInt:    nInt,
 		nFP:     nFP,
 		regs:    make([]physReg, nInt+nFP),
 		trk:     trk,
 		bits:    bits,
-		waiters: make([][]*Uop, nInt+nFP),
+		waiters: make([][]UID, nInt+nFP),
 	}
 	next := 0
 	nextFP := nInt
@@ -106,31 +108,33 @@ func (rf *RegFile) CanRename(dest isa.RegID) bool {
 
 // Rename maps u's sources through the thread's rename table and allocates a
 // physical destination. The caller must have checked CanRename.
-func (rf *RegFile) Rename(u *Uop, now uint64) {
-	m := rf.rename[u.TID]
-	u.PhysSrc1, u.PhysSrc2 = -1, -1
-	if u.Src1.Valid() {
-		u.PhysSrc1 = m[u.Src1]
+func (rf *RegFile) Rename(u UID, now uint64) {
+	pl := rf.pool
+	in := &pl.Ins[u]
+	m := rf.rename[pl.TID[u]]
+	pl.Meta[u].PhysSrc1, pl.Meta[u].PhysSrc2 = -1, -1
+	if in.Src1.Valid() {
+		pl.Meta[u].PhysSrc1 = int32(m[in.Src1])
 	}
-	if u.Src2.Valid() {
-		u.PhysSrc2 = m[u.Src2]
+	if in.Src2.Valid() {
+		pl.Meta[u].PhysSrc2 = int32(m[in.Src2])
 	}
-	u.PhysDest, u.OldPhysDest = -1, -1
-	if !u.Dest.Valid() {
+	pl.Meta[u].PhysDest, pl.Meta[u].OldPhysDest = -1, -1
+	if !in.Dest.Valid() {
 		return
 	}
 	var p int
-	if u.Dest.IsFP() {
+	if in.Dest.IsFP() {
 		p = rf.freeFP[len(rf.freeFP)-1]
 		rf.freeFP = rf.freeFP[:len(rf.freeFP)-1]
 	} else {
 		p = rf.freeInt[len(rf.freeInt)-1]
 		rf.freeInt = rf.freeInt[:len(rf.freeInt)-1]
 	}
-	u.PhysDest = p
-	u.OldPhysDest = m[u.Dest]
-	m[u.Dest] = p
-	rf.regs[p] = physReg{allocAt: now, owner: u.TID}
+	pl.Meta[u].PhysDest = int32(p)
+	pl.Meta[u].OldPhysDest = int32(m[in.Dest])
+	m[in.Dest] = p
+	rf.regs[p] = physReg{allocAt: now, owner: int(pl.TID[u])}
 }
 
 // Ready reports whether physical register p holds its value (p < 0 counts
@@ -141,7 +145,7 @@ func (rf *RegFile) Ready(p int) bool {
 
 // SetWake installs the callback invoked when a waiting uop's last
 // outstanding source operand is written (normally IQ.MarkReady).
-func (rf *RegFile) SetWake(fn func(*Uop)) { rf.wake = fn }
+func (rf *RegFile) SetWake(fn func(UID)) { rf.wake = fn }
 
 // WatchSources registers u on the waiter list of each source operand that
 // is not yet ready and returns the number of operands u now waits on. A
@@ -149,46 +153,47 @@ func (rf *RegFile) SetWake(fn func(*Uop)) { rf.wake = fn }
 // mark it ready itself; otherwise the wake callback fires once the last
 // watched register is written. A uop whose two sources name the same
 // unready register takes two list slots and both drain on the same Write.
-func (rf *RegFile) WatchSources(u *Uop) int {
-	u.WaitCount = 0
-	u.Src1Wait, u.Src2Wait = false, false
-	if p := u.PhysSrc1; p >= 0 && !rf.regs[p].ready {
+func (rf *RegFile) WatchSources(u UID) int {
+	pl := rf.pool
+	pl.Meta[u].WaitCount = 0
+	pl.Flags[u] &^= FSrc1Wait | FSrc2Wait
+	if p := pl.Meta[u].PhysSrc1; p >= 0 && !rf.regs[p].ready {
 		rf.waiters[p] = append(rf.waiters[p], u)
-		u.Src1Wait = true
-		u.WaitCount++
+		pl.Flags[u] |= FSrc1Wait
+		pl.Meta[u].WaitCount++
 	}
-	if p := u.PhysSrc2; p >= 0 && !rf.regs[p].ready {
+	if p := pl.Meta[u].PhysSrc2; p >= 0 && !rf.regs[p].ready {
 		rf.waiters[p] = append(rf.waiters[p], u)
-		u.Src2Wait = true
-		u.WaitCount++
+		pl.Flags[u] |= FSrc2Wait
+		pl.Meta[u].WaitCount++
 	}
-	return u.WaitCount
+	return int(pl.Meta[u].WaitCount)
 }
 
 // Unwatch drops u from any waiter lists it still sits on (a squash removed
 // it from the IQ before its operands arrived).
-func (rf *RegFile) Unwatch(u *Uop) {
-	if u.WaitCount == 0 {
+func (rf *RegFile) Unwatch(u UID) {
+	pl := rf.pool
+	if pl.Meta[u].WaitCount == 0 {
 		return
 	}
-	if u.Src1Wait {
-		rf.dropWaiter(u.PhysSrc1, u)
-		u.Src1Wait = false
+	if pl.Flags[u]&FSrc1Wait != 0 {
+		rf.dropWaiter(int(pl.Meta[u].PhysSrc1), u)
+		pl.Flags[u] &^= FSrc1Wait
 	}
-	if u.Src2Wait {
-		rf.dropWaiter(u.PhysSrc2, u)
-		u.Src2Wait = false
+	if pl.Flags[u]&FSrc2Wait != 0 {
+		rf.dropWaiter(int(pl.Meta[u].PhysSrc2), u)
+		pl.Flags[u] &^= FSrc2Wait
 	}
-	u.WaitCount = 0
+	pl.Meta[u].WaitCount = 0
 }
 
-func (rf *RegFile) dropWaiter(p int, u *Uop) {
+func (rf *RegFile) dropWaiter(p int, u UID) {
 	ws := rf.waiters[p]
 	for i, w := range ws {
 		if w == u {
 			last := len(ws) - 1
 			ws[i] = ws[last]
-			ws[last] = nil
 			rf.waiters[p] = ws[:last]
 			return
 		}
@@ -213,16 +218,16 @@ func (rf *RegFile) Write(p int, now uint64) {
 	if len(ws) == 0 {
 		return
 	}
+	pl := rf.pool
 	rf.waiters[p] = ws[:0]
-	for i, u := range ws {
-		ws[i] = nil
-		if u.Src1Wait && u.PhysSrc1 == p {
-			u.Src1Wait = false
+	for _, u := range ws {
+		if pl.Flags[u]&FSrc1Wait != 0 && int(pl.Meta[u].PhysSrc1) == p {
+			pl.Flags[u] &^= FSrc1Wait
 		} else {
-			u.Src2Wait = false
+			pl.Flags[u] &^= FSrc2Wait
 		}
-		u.WaitCount--
-		if u.WaitCount == 0 && rf.wake != nil {
+		pl.Meta[u].WaitCount--
+		if pl.Meta[u].WaitCount == 0 && rf.wake != nil {
 			rf.wake(u)
 		}
 	}
@@ -253,14 +258,16 @@ func (rf *RegFile) CommitFree(oldPhys int, now uint64) {
 // Rollback undoes u's rename during a squash at cycle now: the thread's
 // table is restored and the allocated register is freed with an entirely
 // un-ACE lifetime.
-func (rf *RegFile) Rollback(u *Uop, now uint64) {
-	if u.PhysDest < 0 {
+func (rf *RegFile) Rollback(u UID, now uint64) {
+	pl := rf.pool
+	d := int(pl.Meta[u].PhysDest)
+	if d < 0 {
 		return
 	}
-	rf.rename[u.TID][u.Dest] = u.OldPhysDest
-	rf.closeLifetime(u.PhysDest, now, true)
-	rf.pushFree(u.PhysDest)
-	u.PhysDest = -1
+	rf.rename[pl.TID[u]][pl.Ins[u].Dest] = int(pl.Meta[u].OldPhysDest)
+	rf.closeLifetime(d, now, true)
+	rf.pushFree(d)
+	pl.Meta[u].PhysDest = -1
 }
 
 func (rf *RegFile) pushFree(p int) {

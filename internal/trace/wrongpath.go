@@ -23,7 +23,15 @@ func NewWrongPath(p Profile, seed uint64) *WrongPath {
 
 // Next returns a wrong-path instruction at pc.
 func (w *WrongPath) Next(pc uint64) isa.Instruction {
-	in := isa.Instruction{
+	var in isa.Instruction
+	w.NextInto(pc, &in)
+	return in
+}
+
+// NextInto is Next writing into dst in place, so the fetch hot path can
+// synthesize directly into the pool slot's instruction record.
+func (w *WrongPath) NextInto(pc uint64, dst *isa.Instruction) {
+	*dst = isa.Instruction{
 		PC:   pc,
 		Src1: isa.RegID(w.rnd.Intn(isa.NumIntRegs)),
 		Src2: isa.RegNone,
@@ -33,34 +41,33 @@ func (w *WrongPath) Next(pc uint64) isa.Instruction {
 	p := &w.p
 	switch {
 	case r < p.NopFrac:
-		in.Class = isa.NOP
-		in.Src1 = isa.RegNone
+		dst.Class = isa.NOP
+		dst.Src1 = isa.RegNone
 	case r < p.NopFrac+p.LoadFrac:
-		in.Class = isa.Load
-		in.Addr = w.address()
-		in.Size = 8
-		in.Dest = isa.RegID(w.rnd.Intn(isa.NumIntRegs - 1))
+		dst.Class = isa.Load
+		dst.Addr = w.address()
+		dst.Size = 8
+		dst.Dest = isa.RegID(w.rnd.Intn(isa.NumIntRegs - 1))
 	case r < p.NopFrac+p.LoadFrac+p.StoreFrac:
-		in.Class = isa.Store
-		in.Addr = w.address()
-		in.Size = 8
-		in.Src2 = isa.RegID(w.rnd.Intn(isa.NumIntRegs - 1))
+		dst.Class = isa.Store
+		dst.Addr = w.address()
+		dst.Size = 8
+		dst.Src2 = isa.RegID(w.rnd.Intn(isa.NumIntRegs - 1))
 	case r < p.NopFrac+p.LoadFrac+p.StoreFrac+p.BranchFrac:
 		// Wrong-path branches predict not-taken so the wrong path stays
 		// sequential; they resolve as not taken if they ever execute.
-		in.Class = isa.Branch
-		in.Taken = false
+		dst.Class = isa.Branch
+		dst.Taken = false
 	default:
 		if w.rnd.Bool(p.FPFrac) {
-			in.Class = isa.FPALU
-			in.Src1 = isa.FirstFPReg + isa.RegID(w.rnd.Intn(isa.NumFPRegs-1))
-			in.Dest = isa.FirstFPReg + isa.RegID(w.rnd.Intn(isa.NumFPRegs-1))
+			dst.Class = isa.FPALU
+			dst.Src1 = isa.FirstFPReg + isa.RegID(w.rnd.Intn(isa.NumFPRegs-1))
+			dst.Dest = isa.FirstFPReg + isa.RegID(w.rnd.Intn(isa.NumFPRegs-1))
 		} else {
-			in.Class = isa.IntALU
-			in.Dest = isa.RegID(w.rnd.Intn(isa.NumIntRegs - 1))
+			dst.Class = isa.IntALU
+			dst.Dest = isa.RegID(w.rnd.Intn(isa.NumIntRegs - 1))
 		}
 	}
-	return in
 }
 
 // address mimics the correct path's hot/cold access split so wrong-path
